@@ -1,0 +1,123 @@
+// Command etherd runs the emulated wireless broadcast medium that odmrpd
+// daemons attach to: every frame a daemon sends is fanned out to all other
+// registered daemons subject to per-link delivery probabilities.
+//
+// Usage:
+//
+//	go run ./cmd/etherd -addr 127.0.0.1:7777
+//	go run ./cmd/etherd -addr 127.0.0.1:7777 -links testbed.links
+//
+// The links file holds one directed link per line: "from to df", e.g.
+// "2 5 0.5". Pairs without an entry use -default-df.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"meshcast/internal/emu"
+	"meshcast/internal/packet"
+	"meshcast/internal/testbed"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "UDP address to listen on")
+	defaultDF := flag.Float64("default-df", 1.0, "delivery probability for links without an entry")
+	linksFile := flag.String("links", "", "per-link delivery probability file (from to df)")
+	paperTestbed := flag.Bool("paper-testbed", false, "preload the paper's Figure 4 topology (8 nodes, lossy links at df 0.5, others 0.95; unknown pairs disconnected)")
+	seed := flag.Int64("seed", 1, "loss randomness seed")
+	flag.Parse()
+	if err := run(*addr, *defaultDF, *linksFile, *paperTestbed, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, seed int64) error {
+	if paperTestbed {
+		// Non-adjacent pairs in the testbed cannot communicate at all.
+		defaultDF = 0
+	}
+	links := emu.NewLinkTable(defaultDF)
+	if paperTestbed {
+		for _, l := range testbed.Links {
+			df := 0.95
+			if l.Class == testbed.Lossy {
+				df = 0.5
+			}
+			links.SetSymmetric(l.A, l.B, df)
+		}
+	}
+	if linksFile != "" {
+		if err := loadLinks(links, linksFile); err != nil {
+			return err
+		}
+	}
+	ether, err := emu.NewEther(addr, links, seed)
+	if err != nil {
+		return err
+	}
+	defer ether.Close()
+	fmt.Printf("etherd listening on %s (default df %.2f)\n", ether.Addr(), defaultDF)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			s := ether.Stats()
+			fmt.Printf("etherd shutting down: %d frames in, %d out, %d dropped\n",
+				s.FramesIn, s.FramesOut, s.FramesDropped)
+			return nil
+		case <-ticker.C:
+			s := ether.Stats()
+			fmt.Printf("clients=%d frames in=%d out=%d dropped=%d\n",
+				len(ether.Clients()), s.FramesIn, s.FramesOut, s.FramesDropped)
+		}
+	}
+}
+
+// loadLinks parses "from to df" lines; "#" starts a comment.
+func loadLinks(t *emu.LinkTable, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("%s:%d: want 'from to df', got %q", path, lineNo, line)
+		}
+		from, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return fmt.Errorf("%s:%d: bad from: %w", path, lineNo, err)
+		}
+		to, err := strconv.ParseUint(fields[1], 10, 16)
+		if err != nil {
+			return fmt.Errorf("%s:%d: bad to: %w", path, lineNo, err)
+		}
+		df, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || df < 0 || df > 1 {
+			return fmt.Errorf("%s:%d: bad df %q", path, lineNo, fields[2])
+		}
+		t.Set(packet.NodeID(from), packet.NodeID(to), df)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,84 @@
+// Command meshdump renders a simulation packet capture (produced with
+// `meshsim -capture file`) as human-readable lines — the simulator's
+// tcpdump.
+//
+// Usage:
+//
+//	go run ./cmd/meshsim -metric spp -seconds 10 -capture run.mcap
+//	go run ./cmd/meshdump run.mcap
+//	go run ./cmd/meshdump -node 3 -kind JOIN_QUERY run.mcap
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"meshcast/internal/capture"
+	"meshcast/internal/packet"
+)
+
+func main() {
+	node := flag.Int("node", -1, "only show frames transmitted by this node")
+	kind := flag.String("kind", "", "only show this payload kind (DATA, JOIN_QUERY, JOIN_REPLY, PROBE, PAIR_SMALL, PAIR_LARGE)")
+	stats := flag.Bool("stats", false, "print per-kind counts instead of individual frames")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: meshdump [-node N] [-kind K] [-stats] capture-file")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *node, *kind, *stats); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(path string, node int, kind string, stats bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := capture.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	counts := map[string]int{}
+	total := 0
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if node >= 0 && rec.Src != packet.NodeID(node) {
+			continue
+		}
+		payloadKind := "(control)"
+		if rec.Payload != nil {
+			payloadKind = rec.Payload.Kind.String()
+		}
+		if kind != "" && !strings.EqualFold(payloadKind, kind) {
+			continue
+		}
+		total++
+		if stats {
+			counts[payloadKind]++
+			continue
+		}
+		fmt.Println(rec)
+	}
+	if stats {
+		fmt.Printf("%d frames\n", total)
+		for k, n := range counts {
+			fmt.Printf("  %-12s %d\n", k, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"meshcast/internal/capture"
+	"meshcast/internal/packet"
+)
+
+func writeCapture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.mcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := capture.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Capture(time.Second, &packet.Frame{
+		Kind: packet.FrameData, Src: 1, Dst: packet.Broadcast,
+		Payload: &packet.Packet{Kind: packet.TypeData, Src: 1, Seq: 1, PayloadBytes: 64},
+	})
+	w.Capture(2*time.Second, &packet.Frame{
+		Kind: packet.FrameData, Src: 2, Dst: packet.Broadcast,
+		Payload: &packet.Packet{Kind: packet.TypeJoinQuery, Src: 2, Group: 1, Seq: 1},
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFiltersAndStats(t *testing.T) {
+	path := writeCapture(t)
+	// All modes must succeed; output formatting is covered by the capture
+	// package's Record.String tests.
+	if err := run(path, -1, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 1, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, -1, "JOIN_QUERY", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, -1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing"), -1, "", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunRejectsNonCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, -1, "", false); err == nil {
+		t.Fatal("junk file accepted")
+	}
+}

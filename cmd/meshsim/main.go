@@ -1,0 +1,169 @@
+// Command meshsim runs one mesh-network multicast simulation and prints the
+// resulting statistics. It exposes the paper's §4.1 scenario knobs on the
+// command line.
+//
+// Usage:
+//
+//	go run ./cmd/meshsim -metric spp -seed 1 -seconds 100
+//	go run ./cmd/meshsim -metric minhop -nodes 30 -side 800 -groups 1
+//	go run ./cmd/meshsim -metric pp -probe-rate 5 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"meshcast/internal/experiments"
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+	"meshcast/internal/trace"
+)
+
+func main() {
+	var (
+		metricName = flag.String("metric", "spp", "routing metric: minhop, etx, ett, pp, metx, spp")
+		seed       = flag.Uint64("seed", 1, "random seed (topology + all protocol randomness)")
+		nodes      = flag.Int("nodes", 50, "number of mesh nodes")
+		side       = flag.Float64("side", 1000, "deployment square side in metres")
+		groups     = flag.Int("groups", 2, "number of multicast groups")
+		sources    = flag.Int("sources", 1, "sources per group")
+		members    = flag.Int("members", 10, "receiver members per group")
+		seconds    = flag.Int("seconds", 100, "traffic seconds")
+		warmup     = flag.Int("warmup", 100, "probe warmup seconds before traffic")
+		probeRate  = flag.Float64("probe-rate", 1, "probing rate factor (5 = high-overhead column)")
+		noFading   = flag.Bool("no-fading", false, "disable Rayleigh fading")
+		verbose    = flag.Bool("v", false, "print per-member delivery ratios")
+		traceCats  = flag.String("trace", "", "comma-separated trace categories to print (query,reply,data,probe,mac)")
+		captureTo  = flag.String("capture", "", "record every transmitted frame to this file (see cmd/meshdump)")
+		scenario   = flag.String("scenario", "", "run a JSON scenario spec instead of the flag-built one")
+	)
+	flag.Parse()
+	if *scenario != "" {
+		if err := runSpec(*scenario, *verbose, *captureTo); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(*metricName, *seed, *nodes, *side, *groups, *sources, *members,
+		*seconds, *warmup, *probeRate, *noFading, *verbose, *traceCats, *captureTo); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runSpec executes a declarative JSON scenario.
+func runSpec(path string, verbose bool, capturePath string) error {
+	spec, err := experiments.LoadSpec(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := spec.Scenario()
+	if err != nil {
+		return err
+	}
+	cfg.CapturePath = capturePath
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+	printResult(res, verbose)
+	return nil
+}
+
+// parseTraceCats maps flag names to trace categories.
+func parseTraceCats(s string) ([]trace.Category, error) {
+	if s == "" {
+		return nil, nil
+	}
+	names := map[string]trace.Category{
+		"query": trace.CatQuery,
+		"reply": trace.CatReply,
+		"data":  trace.CatData,
+		"probe": trace.CatProbe,
+		"mac":   trace.CatMAC,
+	}
+	var out []trace.Category
+	for _, part := range strings.Split(s, ",") {
+		c, ok := names[strings.TrimSpace(part)]
+		if !ok {
+			return nil, fmt.Errorf("unknown trace category %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func run(metricName string, seed uint64, nodes int, side float64, groups, sources, members,
+	seconds, warmup int, probeRate float64, noFading, verbose bool, traceCats, capturePath string) error {
+	kind, err := metric.ParseKind(metricName)
+	if err != nil {
+		return err
+	}
+	cats, err := parseTraceCats(traceCats)
+	if err != nil {
+		return err
+	}
+	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	topo, err := topology.RandomConnected(rng, nodes, geom.Square(side), 250, 500)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.ScenarioConfig{
+		Seed:            seed,
+		Metric:          kind,
+		Topology:        topo,
+		Duration:        time.Duration(warmup+seconds) * time.Second,
+		Groups:          experiments.DefaultGroups(rng.Split(), nodes, groups, sources, members),
+		PayloadBytes:    512,
+		SendInterval:    50 * time.Millisecond,
+		ProbeRateFactor: probeRate,
+		TrafficStart:    time.Duration(warmup) * time.Second,
+	}
+	if noFading {
+		cfg.Fading = propagation.NoFading{}
+	}
+	if traceCats != "" {
+		cfg.TraceSink = trace.Writer{W: os.Stderr}
+		cfg.TraceCats = cats
+	}
+	cfg.CapturePath = capturePath
+
+	start := time.Now()
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("metric=%s nodes=%d area=%.0fx%.0fm groups=%d sources/group=%d members/group=%d\n",
+		kind, nodes, side, side, groups, sources, members)
+	fmt.Printf("simulated %ds traffic (+%ds warmup) in %s (%d events)\n",
+		seconds, warmup, time.Since(start).Round(time.Millisecond), res.Events)
+	printResult(res, verbose)
+	return nil
+}
+
+// printResult renders a run's summary.
+func printResult(res *experiments.RunResult, verbose bool) {
+	s := res.Summary
+	fmt.Printf("packets: sent %d, delivered %d (x receivers)\n", s.PacketsSent, s.PacketsDelivered)
+	fmt.Printf("mean delivery ratio: %.1f%% (fairness %.2f)\n", 100*s.PDR, s.Fairness)
+	fmt.Printf("mean end-to-end delay: %.2f ms (p50 %.2f / p99 %.2f / max %.2f)\n",
+		1000*s.MeanDelaySeconds,
+		res.Delay.P50.Seconds()*1000, res.Delay.P99.Seconds()*1000, res.Delay.Max.Seconds()*1000)
+	fmt.Printf("probe overhead: %.2f%% of data bytes received (%d probe bytes)\n",
+		s.ProbeOverheadPct, res.ProbeBytes)
+	fmt.Printf("control bytes (queries+replies): %d; data rebroadcasts: %d; PHY collisions: %d\n",
+		res.ControlBytes, res.DataForwards, res.MACCollisions)
+	if verbose {
+		fmt.Println("per-member delivery:")
+		for _, m := range res.PerMember {
+			fmt.Printf("  %v\n", m)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"meshcast/internal/trace"
+)
+
+func TestParseTraceCats(t *testing.T) {
+	got, err := parseTraceCats("query,data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != trace.CatQuery || got[1] != trace.CatData {
+		t.Fatalf("parseTraceCats = %v", got)
+	}
+	if got, err := parseTraceCats(""); err != nil || got != nil {
+		t.Fatalf("empty input = %v, %v", got, err)
+	}
+	if _, err := parseTraceCats("query,bogus"); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+	all := "query,reply,data,probe,mac"
+	got, err = parseTraceCats(all)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("all categories = %v, %v", got, err)
+	}
+	// Whitespace tolerated.
+	if got, err := parseTraceCats(" mac , probe "); err != nil || len(got) != 2 {
+		t.Fatalf("whitespace input = %v, %v", got, err)
+	}
+}
+
+func TestRunRejectsBadMetric(t *testing.T) {
+	if err := run("bogus", 1, 5, 300, 1, 1, 2, 1, 1, 1, false, false, "", ""); err == nil {
+		t.Fatal("bad metric accepted")
+	}
+	if err := run("spp", 1, 5, 300, 1, 1, 2, 1, 1, 1, false, false, "nope", ""); err == nil {
+		t.Fatal("bad trace category accepted")
+	}
+}
+
+func TestRunTinySimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation")
+	}
+	if err := run("spp", 1, 6, 350, 1, 1, 2, 2, 2, 1, false, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// With fading disabled and a capture file.
+	path := t.TempDir() + "/run.mcap"
+	if err := run("minhop", 1, 6, 350, 1, 1, 2, 2, 2, 1, true, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("capture not written: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"meshcast/internal/packet"
+)
+
+func TestParseGroups(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []packet.GroupID
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"1", []packet.GroupID{1}, false},
+		{"1,2,3", []packet.GroupID{1, 2, 3}, false},
+		{" 4 , 5 ", []packet.GroupID{4, 5}, false},
+		{"x", nil, true},
+		{"1,,2", nil, true},
+		{"70000", nil, true}, // exceeds uint16
+	}
+	for _, tt := range tests {
+		got, err := parseGroups(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Fatalf("parseGroups(%q): expected error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("parseGroups(%q): %v", tt.in, err)
+		}
+		if len(got) != len(tt.want) {
+			t.Fatalf("parseGroups(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("parseGroups(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(1, "127.0.0.1:1", "bogus", "", "", 20, 512, 1, 0); err == nil {
+		t.Fatal("bad metric accepted")
+	}
+	if err := run(1, "127.0.0.1:1", "spp", "zz", "", 20, 512, 1, 0); err == nil {
+		t.Fatal("bad join groups accepted")
+	}
+	if err := run(1, "127.0.0.1:1", "spp", "", "", 0, 512, 1, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command topogen generates random mesh topologies and reports their
+// connectivity properties — handy for picking simulation seeds and sanity
+// checking deployment densities.
+//
+// Usage:
+//
+//	go run ./cmd/topogen -nodes 50 -side 1000 -seed 1
+//	go run ./cmd/topogen -nodes 50 -csv > topo.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+	"meshcast/internal/viz"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 50, "number of nodes")
+		side      = flag.Float64("side", 1000, "square side in metres")
+		rangeM    = flag.Float64("range", 250, "radio range in metres")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		connected = flag.Bool("connected", true, "redraw until connected")
+		csv       = flag.Bool("csv", false, "emit node positions as CSV")
+		asMap     = flag.Bool("map", false, "render an ASCII map with range-graph edges")
+		width     = flag.Int("width", 100, "map width in characters")
+	)
+	flag.Parse()
+	if err := run(*nodes, *side, *rangeM, *seed, *connected, *csv, *asMap, *width); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nodes int, side, rangeM float64, seed uint64, connected, csv, asMap bool, width int) error {
+	rng := sim.NewRNG(seed)
+	var topo *topology.Topology
+	if connected {
+		t, err := topology.RandomConnected(rng, nodes, geom.Square(side), rangeM, 1000)
+		if err != nil {
+			return err
+		}
+		topo = t
+	} else {
+		topo = topology.Random(rng, nodes, geom.Square(side))
+	}
+
+	if csv {
+		fmt.Println("node,x,y")
+		for i, p := range topo.Positions {
+			fmt.Printf("%d,%.2f,%.2f\n", i, p.X, p.Y)
+		}
+		return nil
+	}
+	if asMap {
+		nodesViz := make([]viz.Node, topo.NodeCount())
+		for i, p := range topo.Positions {
+			nodesViz[i] = viz.Node{Label: fmt.Sprintf("%d", i), Pos: p}
+		}
+		var edges []viz.Edge
+		for i, ns := range topo.Neighbors(rangeM) {
+			for _, j := range ns {
+				if j > i {
+					edges = append(edges, viz.Edge{
+						From: fmt.Sprintf("%d", i), To: fmt.Sprintf("%d", j), Style: viz.Solid,
+					})
+				}
+			}
+		}
+		fmt.Print(viz.Map(nodesViz, edges, width))
+		return nil
+	}
+
+	fmt.Printf("topology: %d nodes in %.0fx%.0f m, range %.0f m, seed %d\n",
+		nodes, side, side, rangeM, seed)
+	fmt.Printf("connected: %v\n", topo.IsConnected(rangeM))
+	fmt.Printf("mean degree: %.2f\n", topo.MeanDegree(rangeM))
+	maxHops := 0
+	for j := 1; j < topo.NodeCount(); j++ {
+		if h := topo.HopDistance(0, j, rangeM); h > maxHops {
+			maxHops = h
+		}
+	}
+	fmt.Printf("eccentricity of node 0: %d hops\n", maxHops)
+	for i, p := range topo.Positions {
+		fmt.Printf("  n%-3d %v\n", i, p)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package meshcast_test
+
+import (
+	"fmt"
+
+	"meshcast"
+)
+
+// ExamplePathCost evaluates the paper's Figure 1 example: SPP picks the path
+// with the higher end-to-end success probability, while METX minimizes total
+// expected transmissions and picks the other one.
+func ExamplePathCost() {
+	acd := []meshcast.LinkEstimate{{DeliveryProb: 1}, {DeliveryProb: 1.0 / 3.0}}
+	abd := []meshcast.LinkEstimate{{DeliveryProb: 0.25}, {DeliveryProb: 1}}
+
+	sppACD, _ := meshcast.PathCost(meshcast.SPP, acd)
+	sppABD, _ := meshcast.PathCost(meshcast.SPP, abd)
+	metxACD, _ := meshcast.PathCost(meshcast.METX, acd)
+	metxABD, _ := meshcast.PathCost(meshcast.METX, abd)
+
+	fmt.Printf("SPP:  A-C-D %.3f  A-B-D %.3f\n", sppACD, sppABD)
+	fmt.Printf("METX: A-C-D %.0f      A-B-D %.0f\n", metxACD, metxABD)
+	// Output:
+	// SPP:  A-C-D 0.333  A-B-D 0.250
+	// METX: A-C-D 6      A-B-D 5
+}
+
+// ExampleBetterPath compares two path costs under a metric: SPP is
+// maximized, every other metric is minimized.
+func ExampleBetterPath() {
+	better, _ := meshcast.BetterPath(meshcast.SPP, 0.5, 0.3)
+	fmt.Println("SPP 0.5 beats 0.3:", better)
+	better, _ = meshcast.BetterPath(meshcast.ETX, 2.0, 3.0)
+	fmt.Println("ETX 2.0 beats 3.0:", better)
+	// Output:
+	// SPP 0.5 beats 0.3: true
+	// ETX 2.0 beats 3.0: true
+}
+
+// ExampleParseMetric converts metric names from flags or config files.
+func ExampleParseMetric() {
+	m, _ := meshcast.ParseMetric("spp")
+	fmt.Println(m == meshcast.SPP)
+	// Output: true
+}
+
+// ExampleMetrics lists every implemented metric in presentation order.
+func ExampleMetrics() {
+	for _, m := range meshcast.Metrics() {
+		fmt.Println(m)
+	}
+	// Output:
+	// minhop
+	// ett
+	// etx
+	// metx
+	// pp
+	// spp
+}

@@ -1,0 +1,87 @@
+// Testbed reproduces the paper's 8-node indoor experiments (§5): it runs
+// every ODMRP variant over the Figure 4 topology, prints throughput
+// normalized against the original ODMRP (Figure 2, "Throughput-testbed"
+// column), and dumps the multicast trees built by ODMRP and ODMRP_PP
+// (Figure 5) to show PP routing around the lossy shortcuts.
+//
+// Run with:
+//
+//	go run ./examples/testbed [-seconds 120] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"meshcast"
+)
+
+func main() {
+	seconds := flag.Int("seconds", 120, "traffic seconds per run")
+	runs := flag.Int("runs", 3, "runs per metric (the paper uses 5)")
+	flag.Parse()
+	if err := run(*seconds, *runs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seconds, runs int) error {
+	fmt.Println("Topology (paper Figure 4; ~ marks lossy links):")
+	fmt.Print(meshcast.TestbedMap(90))
+	fmt.Println()
+
+	mean := func(m meshcast.Metric) (float64, *meshcast.TestbedResult, error) {
+		var sum float64
+		var last *meshcast.TestbedResult
+		for r := 0; r < runs; r++ {
+			cfg := meshcast.DefaultTestbedConfig(m, uint64(r+1))
+			cfg.TrafficSeconds = seconds
+			res, err := meshcast.RunTestbed(cfg)
+			if err != nil {
+				return 0, nil, err
+			}
+			sum += res.Summary.PDR
+			last = res
+		}
+		return sum / float64(runs), last, nil
+	}
+
+	basePDR, baseRes, err := mean(meshcast.MinHop)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original ODMRP: absolute delivery ratio %.1f%%\n\n", 100*basePDR)
+	fmt.Println("Normalized throughput (Figure 2, Throughput-testbed column):")
+	var ppRes *meshcast.TestbedResult
+	for _, m := range meshcast.LinkQualityMetrics() {
+		pdr, res, err := mean(m)
+		if err != nil {
+			return err
+		}
+		if m == meshcast.PP {
+			ppRes = res
+		}
+		fmt.Printf("  ODMRP_%-5s %.3f\n", m, pdr/basePDR)
+	}
+
+	fmt.Println("\nHeavily used tree edges (Figure 5):")
+	fmt.Println("  ODMRP (min hop):")
+	printTree(baseRes)
+	fmt.Println("  ODMRP_PP:")
+	printTree(ppRes)
+
+	fmt.Println("\nODMRP data plane (~ = traffic over a lossy link):")
+	fmt.Print(meshcast.TestbedTreeMap(baseRes, 0.3, 90))
+	fmt.Println("\nODMRP_PP data plane:")
+	fmt.Print(meshcast.TestbedTreeMap(ppRes, 0.3, 90))
+	fmt.Println("\nODMRP keeps using the lossy one-hop shortcuts (2->5, 4->7);")
+	fmt.Println("ODMRP_PP detours through 10 and 9 over low-loss links.")
+	return nil
+}
+
+func printTree(res *meshcast.TestbedResult) {
+	for _, e := range meshcast.TestbedHeavyEdges(res, 0.3) {
+		fmt.Printf("    %v -> %v  (%d packets, %v link)\n", e.Edge.From, e.Edge.To, e.Count, e.Class)
+	}
+}

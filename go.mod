@@ -1,0 +1,3 @@
+module meshcast
+
+go 1.22

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"meshcast/internal/metric"
+)
+
+// WCETT implements the Weighted Cumulative ETT metric of Draves et al.
+// (MobiCom 2004) for multi-radio, multi-channel meshes — the extension the
+// paper defers to future work (§6: "extend the high-throughput link-quality
+// metrics studied in this paper for multicast routing in
+// multi-radio/multi-channel mesh networks").
+//
+// For a path whose hop i has expected transmission time ETT_i on channel
+// c_i:
+//
+//	WCETT = (1-β)·Σ ETT_i + β·max_j Σ_{i: c_i = j} ETT_i
+//
+// The second term penalizes paths that reuse one channel heavily
+// (intra-flow interference); β trades it off against total transmission
+// time. WCETT is not isotone — a prefix that looks worse can yield a better
+// full path by diversifying channels — so unlike the six broadcast metrics
+// it cannot ride the generalized Dijkstra in this package; BestWCETTPath
+// uses bounded exhaustive search, which is exact and fine at testbed scale.
+
+// ChannelHop is one hop of a multi-channel path.
+type ChannelHop struct {
+	// Est is the link measurement (ETT consumes DeliveryProb, bandwidth
+	// and packet size).
+	Est metric.LinkEstimate
+	// Channel is the radio channel the hop transmits on.
+	Channel int
+}
+
+// WCETT computes the metric for a full path. beta must lie in [0, 1].
+func WCETT(path []ChannelHop, beta float64) (float64, error) {
+	if beta < 0 || beta > 1 {
+		return 0, fmt.Errorf("analysis: beta %v outside [0,1]", beta)
+	}
+	ettMetric := metric.MustNew(metric.ETT)
+	var total float64
+	perChannel := make(map[int]float64)
+	for _, hop := range path {
+		ett := ettMetric.LinkCost(hop.Est)
+		if math.IsInf(ett, 1) {
+			return math.Inf(1), nil
+		}
+		total += ett
+		perChannel[hop.Channel] += ett
+	}
+	var worstChannel float64
+	for _, x := range perChannel {
+		if x > worstChannel {
+			worstChannel = x
+		}
+	}
+	return (1-beta)*total + beta*worstChannel, nil
+}
+
+// ChannelGraph is a Graph whose links carry channel assignments.
+type ChannelGraph struct {
+	*Graph
+	channels map[[2]int]int
+}
+
+// NewChannelGraph wraps a link-quality graph with channel assignments.
+func NewChannelGraph(n int) *ChannelGraph {
+	return &ChannelGraph{Graph: NewGraph(n), channels: make(map[[2]int]int)}
+}
+
+// SetChannelLink adds a directed link with a channel.
+func (g *ChannelGraph) SetChannelLink(from, to int, e metric.LinkEstimate, channel int) {
+	g.SetLink(from, to, e)
+	g.channels[[2]int{from, to}] = channel
+}
+
+// SetChannelLinkSymmetric adds both directions on the same channel.
+func (g *ChannelGraph) SetChannelLinkSymmetric(a, b int, e metric.LinkEstimate, channel int) {
+	g.SetChannelLink(a, b, e, channel)
+	g.SetChannelLink(b, a, e, channel)
+}
+
+// Channel returns a link's channel assignment.
+func (g *ChannelGraph) Channel(from, to int) (int, bool) {
+	c, ok := g.channels[[2]int{from, to}]
+	return c, ok
+}
+
+// BestWCETTPath finds the minimum-WCETT simple path from src to dst by
+// exhaustive search over simple paths up to maxHops long. Exact; intended
+// for testbed-scale graphs (tens of nodes).
+func BestWCETTPath(g *ChannelGraph, src, dst int, beta float64, maxHops int) ([]int, float64, error) {
+	if src < 0 || src >= g.NodeCount() || dst < 0 || dst >= g.NodeCount() {
+		return nil, 0, fmt.Errorf("analysis: endpoints (%d, %d) out of range", src, dst)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, 0, fmt.Errorf("analysis: beta %v outside [0,1]", beta)
+	}
+	if maxHops <= 0 {
+		maxHops = g.NodeCount() - 1
+	}
+	bestCost := math.Inf(1)
+	var bestPath []int
+
+	visited := make([]bool, g.NodeCount())
+	hops := make([]ChannelHop, 0, maxHops)
+	nodes := make([]int, 1, maxHops+1)
+	nodes[0] = src
+
+	var dfs func(at int)
+	dfs = func(at int) {
+		if at == dst {
+			cost, err := WCETT(hops, beta)
+			if err == nil && cost < bestCost {
+				bestCost = cost
+				bestPath = append([]int(nil), nodes...)
+			}
+			return
+		}
+		if len(hops) >= maxHops {
+			return
+		}
+		visited[at] = true
+		for v := 0; v < g.NodeCount(); v++ {
+			if visited[v] {
+				continue
+			}
+			e, ok := g.Link(at, v)
+			if !ok {
+				continue
+			}
+			ch, _ := g.Channel(at, v)
+			hops = append(hops, ChannelHop{Est: e, Channel: ch})
+			nodes = append(nodes, v)
+			dfs(v)
+			hops = hops[:len(hops)-1]
+			nodes = nodes[:len(nodes)-1]
+		}
+		visited[at] = false
+	}
+	dfs(src)
+
+	if math.IsInf(bestCost, 1) {
+		return nil, bestCost, nil
+	}
+	return bestPath, bestCost, nil
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"meshcast/internal/metric"
+)
+
+// ettOf mirrors the ETT link cost for test arithmetic.
+func ettOf(e metric.LinkEstimate) float64 {
+	return metric.MustNew(metric.ETT).LinkCost(e)
+}
+
+func TestWCETTSingleChannelReducesToSumPlusBetaSum(t *testing.T) {
+	// With every hop on one channel, max_j X_j = Σ ETT, so
+	// WCETT = (1-β)Σ + βΣ = Σ regardless of β.
+	path := []ChannelHop{
+		{Est: est(0.9), Channel: 1},
+		{Est: est(0.8), Channel: 1},
+	}
+	sum := ettOf(est(0.9)) + ettOf(est(0.8))
+	for _, beta := range []float64{0, 0.3, 0.5, 1} {
+		got, err := WCETT(path, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-sum) > 1e-12 {
+			t.Fatalf("beta=%v: WCETT = %v, want Σ ETT = %v", beta, got, sum)
+		}
+	}
+}
+
+func TestWCETTChannelDiversityWins(t *testing.T) {
+	// Two equal-ETT two-hop paths; one alternates channels, one does not.
+	// For β > 0 the diverse path must score strictly better.
+	same := []ChannelHop{{est(0.9), 1}, {est(0.9), 1}}
+	diverse := []ChannelHop{{est(0.9), 1}, {est(0.9), 2}}
+	sameCost, err := WCETT(same, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divCost, err := WCETT(diverse, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if divCost >= sameCost {
+		t.Fatalf("diverse %v should beat same-channel %v", divCost, sameCost)
+	}
+	// β = 0 makes WCETT plain ETT: both equal.
+	sameCost0, _ := WCETT(same, 0)
+	divCost0, _ := WCETT(diverse, 0)
+	if math.Abs(sameCost0-divCost0) > 1e-12 {
+		t.Fatal("beta=0 should ignore channels")
+	}
+}
+
+func TestWCETTDeadLinkInfinite(t *testing.T) {
+	cost, err := WCETT([]ChannelHop{{metric.LinkEstimate{}, 1}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(cost, 1) {
+		t.Fatalf("dead link WCETT = %v", cost)
+	}
+}
+
+func TestWCETTBetaValidation(t *testing.T) {
+	if _, err := WCETT(nil, -0.1); err == nil {
+		t.Fatal("negative beta accepted")
+	}
+	if _, err := WCETT(nil, 1.1); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+}
+
+func TestBestWCETTPathPrefersChannelDiversity(t *testing.T) {
+	// 0 -> 3 via {1} on a single channel, or via {2} alternating channels.
+	// Same link qualities; the diverse route must win for β = 0.5.
+	g := NewChannelGraph(4)
+	g.SetChannelLinkSymmetric(0, 1, est(0.9), 1)
+	g.SetChannelLinkSymmetric(1, 3, est(0.9), 1)
+	g.SetChannelLinkSymmetric(0, 2, est(0.9), 1)
+	g.SetChannelLinkSymmetric(2, 3, est(0.9), 2)
+	path, cost, err := BestWCETTPath(g, 0, 3, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("path = %v (cost %v), want via node 2", path, cost)
+	}
+}
+
+func TestBestWCETTPathUnreachable(t *testing.T) {
+	g := NewChannelGraph(3)
+	g.SetChannelLinkSymmetric(0, 1, est(0.9), 1)
+	path, cost, err := BestWCETTPath(g, 0, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil || !math.IsInf(cost, 1) {
+		t.Fatalf("unreachable gave path=%v cost=%v", path, cost)
+	}
+}
+
+func TestBestWCETTPathValidation(t *testing.T) {
+	g := NewChannelGraph(2)
+	if _, _, err := BestWCETTPath(g, 0, 5, 0.5, 0); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+	if _, _, err := BestWCETTPath(g, 0, 1, 2, 0); err == nil {
+		t.Fatal("bad beta accepted")
+	}
+}
+
+func TestBestWCETTPathRespectsMaxHops(t *testing.T) {
+	// Only route is 3 hops; with maxHops 2 it must be unreachable.
+	g := NewChannelGraph(4)
+	g.SetChannelLinkSymmetric(0, 1, est(0.9), 1)
+	g.SetChannelLinkSymmetric(1, 2, est(0.9), 2)
+	g.SetChannelLinkSymmetric(2, 3, est(0.9), 1)
+	path, _, err := BestWCETTPath(g, 0, 3, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil {
+		t.Fatalf("maxHops=2 found %v", path)
+	}
+	path, _, err = BestWCETTPath(g, 0, 3, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("maxHops=3 path = %v", path)
+	}
+}

@@ -1,0 +1,180 @@
+// Package capture records every frame transmitted on a simulated medium to
+// a compact binary file — the simulator's tcpdump. Captures are replayable
+// through Reader and rendered by cmd/meshdump.
+//
+// File layout: a 5-byte header ("MCAP" + version), then one record per
+// transmission:
+//
+//	8 B  virtual time (ns, big endian)
+//	2 B  transmitter node ID
+//	2 B  MAC destination
+//	1 B  frame kind
+//	8 B  NAV duration (ns)
+//	2 B  payload length (0 for control frames)
+//	N B  payload (packet wire encoding)
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"meshcast/internal/packet"
+)
+
+// magic identifies capture files; the trailing byte is the format version.
+var magic = []byte{'M', 'C', 'A', 'P', 1}
+
+// ErrBadMagic reports a file that is not a capture.
+var ErrBadMagic = errors.New("capture: bad file magic")
+
+const recordFixedLen = 8 + 2 + 2 + 1 + 8 + 2
+
+// Record is one captured transmission.
+type Record struct {
+	// At is the virtual time the transmission started.
+	At time.Duration
+	// Src is the transmitting node; Dst the MAC destination.
+	Src, Dst packet.NodeID
+	// Kind is the MAC frame kind.
+	Kind packet.FrameKind
+	// NAV is the RTS/CTS duration field (0 otherwise).
+	NAV time.Duration
+	// Payload is the network packet, nil for control frames.
+	Payload *packet.Packet
+}
+
+// String renders a record as one dump line.
+func (r Record) String() string {
+	if r.Payload != nil {
+		return fmt.Sprintf("%12.6fs %-5v -> %-5v %-4v %v", r.At.Seconds(), r.Src, r.Dst, r.Kind, r.Payload)
+	}
+	return fmt.Sprintf("%12.6fs %-5v -> %-5v %-4v nav=%v", r.At.Seconds(), r.Src, r.Dst, r.Kind, r.NAV)
+}
+
+// Writer streams capture records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	// Records counts captured transmissions.
+	Records uint64
+}
+
+// NewWriter writes the header and returns a capture writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, fmt.Errorf("capture: header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Capture records one transmission. It is shaped to plug directly into
+// phy.Medium's OnTransmit hook. Errors are sticky and surfaced by Flush.
+func (w *Writer) Capture(at time.Duration, f *packet.Frame) {
+	if w.err != nil {
+		return
+	}
+	var payload []byte
+	if f.Payload != nil {
+		var err error
+		payload, err = f.Payload.MarshalBinary()
+		if err != nil {
+			w.err = err
+			return
+		}
+	}
+	var hdr [recordFixedLen]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(at))
+	binary.BigEndian.PutUint16(hdr[8:], uint16(f.Src))
+	binary.BigEndian.PutUint16(hdr[10:], uint16(f.Dst))
+	hdr[12] = byte(f.Kind)
+	binary.BigEndian.PutUint64(hdr[13:], uint64(f.DurationNAV))
+	binary.BigEndian.PutUint16(hdr[21:], uint16(len(payload)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = err
+		return
+	}
+	w.Records++
+}
+
+// Flush drains buffered records and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader iterates records from a capture stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("capture: header: %w", err)
+	}
+	for i, b := range magic {
+		if head[i] != b {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the capture.
+func (r *Reader) Next() (Record, error) {
+	var hdr [recordFixedLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("capture: record header: %w", err)
+	}
+	rec := Record{
+		At:   time.Duration(binary.BigEndian.Uint64(hdr[0:])),
+		Src:  packet.NodeID(binary.BigEndian.Uint16(hdr[8:])),
+		Dst:  packet.NodeID(binary.BigEndian.Uint16(hdr[10:])),
+		Kind: packet.FrameKind(hdr[12]),
+		NAV:  time.Duration(binary.BigEndian.Uint64(hdr[13:])),
+	}
+	n := int(binary.BigEndian.Uint16(hdr[21:]))
+	if n > 0 {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			return Record{}, fmt.Errorf("capture: record payload: %w", err)
+		}
+		var p packet.Packet
+		if err := p.UnmarshalBinary(buf); err != nil {
+			return Record{}, fmt.Errorf("capture: decode payload: %w", err)
+		}
+		rec.Payload = &p
+	}
+	return rec, nil
+}
+
+// ReadAll drains the remaining records.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

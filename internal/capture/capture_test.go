@@ -1,0 +1,133 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"meshcast/internal/packet"
+)
+
+func sampleFrames() []*packet.Frame {
+	return []*packet.Frame{
+		{
+			Kind: packet.FrameData, Src: 1, Dst: packet.Broadcast,
+			Payload: &packet.Packet{Kind: packet.TypeData, Src: 1, Group: 2, Seq: 7, PayloadBytes: 512},
+		},
+		{Kind: packet.FrameRTS, Src: 2, Dst: 3, DurationNAV: 5 * time.Millisecond},
+		{
+			Kind: packet.FrameData, Src: 3, Dst: packet.Broadcast,
+			Payload: &packet.Packet{
+				Kind: packet.TypeJoinReply, Src: 3, Group: 2, Seq: 1,
+				Replies: []packet.ReplyEntry{{Source: 1, NextHop: 4}},
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sampleFrames()
+	for i, f := range frames {
+		w.Capture(time.Duration(i)*time.Second, f)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records != 3 {
+		t.Fatalf("Records = %d", w.Records)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].At != 0 || recs[1].At != time.Second {
+		t.Fatalf("timestamps = %v, %v", recs[0].At, recs[1].At)
+	}
+	if recs[0].Payload == nil || recs[0].Payload.Seq != 7 || recs[0].Payload.PayloadBytes != 512 {
+		t.Fatalf("payload = %+v", recs[0].Payload)
+	}
+	if recs[1].Payload != nil || recs[1].Kind != packet.FrameRTS || recs[1].NAV != 5*time.Millisecond {
+		t.Fatalf("control record = %+v", recs[1])
+	}
+	if len(recs[2].Payload.Replies) != 1 || recs[2].Payload.Replies[0].NextHop != 4 {
+		t.Fatalf("reply payload = %+v", recs[2].Payload)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTACAPTURE")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewReader(strings.NewReader("MC")); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Capture(0, sampleFrames()[0])
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated record gave err = %v, want a real error", err)
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs = %v, err = %v", recs, err)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	recs := []Record{
+		{At: time.Second, Src: 1, Dst: packet.Broadcast, Kind: packet.FrameData,
+			Payload: &packet.Packet{Kind: packet.TypeData, Src: 1, Group: 2, Seq: 7}},
+		{At: time.Second, Src: 2, Dst: 3, Kind: packet.FrameRTS, NAV: time.Millisecond},
+	}
+	if s := recs[0].String(); !strings.Contains(s, "DATA") || !strings.Contains(s, "n1") {
+		t.Fatalf("data record string = %q", s)
+	}
+	if s := recs[1].String(); !strings.Contains(s, "RTS") || !strings.Contains(s, "nav=1ms") {
+		t.Fatalf("control record string = %q", s)
+	}
+}

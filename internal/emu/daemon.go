@@ -1,0 +1,165 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"meshcast/internal/linkquality"
+	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
+	"meshcast/internal/packet"
+)
+
+// DaemonConfig configures one odmrpd instance.
+type DaemonConfig struct {
+	// ID is this daemon's node ID (unique per ether).
+	ID packet.NodeID
+	// EtherAddr is the ether server's UDP address.
+	EtherAddr string
+	// Metric selects the routing metric.
+	Metric metric.Kind
+	// JoinGroups lists groups to join as a receiver.
+	JoinGroups []packet.GroupID
+	// SourceGroups lists groups to source CBR traffic into.
+	SourceGroups []packet.GroupID
+	// PayloadBytes and SendInterval shape the CBR flow (512 B, 50 ms).
+	PayloadBytes int
+	SendInterval time.Duration
+	// Seed drives protocol randomness.
+	Seed uint64
+}
+
+// DeliveredPacket records one data packet delivered to the daemon's
+// application layer.
+type DeliveredPacket struct {
+	Group packet.GroupID
+	Src   packet.NodeID
+	Seq   uint32
+	// At is the wall-clock arrival time.
+	At time.Time
+}
+
+// Daemon is a live ODMRP node: the paper's odmrpd (§5.2) over the emulated
+// ether. It reuses the simulator's protocol components unchanged, driven in
+// real time.
+type Daemon struct {
+	cfg    DaemonConfig
+	conn   *NodeConn
+	driver *Driver
+	router *odmrp.Router
+	prober *linkquality.Prober
+	table  *linkquality.Table
+
+	mu        sync.Mutex
+	delivered []DeliveredPacket
+	sent      uint64
+}
+
+// NewDaemon connects to the ether and assembles the protocol stack. Call
+// Run to start it.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = 512
+	}
+	if cfg.SendInterval == 0 {
+		cfg.SendInterval = 50 * time.Millisecond
+	}
+	pm, err := metric.New(cfg.Metric)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := Dial(cfg.ID, cfg.EtherAddr)
+	if err != nil {
+		return nil, err
+	}
+	driver := NewDriver(cfg.Seed)
+	engine := driver.Engine()
+
+	table := linkquality.NewTable(cfg.PayloadBytes, linkquality.DefaultWindowSize, 2*time.Minute)
+	prober := linkquality.NewProber(engine, cfg.ID, linkquality.ConfigFor(cfg.Metric))
+	params := odmrp.DefaultParams()
+	if cfg.Metric == metric.MinHop {
+		params = odmrp.OriginalParams()
+	}
+	router := odmrp.New(engine, cfg.ID, pm, table, params)
+
+	d := &Daemon{cfg: cfg, conn: conn, driver: driver, router: router, prober: prober, table: table}
+	prober.Send = conn.Send
+	router.Send = conn.Send
+	router.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+		d.mu.Lock()
+		d.delivered = append(d.delivered, DeliveredPacket{
+			Group: p.Group, Src: p.Src, Seq: p.Seq, At: time.Now(),
+		})
+		d.mu.Unlock()
+	}
+	conn.OnPacket = func(p *packet.Packet, from packet.NodeID) {
+		driver.Inject(func() { d.dispatch(p, from) })
+	}
+	return d, nil
+}
+
+func (d *Daemon) dispatch(p *packet.Packet, from packet.NodeID) {
+	if linkquality.HandleProbe(d.table, p, from, d.driver.Engine().Now()) {
+		return
+	}
+	d.router.Handle(p, from)
+}
+
+// Run starts probing, group membership, and traffic, and drives the daemon
+// until ctx is canceled.
+func (d *Daemon) Run(ctx context.Context) {
+	engine := d.driver.Engine()
+	engine.Schedule(0, func() {
+		d.prober.Start()
+		for _, g := range d.cfg.JoinGroups {
+			d.router.JoinGroup(g)
+		}
+		for _, g := range d.cfg.SourceGroups {
+			g := g
+			d.router.StartSource(g)
+			// CBR flow: plain ticker on the driver's engine.
+			scheduleCBR(d, g)
+		}
+	})
+	d.driver.Run(ctx)
+}
+
+func scheduleCBR(d *Daemon, g packet.GroupID) {
+	var tick func()
+	tick = func() {
+		d.router.SendData(g, d.cfg.PayloadBytes)
+		d.mu.Lock()
+		d.sent++
+		d.mu.Unlock()
+		d.driver.Engine().Schedule(d.cfg.SendInterval, tick)
+	}
+	d.driver.Engine().Schedule(d.cfg.SendInterval, tick)
+}
+
+// Close tears the daemon's connection down.
+func (d *Daemon) Close() error { return d.conn.Close() }
+
+// Delivered returns a snapshot of the packets delivered so far.
+func (d *Daemon) Delivered() []DeliveredPacket {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DeliveredPacket, len(d.delivered))
+	copy(out, d.delivered)
+	return out
+}
+
+// SentCount returns the number of data packets this daemon originated.
+func (d *Daemon) SentCount() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sent
+}
+
+// Summary formats a one-line status.
+func (d *Daemon) Summary() string {
+	return fmt.Sprintf("odmrpd id=%v metric=%v sent=%d delivered=%d",
+		d.cfg.ID, d.cfg.Metric, d.SentCount(), len(d.Delivered()))
+}

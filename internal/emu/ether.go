@@ -1,0 +1,297 @@
+// Package emu provides the real-time, real-socket substrate for running the
+// ODMRP daemon (cmd/odmrpd) outside the simulator, mirroring the paper's
+// testbed software architecture (§5.2): a user-level daemon exchanging UDP
+// broadcasts.
+//
+// Since an open office floor with Atheros radios is not available, the
+// wireless broadcast medium is emulated by an "ether" server: every daemon
+// registers with the ether over UDP, and each frame a daemon sends is
+// forwarded to every other registered daemon subject to a per-link delivery
+// probability. This keeps the daemons' code path identical to a broadcast
+// radio network — including loss and asymmetric links — while running over
+// loopback sockets in real time.
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"meshcast/internal/packet"
+)
+
+// Wire message kinds exchanged with the ether.
+const (
+	msgRegister byte = 'R'
+	msgFrame    byte = 'F'
+)
+
+// LinkTable holds per-link delivery probabilities for the emulated medium.
+// Missing entries fall back to DefaultDF. Links are directional: use Set
+// twice for a symmetric link.
+type LinkTable struct {
+	// DefaultDF applies to pairs without an explicit entry. 1.0 gives a
+	// perfect shared medium; 0 disconnects unknown pairs.
+	DefaultDF float64
+
+	mu sync.RWMutex
+	df map[[2]packet.NodeID]float64
+}
+
+// NewLinkTable returns a table with the given default delivery probability.
+func NewLinkTable(defaultDF float64) *LinkTable {
+	return &LinkTable{DefaultDF: defaultDF, df: make(map[[2]packet.NodeID]float64)}
+}
+
+// Set fixes the delivery probability for the directed pair from → to.
+func (t *LinkTable) Set(from, to packet.NodeID, df float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.df[[2]packet.NodeID{from, to}] = df
+}
+
+// SetSymmetric fixes both directions.
+func (t *LinkTable) SetSymmetric(a, b packet.NodeID, df float64) {
+	t.Set(a, b, df)
+	t.Set(b, a, df)
+}
+
+// DF returns the delivery probability for from → to.
+func (t *LinkTable) DF(from, to packet.NodeID) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if v, ok := t.df[[2]packet.NodeID{from, to}]; ok {
+		return v
+	}
+	return t.DefaultDF
+}
+
+// EtherStats counts ether activity.
+type EtherStats struct {
+	FramesIn, FramesOut, FramesDropped uint64
+}
+
+// Ether is the emulated broadcast medium: a UDP server that fans every
+// received frame out to all other registered daemons, applying per-link
+// loss.
+type Ether struct {
+	links *LinkTable
+
+	conn *net.UDPConn
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	clients map[packet.NodeID]*net.UDPAddr
+	stats   EtherStats
+
+	done chan struct{}
+}
+
+// NewEther starts an ether listening on addr (e.g. "127.0.0.1:0"). The
+// returned Ether is already serving; call Close to stop it.
+func NewEther(addr string, links *LinkTable, seed int64) (*Ether, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: listen: %w", err)
+	}
+	e := &Ether{
+		links:   links,
+		conn:    conn,
+		rng:     rand.New(rand.NewSource(seed)),
+		clients: make(map[packet.NodeID]*net.UDPAddr),
+		done:    make(chan struct{}),
+	}
+	go e.serve()
+	return e, nil
+}
+
+// Addr returns the ether's listening address.
+func (e *Ether) Addr() string { return e.conn.LocalAddr().String() }
+
+// Stats returns a snapshot of the ether counters.
+func (e *Ether) Stats() EtherStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Clients returns the currently registered node IDs.
+func (e *Ether) Clients() []packet.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]packet.NodeID, 0, len(e.clients))
+	for id := range e.clients {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close stops the ether and waits for its serve loop to exit.
+func (e *Ether) Close() error {
+	err := e.conn.Close()
+	<-e.done
+	return err
+}
+
+func (e *Ether) serve() {
+	defer close(e.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if n < 3 {
+			continue
+		}
+		kind := buf[0]
+		id := packet.NodeID(binary.BigEndian.Uint16(buf[1:3]))
+		switch kind {
+		case msgRegister:
+			e.mu.Lock()
+			e.clients[id] = from
+			e.mu.Unlock()
+		case msgFrame:
+			e.fanOut(id, buf[:n])
+		}
+	}
+}
+
+// fanOut forwards a frame to every other client, applying per-link loss.
+func (e *Ether) fanOut(sender packet.NodeID, frame []byte) {
+	e.mu.Lock()
+	e.stats.FramesIn++
+	targets := make(map[packet.NodeID]*net.UDPAddr, len(e.clients))
+	for id, addr := range e.clients {
+		if id != sender {
+			targets[id] = addr
+		}
+	}
+	e.mu.Unlock()
+
+	for id, addr := range targets {
+		if e.links.DF(sender, id) < 1 && e.randFloat() >= e.links.DF(sender, id) {
+			e.mu.Lock()
+			e.stats.FramesDropped++
+			e.mu.Unlock()
+			continue
+		}
+		if _, err := e.conn.WriteToUDP(frame, addr); err == nil {
+			e.mu.Lock()
+			e.stats.FramesOut++
+			e.mu.Unlock()
+		}
+	}
+}
+
+func (e *Ether) randFloat() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Float64()
+}
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("emu: connection closed")
+
+// NodeConn is a daemon's connection to the ether.
+type NodeConn struct {
+	id   packet.NodeID
+	conn *net.UDPConn
+
+	// OnPacket is invoked from the receive goroutine for every decoded
+	// packet. Set it before the first Send. The callback must be
+	// thread-safe (daemons inject into their real-time driver).
+	OnPacket func(p *packet.Packet, from packet.NodeID)
+
+	closed chan struct{}
+	done   chan struct{}
+}
+
+// Dial connects node id to the ether at addr and registers it.
+func Dial(id packet.NodeID, addr string) (*NodeConn, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: dial: %w", err)
+	}
+	nc := &NodeConn{
+		id:     id,
+		conn:   conn,
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	reg := make([]byte, 3)
+	reg[0] = msgRegister
+	binary.BigEndian.PutUint16(reg[1:], uint16(id))
+	if _, err := conn.Write(reg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("emu: register: %w", err)
+	}
+	go nc.receive()
+	return nc, nil
+}
+
+// Send broadcasts a packet through the ether. Safe for use from one
+// goroutine at a time (the daemon's driver goroutine).
+func (c *NodeConn) Send(p *packet.Packet) bool {
+	select {
+	case <-c.closed:
+		return false
+	default:
+	}
+	wire, err := p.MarshalBinary()
+	if err != nil {
+		return false
+	}
+	frame := make([]byte, 3+len(wire))
+	frame[0] = msgFrame
+	binary.BigEndian.PutUint16(frame[1:], uint16(c.id))
+	copy(frame[3:], wire)
+	_, err = c.conn.Write(frame)
+	return err == nil
+}
+
+func (c *NodeConn) receive() {
+	defer close(c.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		if n < 3 || buf[0] != msgFrame {
+			continue
+		}
+		sender := packet.NodeID(binary.BigEndian.Uint16(buf[1:3]))
+		var p packet.Packet
+		if err := p.UnmarshalBinary(buf[3:n]); err != nil {
+			continue
+		}
+		if c.OnPacket != nil {
+			c.OnPacket(&p, sender)
+		}
+	}
+}
+
+// Close shuts the connection down and waits for the receive goroutine.
+func (c *NodeConn) Close() error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+		close(c.closed)
+	}
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,163 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/testbed"
+)
+
+// Fleet runs a whole testbed scenario as live daemons over one in-process
+// ether: every node is a real odmrpd instance exchanging UDP datagrams in
+// real time. This is the closest this repository gets to the paper's
+// physical experiment — same protocol code, real sockets, real clocks —
+// at the cost of running in wall-clock time.
+type Fleet struct {
+	ether   *Ether
+	daemons map[packet.NodeID]*Daemon
+	groups  []testbed.GroupSpec
+}
+
+// FleetConfig configures a live fleet.
+type FleetConfig struct {
+	// Scenario supplies nodes, links and groups (e.g.
+	// testbed.PaperScenario() or a generated floor).
+	Scenario testbed.Scenario
+	// Metric selects the routing metric for every daemon.
+	Metric metric.Kind
+	// LossyDF / LowLossDF map link classes to delivery probabilities
+	// (defaults 0.5 and 0.95).
+	LossyDF, LowLossDF float64
+	// SendInterval is each source's CBR gap (default 50 ms).
+	SendInterval time.Duration
+	// Seed drives the ether's loss draws and protocol randomness.
+	Seed uint64
+}
+
+// NewFleet starts the ether and connects one daemon per scenario node.
+// Call Run to start the protocol and traffic; Close to tear down.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.LossyDF == 0 {
+		cfg.LossyDF = 0.5
+	}
+	if cfg.LowLossDF == 0 {
+		cfg.LowLossDF = 0.95
+	}
+	links := NewLinkTable(0) // non-adjacent nodes cannot hear each other
+	for _, l := range cfg.Scenario.Links {
+		df := cfg.LowLossDF
+		if l.Class == testbed.Lossy {
+			df = cfg.LossyDF
+		}
+		links.SetSymmetric(l.A, l.B, df)
+	}
+	ether, err := NewEther("127.0.0.1:0", links, int64(cfg.Seed)+1)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Fleet{
+		ether:   ether,
+		daemons: make(map[packet.NodeID]*Daemon, len(cfg.Scenario.Nodes)),
+		groups:  cfg.Scenario.Groups,
+	}
+	joins := make(map[packet.NodeID][]packet.GroupID)
+	sources := make(map[packet.NodeID][]packet.GroupID)
+	for _, g := range cfg.Scenario.Groups {
+		sources[g.Source] = append(sources[g.Source], g.Group)
+		for _, m := range g.Members {
+			joins[m] = append(joins[m], g.Group)
+		}
+	}
+	for _, id := range cfg.Scenario.Nodes {
+		d, err := NewDaemon(DaemonConfig{
+			ID:           id,
+			EtherAddr:    ether.Addr(),
+			Metric:       cfg.Metric,
+			JoinGroups:   joins[id],
+			SourceGroups: sources[id],
+			SendInterval: cfg.SendInterval,
+			Seed:         cfg.Seed*1000 + uint64(id),
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet daemon %v: %w", id, err)
+		}
+		f.daemons[id] = d
+	}
+	return f, nil
+}
+
+// Run drives every daemon until ctx is canceled (wall-clock time).
+func (f *Fleet) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, d := range f.daemons {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Run(ctx)
+		}()
+	}
+	wg.Wait()
+}
+
+// FleetResult summarizes a fleet run.
+type FleetResult struct {
+	// Sent maps sources to packets originated.
+	Sent map[packet.NodeID]uint64
+	// Received maps each member to packets delivered per source.
+	Received map[packet.NodeID]map[packet.NodeID]int
+	// PDR is the mean delivery ratio over all (source, member) pairs.
+	PDR float64
+}
+
+// Result collects the per-daemon outcomes.
+func (f *Fleet) Result() FleetResult {
+	res := FleetResult{
+		Sent:     make(map[packet.NodeID]uint64),
+		Received: make(map[packet.NodeID]map[packet.NodeID]int),
+	}
+	for id, d := range f.daemons {
+		if n := d.SentCount(); n > 0 {
+			res.Sent[id] = n
+		}
+		for _, p := range d.Delivered() {
+			if res.Received[id] == nil {
+				res.Received[id] = make(map[packet.NodeID]int)
+			}
+			res.Received[id][p.Src]++
+		}
+	}
+	var sum float64
+	var n int
+	for _, g := range f.groups {
+		sent := res.Sent[g.Source]
+		if sent == 0 {
+			continue
+		}
+		for _, m := range g.Members {
+			sum += float64(res.Received[m][g.Source]) / float64(sent)
+			n++
+		}
+	}
+	if n > 0 {
+		res.PDR = sum / float64(n)
+	}
+	return res
+}
+
+// Daemon returns the live daemon for a node (tests and diagnostics).
+func (f *Fleet) Daemon(id packet.NodeID) *Daemon { return f.daemons[id] }
+
+// Close shuts every daemon and the ether down.
+func (f *Fleet) Close() {
+	for _, d := range f.daemons {
+		d.Close()
+	}
+	f.ether.Close()
+}

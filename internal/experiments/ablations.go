@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
+	"meshcast/internal/propagation"
+)
+
+// FadingAblation quantifies how much of the paper's headline result depends
+// on fading (DESIGN.md decision 2): it reruns the throughput comparison with
+// Rayleigh fading disabled. Without fading, links inside the 250 m disc are
+// perfect, min-hop paths are no longer lossy, and the gains should collapse
+// toward 1.0.
+type FadingAblation struct {
+	WithFading, WithoutFading *PaperSims
+}
+
+// RunFadingAblation runs the SPP-vs-baseline comparison with and without
+// fading.
+func RunFadingAblation(o Options) (*FadingAblation, error) {
+	o.Metrics = []metric.Kind{metric.SPP}
+	with, err := RunPaperSims(o)
+	if err != nil {
+		return nil, err
+	}
+	o.Fading = propagation.NoFading{}
+	without, err := RunPaperSims(o)
+	if err != nil {
+		return nil, err
+	}
+	return &FadingAblation{WithFading: with, WithoutFading: without}, nil
+}
+
+// DeltaAlphaPoint is one (δ, α) configuration's outcome.
+type DeltaAlphaPoint struct {
+	Delta, Alpha  time.Duration
+	RelThroughput float64
+	// DupQueriesShare would require per-run counters; RelThroughput is the
+	// quantity the paper discusses (§3.1/§4.1: higher δ/α can add 3-4%).
+}
+
+// RunDeltaAlphaAblation sweeps the member wait δ and duplicate-forwarding
+// window α for one metric (DESIGN.md decision 3). The paper uses δ = 30 ms,
+// α = 20 ms and reports that much larger values buy an extra 3-4%.
+func RunDeltaAlphaAblation(o Options, k metric.Kind, points []struct{ Delta, Alpha time.Duration }) ([]DeltaAlphaPoint, error) {
+	out := make([]DeltaAlphaPoint, 0, len(points))
+	for _, pt := range points {
+		params := odmrp.DefaultParams()
+		params.MemberDelta = pt.Delta
+		params.DupAlpha = pt.Alpha
+		opts := o
+		opts.Metrics = []metric.Kind{k}
+		opts.ODMRP = &params
+		sims, err := RunPaperSims(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DeltaAlphaPoint{
+			Delta:         pt.Delta,
+			Alpha:         pt.Alpha,
+			RelThroughput: sims.Rows[0].RelThroughput,
+		})
+	}
+	return out, nil
+}
+
+// HistoryPoint is one estimator-history configuration's outcome.
+type HistoryPoint struct {
+	Metric metric.Kind
+	// WindowSize is the loss-window length (ETX-family) in probes.
+	WindowSize int
+	// HistoryWeight is PP's EWMA weight.
+	HistoryWeight float64
+	RelThroughput float64
+}
+
+// RunHistoryAblation varies the estimator history length (DESIGN.md
+// decision 4): the loss-window size for SPP and the EWMA history weight for
+// PP. Short histories react fast but flap; long histories remember lossy
+// episodes — the asymmetry behind the PP-vs-SPP flip between simulation and
+// testbed (§5.3).
+func RunHistoryAblation(o Options) ([]HistoryPoint, error) {
+	var out []HistoryPoint
+	for _, w := range []int{3, 10, 30} {
+		opts := o
+		opts.Metrics = []metric.Kind{metric.SPP}
+		opts.WindowSize = w
+		sims, err := RunPaperSims(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HistoryPoint{
+			Metric:        metric.SPP,
+			WindowSize:    w,
+			RelThroughput: sims.Rows[0].RelThroughput,
+		})
+	}
+	for _, hw := range []float64{0.5, 0.9, 0.97} {
+		opts := o
+		opts.Metrics = []metric.Kind{metric.PP}
+		opts.PairHistoryWeight = hw
+		sims, err := RunPaperSims(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HistoryPoint{
+			Metric:        metric.PP,
+			HistoryWeight: hw,
+			RelThroughput: sims.Rows[0].RelThroughput,
+		})
+	}
+	return out, nil
+}
+
+// MultiSourceComparison contrasts single-source and multi-source groups
+// (paper §4.3): with several sources per group the forwarding mesh gets
+// redundant and the baseline catches up, shrinking the relative gains.
+type MultiSourceComparison struct {
+	SingleSource, MultiSource *PaperSims
+	SourcesPerGroup           int
+}
+
+// RunMultiSource runs the comparison with the given number of sources per
+// group (the paper discusses 2-3).
+func RunMultiSource(o Options, sourcesPerGroup int) (*MultiSourceComparison, error) {
+	single := o
+	single.SourcesPerGroup = 1
+	s, err := RunPaperSims(single)
+	if err != nil {
+		return nil, err
+	}
+	multi := o
+	multi.SourcesPerGroup = sourcesPerGroup
+	m, err := RunPaperSims(multi)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiSourceComparison{SingleSource: s, MultiSource: m, SourcesPerGroup: sourcesPerGroup}, nil
+}

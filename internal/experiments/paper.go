@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
+	"meshcast/internal/propagation"
+)
+
+// Options scales the paper experiments. The full paper configuration is
+// expensive (~10 s of wall clock per simulated run); benches use Quick.
+type Options struct {
+	// Seeds lists the random topologies to average over (paper: 10).
+	Seeds []uint64
+	// TrafficSeconds is the measured traffic window (paper: 400).
+	TrafficSeconds int
+	// WarmupSeconds is the probe head start before traffic (100).
+	WarmupSeconds int
+	// ProbeRateFactor scales probing (1 = paper, 5 = high overhead, 0.1 =
+	// low overhead).
+	ProbeRateFactor float64
+	// SourcesPerGroup (paper: 1 for §4.2, >1 for §4.3).
+	SourcesPerGroup int
+	// Fading overrides the fading model (nil = Rayleigh).
+	Fading propagation.Fading
+	// Metrics lists the link-quality metrics to evaluate (nil = all five).
+	Metrics []metric.Kind
+	// ODMRP optionally overrides protocol parameters for the link-quality
+	// variants (δ/α ablation).
+	ODMRP *odmrp.Params
+	// WindowSize / PairHistoryWeight feed the estimator-history ablation.
+	WindowSize        int
+	PairHistoryWeight float64
+}
+
+// FullOptions reproduces the paper's §4.1 configuration: 10 random
+// topologies, 400 s of measured traffic.
+func FullOptions() Options {
+	return Options{
+		Seeds:           []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		TrafficSeconds:  400,
+		WarmupSeconds:   100,
+		ProbeRateFactor: 1,
+		SourcesPerGroup: 1,
+	}
+}
+
+// QuickOptions is a reduced configuration for benchmarks and CI: 3 seeds,
+// 150 s of traffic. The metric ordering is preserved; confidence intervals
+// are wider.
+func QuickOptions() Options {
+	o := FullOptions()
+	o.Seeds = []uint64{1, 2, 3}
+	o.TrafficSeconds = 150
+	return o
+}
+
+// Aggregate is one metric's averaged outcome, normalized against the
+// original-ODMRP baseline run on the same seeds.
+type Aggregate struct {
+	Metric metric.Kind
+	// RelThroughput is mean PDR(metric)/PDR(baseline), the paper's Figure
+	// 2 quantity.
+	RelThroughput float64
+	// RelThroughputStderr is the standard error over seeds.
+	RelThroughputStderr float64
+	// RelDelay is mean delay(metric)/delay(baseline).
+	RelDelay float64
+	// AbsPDR and AbsDelaySeconds are unnormalized means.
+	AbsPDR, AbsDelaySeconds float64
+	// OverheadPct is probe bytes / data bytes received × 100 (Table 1).
+	OverheadPct float64
+}
+
+// PaperSims holds the outcome of one sweep over all metrics.
+type PaperSims struct {
+	// BaselinePDR is the original ODMRP's mean absolute PDR.
+	BaselinePDR float64
+	// BaselineDelaySeconds is the baseline's mean end-to-end delay.
+	BaselineDelaySeconds float64
+	// Rows has one entry per link-quality metric, in metric.LinkQuality
+	// order.
+	Rows []Aggregate
+}
+
+// scenarioFor builds the run config for one (metric, seed) cell.
+func (o Options) scenarioFor(k metric.Kind, seed uint64) (ScenarioConfig, error) {
+	sources := o.SourcesPerGroup
+	if sources < 1 {
+		sources = 1
+	}
+	cfg, err := DefaultScenarioWith(k, seed, sources, 10)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.TrafficStart = time.Duration(o.WarmupSeconds) * time.Second
+	cfg.Duration = cfg.TrafficStart + time.Duration(o.TrafficSeconds)*time.Second
+	if o.ProbeRateFactor > 0 {
+		cfg.ProbeRateFactor = o.ProbeRateFactor
+	}
+	if o.Fading != nil {
+		cfg.Fading = o.Fading
+	}
+	if k != metric.MinHop {
+		if o.ODMRP != nil {
+			cfg.ODMRP = o.ODMRP
+		}
+		cfg.WindowSize = o.WindowSize
+		cfg.PairHistoryWeight = o.PairHistoryWeight
+	}
+	return cfg, nil
+}
+
+// RunPaperSims runs the baseline and every requested metric over all seeds
+// and aggregates the Figure 2 / Table 1 quantities.
+func RunPaperSims(o Options) (*PaperSims, error) {
+	metrics := o.Metrics
+	if metrics == nil {
+		metrics = metric.LinkQuality()
+	}
+	type baseRun struct{ pdr, delay float64 }
+	base := make(map[uint64]baseRun, len(o.Seeds))
+	var basePDRSum, baseDelaySum float64
+	for _, seed := range o.Seeds {
+		cfg, err := o.scenarioFor(metric.MinHop, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunScenario(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("baseline seed %d: %w", seed, err)
+		}
+		if res.Summary.PDR <= 0 {
+			return nil, fmt.Errorf("baseline seed %d delivered nothing", seed)
+		}
+		base[seed] = baseRun{res.Summary.PDR, res.Summary.MeanDelaySeconds}
+		basePDRSum += res.Summary.PDR
+		baseDelaySum += res.Summary.MeanDelaySeconds
+	}
+
+	out := &PaperSims{
+		BaselinePDR:          basePDRSum / float64(len(o.Seeds)),
+		BaselineDelaySeconds: baseDelaySum / float64(len(o.Seeds)),
+	}
+	for _, k := range metrics {
+		var rels []float64
+		var relDelaySum, absPDRSum, absDelaySum, ovhSum float64
+		for _, seed := range o.Seeds {
+			cfg, err := o.scenarioFor(k, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunScenario(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%v seed %d: %w", k, seed, err)
+			}
+			b := base[seed]
+			rels = append(rels, res.Summary.PDR/b.pdr)
+			if b.delay > 0 {
+				relDelaySum += res.Summary.MeanDelaySeconds / b.delay
+			}
+			absPDRSum += res.Summary.PDR
+			absDelaySum += res.Summary.MeanDelaySeconds
+			ovhSum += res.Summary.ProbeOverheadPct
+		}
+		n := float64(len(o.Seeds))
+		mean, stderr := meanStderr(rels)
+		out.Rows = append(out.Rows, Aggregate{
+			Metric:              k,
+			RelThroughput:       mean,
+			RelThroughputStderr: stderr,
+			RelDelay:            relDelaySum / n,
+			AbsPDR:              absPDRSum / n,
+			AbsDelaySeconds:     absDelaySum / n,
+			OverheadPct:         ovhSum / n,
+		})
+	}
+	return out, nil
+}
+
+// meanStderr returns the sample mean and its standard error.
+func meanStderr(xs []float64) (mean, stderr float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
+)
+
+// ProbeRatePoint is one probing-rate configuration's outcome.
+type ProbeRatePoint struct {
+	// Factor scales the paper's default probing rate.
+	Factor        float64
+	RelThroughput float64
+	OverheadPct   float64
+}
+
+// RunProbeRateSweep investigates the probing-rate tradeoff the paper leaves
+// as future work (§6 "we plan to investigate more about the optimal probing
+// rate"): more probes mean fresher link estimates but more interference.
+// The sweep reruns the throughput comparison for one metric at several rate
+// factors; the optimum sits where the two effects balance.
+func RunProbeRateSweep(o Options, k metric.Kind, factors []float64) ([]ProbeRatePoint, error) {
+	out := make([]ProbeRatePoint, 0, len(factors))
+	for _, factor := range factors {
+		opts := o
+		opts.Metrics = []metric.Kind{k}
+		opts.ProbeRateFactor = factor
+		sims, err := RunPaperSims(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ProbeRatePoint{
+			Factor:        factor,
+			RelThroughput: sims.Rows[0].RelThroughput,
+			OverheadPct:   sims.Rows[0].OverheadPct,
+		})
+	}
+	return out, nil
+}
+
+// ReliableReplyComparison contrasts the paper's fire-and-forget JOIN REPLY
+// with the passive-acknowledgment retransmission extension
+// (odmrp.Params.ReplyRetries) under the lossy testbed conditions where
+// reply loss actually breaks branches.
+type ReliableReplyComparison struct {
+	Baseline, Reliable *PaperSims
+}
+
+// RunReliableReplyComparison measures the extension's effect for one
+// metric.
+func RunReliableReplyComparison(o Options, k metric.Kind, retries int) (*ReliableReplyComparison, error) {
+	opts := o
+	opts.Metrics = []metric.Kind{k}
+	base, err := RunPaperSims(opts)
+	if err != nil {
+		return nil, err
+	}
+	params := odmrp.DefaultParams()
+	params.ReplyRetries = retries
+	opts.ODMRP = &params
+	rel, err := RunPaperSims(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ReliableReplyComparison{Baseline: base, Reliable: rel}, nil
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+)
+
+// smallScenario is a 12-node scenario short enough for unit tests.
+func smallScenario(t *testing.T, k metric.Kind, seed uint64, dur time.Duration) ScenarioConfig {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	topo, err := topology.RandomConnected(rng, 12, geom.Square(500), 250, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ScenarioConfig{
+		Seed:            seed,
+		Metric:          k,
+		Topology:        topo,
+		Duration:        dur,
+		Groups:          []GroupSpec{{Group: 1, Sources: []int{0}, Members: []int{5, 9, 11}}},
+		PayloadBytes:    512,
+		SendInterval:    50 * time.Millisecond,
+		ProbeRateFactor: 1,
+		TrafficStart:    time.Second,
+	}
+}
+
+func TestRunScenarioDeliversData(t *testing.T) {
+	for _, k := range []metric.Kind{metric.MinHop, metric.SPP} {
+		t.Run(k.String(), func(t *testing.T) {
+			res, err := RunScenario(smallScenario(t, k, 7, 30*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Summary.PacketsSent == 0 {
+				t.Fatal("no packets sent")
+			}
+			if res.Summary.PDR <= 0.2 {
+				t.Fatalf("PDR = %v, expected meaningful delivery", res.Summary.PDR)
+			}
+			if res.Summary.PDR > 1.0001 {
+				t.Fatalf("PDR = %v > 1", res.Summary.PDR)
+			}
+			if res.Summary.MeanDelaySeconds <= 0 {
+				t.Fatal("no delay measured")
+			}
+			if len(res.PerMember) != 3 {
+				t.Fatalf("per-member entries = %d, want 3", len(res.PerMember))
+			}
+		})
+	}
+}
+
+func TestRunScenarioDeterministic(t *testing.T) {
+	a, err := RunScenario(smallScenario(t, metric.SPP, 11, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(smallScenario(t, metric.SPP, 11, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Fatalf("same seed produced different summaries:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Events, b.Events)
+	}
+}
+
+func TestRunScenarioSeedSensitivity(t *testing.T) {
+	a, err := RunScenario(smallScenario(t, metric.SPP, 11, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallScenario(t, metric.SPP, 11, 20*time.Second)
+	cfg.Seed = 12
+	b, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary == b.Summary {
+		t.Fatal("different seeds produced identical summaries")
+	}
+}
+
+func TestRunScenarioProbeOverheadByMode(t *testing.T) {
+	spp, err := RunScenario(smallScenario(t, metric.SPP, 5, 60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := RunScenario(smallScenario(t, metric.PP, 5, 60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minhop, err := RunScenario(smallScenario(t, metric.MinHop, 5, 60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minhop.ProbeBytes != 0 {
+		t.Fatalf("MinHop sent %d probe bytes, want 0", minhop.ProbeBytes)
+	}
+	if spp.ProbeBytes == 0 || pp.ProbeBytes == 0 {
+		t.Fatal("probing metrics sent no probes")
+	}
+	if pp.ProbeBytes <= spp.ProbeBytes {
+		t.Fatalf("pair probing bytes (%d) should exceed single probing (%d)", pp.ProbeBytes, spp.ProbeBytes)
+	}
+}
+
+func TestRunScenarioProbeRateFactor(t *testing.T) {
+	base, err := RunScenario(smallScenario(t, metric.SPP, 5, 60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallScenario(t, metric.SPP, 5, 60*time.Second)
+	cfg.ProbeRateFactor = 5
+	high, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(high.ProbeBytes) / float64(base.ProbeBytes)
+	if ratio < 3.5 || ratio > 6.5 {
+		t.Fatalf("5x probe rate produced %.1fx bytes", ratio)
+	}
+}
+
+func TestRunScenarioNoFadingAblation(t *testing.T) {
+	cfg := smallScenario(t, metric.MinHop, 5, 30*time.Second)
+	cfg.Fading = propagation.NoFading{}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without fading and light load, a connected 12-node mesh delivers
+	// nearly everything even under min-hop routing.
+	if res.Summary.PDR < 0.9 {
+		t.Fatalf("no-fading PDR = %v, want > 0.9", res.Summary.PDR)
+	}
+}
+
+func TestRunScenarioRequiresTopology(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{}); err == nil {
+		t.Fatal("expected error for missing topology")
+	}
+}
+
+func TestDefaultScenarioShape(t *testing.T) {
+	cfg, err := DefaultScenario(metric.SPP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.NodeCount() != 50 {
+		t.Fatalf("nodes = %d, want 50", cfg.Topology.NodeCount())
+	}
+	if len(cfg.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(cfg.Groups))
+	}
+	for _, g := range cfg.Groups {
+		if len(g.Sources) != 1 || len(g.Members) != 10 {
+			t.Fatalf("group shape = %d sources, %d members", len(g.Sources), len(g.Members))
+		}
+		for _, m := range g.Members {
+			if m == g.Sources[0] {
+				t.Fatal("source is its own member")
+			}
+		}
+	}
+	if cfg.Duration-cfg.TrafficStart != 400*time.Second {
+		t.Fatalf("traffic window = %v, want 400s", cfg.Duration-cfg.TrafficStart)
+	}
+}
+
+func TestRunScenarioDelayPercentiles(t *testing.T) {
+	res, err := RunScenario(smallScenario(t, metric.SPP, 7, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Delay
+	if d.Count == 0 {
+		t.Fatal("no delay samples")
+	}
+	if d.P50 <= 0 || d.P50 > d.P90 || d.P90 > d.P99 || d.P99 > d.Max {
+		t.Fatalf("percentiles not ordered: %+v", d)
+	}
+	if d.Count != int(res.Summary.PacketsDelivered) {
+		t.Fatalf("delay samples %d != delivered %d", d.Count, res.Summary.PacketsDelivered)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+)
+
+// Spec is a declarative, JSON-serializable scenario description — the
+// shareable artifact behind a reproducible experiment. Either Nodes (explicit
+// positions) or RandomNodes must be set.
+type Spec struct {
+	Seed uint64 `json:"seed"`
+	// Metric is a metric name as printed by metric.Kind ("spp", "minhop"...).
+	Metric string `json:"metric"`
+	// Fading is "rayleigh" (default), "none", or "shadowed-rayleigh"
+	// (log-normal shadowing, ShadowSigmaDB, composed with Rayleigh).
+	Fading             string  `json:"fading,omitempty"`
+	ShadowSigmaDB      float64 `json:"shadowSigmaDB,omitempty"`
+	TrafficSeconds     int     `json:"trafficSeconds"`
+	WarmupSeconds      int     `json:"warmupSeconds"`
+	PayloadBytes       int     `json:"payloadBytes,omitempty"`
+	SendIntervalMillis int     `json:"sendIntervalMillis,omitempty"`
+	ProbeRateFactor    float64 `json:"probeRateFactor,omitempty"`
+
+	// Nodes places routers explicitly.
+	Nodes []NodeSpec `json:"nodes,omitempty"`
+	// RandomNodes draws a connected random placement instead.
+	RandomNodes *RandomNodesSpec `json:"randomNodes,omitempty"`
+
+	Groups []GroupSpecJSON `json:"groups"`
+}
+
+// NodeSpec is one explicit node position in metres.
+type NodeSpec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// RandomNodesSpec requests a connected uniform random placement.
+type RandomNodesSpec struct {
+	Count  int     `json:"count"`
+	SideM  float64 `json:"sideM"`
+	RangeM float64 `json:"rangeM,omitempty"`
+}
+
+// GroupSpecJSON declares one multicast group by node index.
+type GroupSpecJSON struct {
+	Group   int   `json:"group"`
+	Sources []int `json:"sources"`
+	Members []int `json:"members"`
+}
+
+// LoadSpec reads a Spec from a JSON file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("load spec: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return Spec{}, fmt.Errorf("parse spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Save writes the spec as indented JSON.
+func (s Spec) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Scenario converts the spec into a runnable ScenarioConfig.
+func (s Spec) Scenario() (ScenarioConfig, error) {
+	kind, err := metric.ParseKind(s.Metric)
+	if err != nil {
+		return ScenarioConfig{}, err
+	}
+	if s.TrafficSeconds <= 0 {
+		return ScenarioConfig{}, fmt.Errorf("spec: trafficSeconds must be positive")
+	}
+	if len(s.Groups) == 0 {
+		return ScenarioConfig{}, fmt.Errorf("spec: no groups declared")
+	}
+
+	var topo *topology.Topology
+	switch {
+	case len(s.Nodes) > 0 && s.RandomNodes != nil:
+		return ScenarioConfig{}, fmt.Errorf("spec: set either nodes or randomNodes, not both")
+	case len(s.Nodes) > 0:
+		positions := make([]geom.Point, len(s.Nodes))
+		for i, n := range s.Nodes {
+			positions[i] = geom.Point{X: n.X, Y: n.Y}
+		}
+		topo = &topology.Topology{Positions: positions}
+	case s.RandomNodes != nil:
+		r := s.RandomNodes
+		rangeM := r.RangeM
+		if rangeM == 0 {
+			rangeM = 250
+		}
+		t, err := topology.RandomConnected(
+			sim.NewRNG(s.Seed^0x9e3779b97f4a7c15), r.Count, geom.Square(r.SideM), rangeM, 500)
+		if err != nil {
+			return ScenarioConfig{}, err
+		}
+		topo = t
+	default:
+		return ScenarioConfig{}, fmt.Errorf("spec: no nodes declared")
+	}
+
+	nodeCount := topo.NodeCount()
+	cfg := ScenarioConfig{
+		Seed:            s.Seed,
+		Metric:          kind,
+		Topology:        topo,
+		Duration:        time.Duration(s.WarmupSeconds+s.TrafficSeconds) * time.Second,
+		PayloadBytes:    s.PayloadBytes,
+		SendInterval:    time.Duration(s.SendIntervalMillis) * time.Millisecond,
+		ProbeRateFactor: s.ProbeRateFactor,
+		TrafficStart:    time.Duration(s.WarmupSeconds) * time.Second,
+	}
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = 512
+	}
+	if cfg.SendInterval == 0 {
+		cfg.SendInterval = 50 * time.Millisecond
+	}
+	if cfg.ProbeRateFactor == 0 {
+		cfg.ProbeRateFactor = 1
+	}
+	switch s.Fading {
+	case "", "rayleigh":
+		// default
+	case "none":
+		cfg.Fading = propagation.NoFading{}
+	case "shadowed-rayleigh":
+		sigma := s.ShadowSigmaDB
+		if sigma == 0 {
+			sigma = 6
+		}
+		cfg.Fading = propagation.Composite{propagation.LogNormal{SigmaDB: sigma}, propagation.Rayleigh{}}
+	default:
+		return ScenarioConfig{}, fmt.Errorf("spec: unknown fading %q (want rayleigh, none or shadowed-rayleigh)", s.Fading)
+	}
+	for _, g := range s.Groups {
+		if g.Group <= 0 || g.Group > 0xffff {
+			return ScenarioConfig{}, fmt.Errorf("spec: group id %d out of range", g.Group)
+		}
+		spec := GroupSpec{Group: packet.GroupID(g.Group)}
+		for _, src := range g.Sources {
+			if src < 0 || src >= nodeCount {
+				return ScenarioConfig{}, fmt.Errorf("spec: source index %d out of range [0,%d)", src, nodeCount)
+			}
+			spec.Sources = append(spec.Sources, src)
+		}
+		for _, m := range g.Members {
+			if m < 0 || m >= nodeCount {
+				return ScenarioConfig{}, fmt.Errorf("spec: member index %d out of range [0,%d)", m, nodeCount)
+			}
+			spec.Members = append(spec.Members, m)
+		}
+		if len(spec.Sources) == 0 || len(spec.Members) == 0 {
+			return ScenarioConfig{}, fmt.Errorf("spec: group %d needs sources and members", g.Group)
+		}
+		cfg.Groups = append(cfg.Groups, spec)
+	}
+	return cfg, nil
+}

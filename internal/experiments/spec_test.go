@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/propagation"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Seed:           7,
+		Metric:         "spp",
+		TrafficSeconds: 30,
+		WarmupSeconds:  10,
+		Nodes: []NodeSpec{
+			{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0},
+		},
+		Groups: []GroupSpecJSON{{Group: 1, Sources: []int{0}, Members: []int{2}}},
+	}
+}
+
+func TestSpecRoundTripThroughFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	orig := validSpec()
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != orig.Seed || loaded.Metric != orig.Metric ||
+		len(loaded.Nodes) != 3 || len(loaded.Groups) != 1 {
+		t.Fatalf("round trip mismatch: %+v", loaded)
+	}
+}
+
+func TestSpecScenarioExplicitNodes(t *testing.T) {
+	cfg, err := validSpec().Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metric != metric.SPP {
+		t.Fatalf("metric = %v", cfg.Metric)
+	}
+	if cfg.Topology.NodeCount() != 3 {
+		t.Fatalf("nodes = %d", cfg.Topology.NodeCount())
+	}
+	if cfg.Duration != 40*time.Second || cfg.TrafficStart != 10*time.Second {
+		t.Fatalf("timing = %v/%v", cfg.Duration, cfg.TrafficStart)
+	}
+	if cfg.PayloadBytes != 512 || cfg.SendInterval != 50*time.Millisecond || cfg.ProbeRateFactor != 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestSpecScenarioRandomNodes(t *testing.T) {
+	s := validSpec()
+	s.Nodes = nil
+	s.RandomNodes = &RandomNodesSpec{Count: 10, SideM: 500}
+	cfg, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.NodeCount() != 10 {
+		t.Fatalf("nodes = %d", cfg.Topology.NodeCount())
+	}
+	if !cfg.Topology.IsConnected(250) {
+		t.Fatal("random spec topology disconnected")
+	}
+}
+
+func TestSpecScenarioFadingNone(t *testing.T) {
+	s := validSpec()
+	s.Fading = "none"
+	cfg, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg.Fading.(propagation.NoFading); !ok {
+		t.Fatal("fading none not applied")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"bad metric":       func(s *Spec) { s.Metric = "bogus" },
+		"no traffic":       func(s *Spec) { s.TrafficSeconds = 0 },
+		"no groups":        func(s *Spec) { s.Groups = nil },
+		"no nodes":         func(s *Spec) { s.Nodes = nil },
+		"both node kinds":  func(s *Spec) { s.RandomNodes = &RandomNodesSpec{Count: 5, SideM: 300} },
+		"bad fading":       func(s *Spec) { s.Fading = "shadowing" },
+		"group id zero":    func(s *Spec) { s.Groups[0].Group = 0 },
+		"source oob":       func(s *Spec) { s.Groups[0].Sources = []int{9} },
+		"member oob":       func(s *Spec) { s.Groups[0].Members = []int{-1} },
+		"sourceless group": func(s *Spec) { s.Groups[0].Sources = nil },
+		"memberless group": func(s *Spec) { s.Groups[0].Members = nil },
+	}
+	for name, mutate := range cases {
+		s := validSpec()
+		mutate(&s)
+		if _, err := s.Scenario(); err == nil {
+			t.Fatalf("%s: validation passed", name)
+		}
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSpecRunsEndToEnd(t *testing.T) {
+	cfg, err := validSpec().Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PacketsSent == 0 {
+		t.Fatal("spec scenario sent nothing")
+	}
+}
+
+func TestSpecScenarioShadowedFading(t *testing.T) {
+	s := validSpec()
+	s.Fading = "shadowed-rayleigh"
+	s.ShadowSigmaDB = 8
+	cfg, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, ok := cfg.Fading.(propagation.Composite)
+	if !ok || len(comp) != 2 {
+		t.Fatalf("fading = %#v", cfg.Fading)
+	}
+	ln, ok := comp[0].(propagation.LogNormal)
+	if !ok || ln.SigmaDB != 8 {
+		t.Fatalf("shadowing component = %#v", comp[0])
+	}
+}

@@ -1,0 +1,56 @@
+// Package geom provides the small amount of 2-D geometry the mesh simulator
+// needs: points in metres, distances, and rectangular deployment regions.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the deployment plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between p and q in metres.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{X: p.X + dx, Y: p.Y + dy}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and Max the
+// upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// Square returns a side × side rectangle anchored at the origin. The paper's
+// simulation area is Square(1000).
+func Square(side float64) Rect {
+	return Rect{Max: Point{X: side, Y: side}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}

@@ -1,0 +1,77 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"horizontal", Point{0, 0}, Point{3, 0}, 3},
+		{"vertical", Point{0, 0}, Point{0, 4}, 4},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Distance(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Distance(b) == b.Distance(a)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareRect(t *testing.T) {
+	r := Square(1000)
+	if r.Width() != 1000 || r.Height() != 1000 {
+		t.Fatalf("Square(1000) = %v", r)
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{1000, 1000}) || !r.Contains(Point{500, 500}) {
+		t.Fatal("Square(1000) should contain corners and center")
+	}
+	if r.Contains(Point{-1, 500}) || r.Contains(Point{500, 1001}) {
+		t.Fatal("Square(1000) should not contain outside points")
+	}
+	if c := r.Center(); c.X != 500 || c.Y != 500 {
+		t.Fatalf("Center = %v, want (500,500)", c)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	p := Point{1, 2}.Add(3, -4)
+	if p.X != 4 || p.Y != -2 {
+		t.Fatalf("Add = %v", p)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Point{1.25, 3}).String(); s != "(1.2, 3.0)" && s != "(1.3, 3.0)" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,318 @@
+// Package metric implements the multicast routing metrics studied in the
+// paper: minimum hop count (original ODMRP) and the five link-quality
+// metrics adapted for link-layer broadcast — ETX, ETT, PP, METX and SPP
+// (paper §2.2).
+//
+// Because multicast data is broadcast at the link layer, all metrics here
+// use only the *forward* link quality (no ACKs flow backward) and must
+// account for the absence of retransmissions: a packet has one chance per
+// hop. That is why SPP — the product of per-link delivery probabilities — is
+// the natural fidelity measure of a path, and why METX uses a recurrence
+// over the remaining-path success probability rather than a simple sum.
+//
+// Each metric is a path-cost algebra: an initial cost at the source, an
+// accumulation step applied link by link as a JOIN QUERY travels, and a
+// comparison that orders candidate paths. Keeping the algebra abstract lets
+// the ODMRP implementation stay metric-agnostic.
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind names a routing metric.
+type Kind int
+
+// Available metrics.
+const (
+	// MinHop is the hop-count metric used by the original ODMRP.
+	MinHop Kind = iota + 1
+	// ETX is the expected transmission count adapted for broadcast:
+	// 1/df per link using only the forward delivery ratio, summed.
+	ETX
+	// ETT is the expected transmission time: ETX × packet-size/bandwidth
+	// per link, summed, with bandwidth estimated by packet pairs.
+	ETT
+	// PP is the packet-pair delay metric: a loss-penalized EWMA of the
+	// inter-arrival delay of a small/large probe pair, summed.
+	PP
+	// METX is the multicast ETX: total expected transmissions by all nodes
+	// on the path so that at least one packet survives to the receiver.
+	METX
+	// SPP is the success probability product: the probability that a
+	// packet crosses the whole path, to be maximized.
+	SPP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case MinHop:
+		return "minhop"
+	case ETX:
+		return "etx"
+	case ETT:
+		return "ett"
+	case PP:
+		return "pp"
+	case METX:
+		return "metx"
+	case SPP:
+		return "spp"
+	default:
+		return fmt.Sprintf("metric(%d)", int(k))
+	}
+}
+
+// ParseKind converts a metric name (as printed by Kind.String) back to a
+// Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range All() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("metric: unknown metric %q", s)
+}
+
+// All returns every metric kind in presentation order (the order used by
+// the paper's figures).
+func All() []Kind {
+	return []Kind{MinHop, ETT, ETX, METX, PP, SPP}
+}
+
+// LinkQuality() is the in-protocol metrics suite; kinds other than MinHop.
+func LinkQuality() []Kind {
+	return []Kind{ETT, ETX, METX, PP, SPP}
+}
+
+// LinkEstimate is the per-link measurement state a routing metric consumes.
+// The linkquality package maintains these from received probes; static
+// scenario graphs can also fill them directly.
+type LinkEstimate struct {
+	// DeliveryProb is the forward delivery probability df of the link as
+	// measured by the probe loss window.
+	DeliveryProb float64
+	// PairDelaySeconds is the loss-penalized EWMA of the packet-pair
+	// inter-arrival delay (PP's raw value).
+	PairDelaySeconds float64
+	// BandwidthBps is the link bandwidth estimated from the packet pair
+	// (large-probe size over inter-arrival time), used by ETT.
+	BandwidthBps float64
+	// PacketBytes is the nominal data packet size ETT converts to time.
+	PacketBytes int
+}
+
+// PathMetric is the path-cost algebra of one routing metric.
+type PathMetric interface {
+	// Kind identifies the metric.
+	Kind() Kind
+	// Initial returns the cost of the empty path at the source.
+	Initial() float64
+	// LinkCost converts a link measurement into this metric's per-link
+	// cost, the value a node adds when forwarding a JOIN QUERY.
+	LinkCost(e LinkEstimate) float64
+	// Accumulate extends pathCost by one link of cost linkCost. The link
+	// order is source → destination (METX's recurrence depends on it).
+	Accumulate(pathCost, linkCost float64) float64
+	// Better reports whether path cost a is strictly preferable to b.
+	Better(a, b float64) bool
+	// Worst returns a sentinel cost that any real path beats.
+	Worst() float64
+	// Usable reports whether a path cost corresponds to a usable path —
+	// one with no unmeasured or dead link. During warmup, before probes
+	// have populated the neighbor tables, accumulated costs are unusable
+	// and the protocol falls back to first-copy routing.
+	Usable(cost float64) bool
+}
+
+// New returns the PathMetric implementation for kind k.
+func New(k Kind) (PathMetric, error) {
+	switch k {
+	case MinHop:
+		return minHop{}, nil
+	case ETX:
+		return etx{}, nil
+	case ETT:
+		return ett{}, nil
+	case PP:
+		return pp{}, nil
+	case METX:
+		return metx{}, nil
+	case SPP:
+		return spp{}, nil
+	default:
+		return nil, fmt.Errorf("metric: unknown kind %d", int(k))
+	}
+}
+
+// MustNew is New for statically known kinds; it panics on an invalid kind.
+func MustNew(k Kind) PathMetric {
+	m, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PathCost folds a full path's link costs through m, source first.
+func PathCost(m PathMetric, linkCosts []float64) float64 {
+	c := m.Initial()
+	for _, lc := range linkCosts {
+		c = m.Accumulate(c, lc)
+	}
+	return c
+}
+
+// PathCostFromEstimates computes a path cost directly from per-link
+// measurements, source first.
+func PathCostFromEstimates(m PathMetric, links []LinkEstimate) float64 {
+	c := m.Initial()
+	for _, e := range links {
+		c = m.Accumulate(c, m.LinkCost(e))
+	}
+	return c
+}
+
+// ---- MinHop ----
+
+type minHop struct{}
+
+var _ PathMetric = minHop{}
+
+func (minHop) Kind() Kind                    { return MinHop }
+func (minHop) Initial() float64              { return 0 }
+func (minHop) LinkCost(LinkEstimate) float64 { return 1 }
+func (minHop) Accumulate(p, l float64) float64 {
+	return p + l
+}
+func (minHop) Better(a, b float64) bool { return a < b }
+func (minHop) Worst() float64           { return math.Inf(1) }
+func (minHop) Usable(c float64) bool    { return !math.IsInf(c, 1) }
+
+// ---- ETX ----
+
+type etx struct{}
+
+var _ PathMetric = etx{}
+
+func (etx) Kind() Kind       { return ETX }
+func (etx) Initial() float64 { return 0 }
+
+// LinkCost is 1/df. Unlike unicast ETX (1/(df·dr)), the reverse delivery
+// ratio dr is deliberately ignored: broadcast transfers have no link-layer
+// acknowledgment, so reverse quality would only distort the metric (§2.1).
+func (etx) LinkCost(e LinkEstimate) float64 {
+	if e.DeliveryProb <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / e.DeliveryProb
+}
+func (etx) Accumulate(p, l float64) float64 { return p + l }
+func (etx) Better(a, b float64) bool        { return a < b }
+func (etx) Worst() float64                  { return math.Inf(1) }
+func (etx) Usable(c float64) bool           { return !math.IsInf(c, 1) }
+
+// ---- ETT ----
+
+type ett struct{}
+
+var _ PathMetric = ett{}
+
+func (ett) Kind() Kind       { return ETT }
+func (ett) Initial() float64 { return 0 }
+
+// LinkCost is ETX × S/B seconds: the expected time to push one data packet
+// of S bytes across the link at the pair-estimated bandwidth B.
+func (ett) LinkCost(e LinkEstimate) float64 {
+	if e.DeliveryProb <= 0 || e.BandwidthBps <= 0 {
+		return math.Inf(1)
+	}
+	bits := float64(e.PacketBytes * 8)
+	return (1 / e.DeliveryProb) * bits / e.BandwidthBps
+}
+func (ett) Accumulate(p, l float64) float64 { return p + l }
+func (ett) Better(a, b float64) bool        { return a < b }
+func (ett) Worst() float64                  { return math.Inf(1) }
+func (ett) Usable(c float64) bool           { return !math.IsInf(c, 1) }
+
+// ---- PP ----
+
+type pp struct{}
+
+var _ PathMetric = pp{}
+
+func (pp) Kind() Kind       { return PP }
+func (pp) Initial() float64 { return 0 }
+
+// LinkCost is the loss-penalized packet-pair delay EWMA maintained by the
+// prober. On a persistently lossy link the repeated 20% penalties compound
+// and the cost grows exponentially — the property that makes PP aggressive
+// at avoiding bad links (§4.2.1).
+func (pp) LinkCost(e LinkEstimate) float64 {
+	if e.PairDelaySeconds <= 0 {
+		return math.Inf(1)
+	}
+	return e.PairDelaySeconds
+}
+func (pp) Accumulate(p, l float64) float64 { return p + l }
+func (pp) Better(a, b float64) bool        { return a < b }
+func (pp) Worst() float64                  { return math.Inf(1) }
+func (pp) Usable(c float64) bool           { return !math.IsInf(c, 1) }
+
+// ---- METX ----
+
+type metx struct{}
+
+var _ PathMetric = metx{}
+
+func (metx) Kind() Kind       { return METX }
+func (metx) Initial() float64 { return 0 }
+
+// LinkCost is the forward delivery probability df itself; the cost algebra
+// lives in Accumulate.
+func (metx) LinkCost(e LinkEstimate) float64 { return e.DeliveryProb }
+
+// Accumulate implements the recurrence C(s,d) = (C(s,u) + 1) / df(u,d)
+// (paper Eq. 1 with unit transmission energy): the expected total number of
+// transmissions by all path nodes for one packet to survive to the end.
+func (metx) Accumulate(p, l float64) float64 {
+	if l <= 0 {
+		return math.Inf(1)
+	}
+	return (p + 1) / l
+}
+func (metx) Better(a, b float64) bool { return a < b }
+func (metx) Worst() float64           { return math.Inf(1) }
+func (metx) Usable(c float64) bool    { return !math.IsInf(c, 1) }
+
+// ---- SPP ----
+
+type spp struct{}
+
+var _ PathMetric = spp{}
+
+func (spp) Kind() Kind       { return SPP }
+func (spp) Initial() float64 { return 1 }
+
+// LinkCost is the forward delivery probability df.
+func (spp) LinkCost(e LinkEstimate) float64 { return e.DeliveryProb }
+
+// Accumulate multiplies probabilities: the resulting path cost is the
+// probability that a broadcast packet traverses every link of the path.
+func (spp) Accumulate(p, l float64) float64 {
+	if l < 0 {
+		l = 0
+	}
+	return p * l
+}
+
+// Better prefers the higher success probability — SPP is the only metric
+// here that is maximized (§2.2).
+func (spp) Better(a, b float64) bool { return a > b }
+func (spp) Worst() float64           { return math.Inf(-1) }
+
+// Usable requires a strictly positive success probability: a zero product
+// means some link was dead or unmeasured.
+func (spp) Usable(c float64) bool { return c > 0 }

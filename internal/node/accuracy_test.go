@@ -1,0 +1,73 @@
+package node
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+)
+
+// buildLossyPair assembles two full-stack nodes joined by an oracle link
+// with fixed delivery probability df in both directions.
+func buildLossyPair(t *testing.T, k metric.Kind, df float64) (*sim.Engine, []*Node) {
+	t.Helper()
+	engine := sim.NewEngine(7)
+	params := phy.DefaultParams()
+	medium := phy.NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, params)
+	rng := engine.RNG().Split()
+	medium.SetLinkFunc(func(_, _ packet.NodeID, _ time.Duration, _ *sim.RNG) float64 {
+		if rng.Float64() < df {
+			return params.RxThresholdW * 100
+		}
+		return params.CSThresholdW * 3
+	})
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		nd, err := New(engine, medium, packet.NodeID(i), geom.Point{X: float64(i) * 10}, DefaultConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		nd.Start()
+	}
+	return engine, nodes
+}
+
+// TestLossWindowTracksTrueLossRate drives the full probe pipeline over an
+// oracle link with known delivery probability and checks the measured df
+// converges to it — the estimator accuracy everything else rests on.
+func TestLossWindowTracksTrueLossRate(t *testing.T) {
+	for _, df := range []float64{0.9, 0.6, 0.3} {
+		engine, nodes := buildLossyPair(t, metric.SPP, df)
+		engine.Run(600 * time.Second) // 120 probes; window covers the last 10
+		est := nodes[1].Table.Estimate(0, engine.Now())
+		if math.Abs(est.DeliveryProb-df) > 0.25 {
+			t.Fatalf("df=%v: estimated %v, outside tolerance", df, est.DeliveryProb)
+		}
+	}
+}
+
+// TestPairEstimatorInflatesOnLossyLink checks the PP pipeline end to end:
+// a lossy link's penalized delay EWMA must sit far above a clean link's.
+func TestPairEstimatorInflatesOnLossyLink(t *testing.T) {
+	engineClean, clean := buildLossyPair(t, metric.PP, 1.0)
+	engineClean.Run(600 * time.Second)
+	cleanDelay := clean[1].Table.Estimate(0, engineClean.Now()).PairDelaySeconds
+	if cleanDelay <= 0 {
+		t.Fatal("clean link has no pair delay estimate")
+	}
+
+	engineLossy, lossy := buildLossyPair(t, metric.PP, 0.5)
+	engineLossy.Run(600 * time.Second)
+	lossyDelay := lossy[1].Table.Estimate(0, engineLossy.Now()).PairDelaySeconds
+	if lossyDelay < 3*cleanDelay {
+		t.Fatalf("PP delay on 50%%-loss link = %v, clean = %v; penalties should inflate it heavily",
+			lossyDelay, cleanDelay)
+	}
+}

@@ -1,0 +1,115 @@
+// Package node assembles a complete mesh router from the substrate layers:
+// radio (phy), 802.11 MAC, link-quality prober + NEIGHBOR TABLE, and the
+// ODMRP router. It is the unit the simulation scenarios instantiate once per
+// mesh node.
+package node
+
+import (
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/linkquality"
+	"meshcast/internal/mac"
+	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/sim"
+	"meshcast/internal/trace"
+)
+
+// Config bundles the per-node configuration.
+type Config struct {
+	// Metric selects the routing metric (and thereby the probing mode).
+	Metric metric.Kind
+	// MAC configures the 802.11 DCF parameters.
+	MAC mac.Params
+	// ODMRP configures the multicast protocol.
+	ODMRP odmrp.Params
+	// Probe configures probing; the zero value means "derive from Metric".
+	Probe linkquality.Config
+	// DataPacketBytes is the nominal data payload handed to ETT.
+	DataPacketBytes int
+	// TableStaleAfter expires silent neighbors from the NEIGHBOR TABLE.
+	TableStaleAfter time.Duration
+	// WindowSize is the probe loss-window length.
+	WindowSize int
+	// Tracer, when non-nil, receives this node's protocol events.
+	Tracer *trace.Tracer
+}
+
+// DefaultConfig returns the paper's configuration for a given metric.
+func DefaultConfig(k metric.Kind) Config {
+	op := odmrp.DefaultParams()
+	if k == metric.MinHop {
+		op = odmrp.OriginalParams()
+	}
+	return Config{
+		Metric:          k,
+		MAC:             mac.DefaultParams(),
+		ODMRP:           op,
+		Probe:           linkquality.ConfigFor(k),
+		DataPacketBytes: 512,
+		TableStaleAfter: 2 * time.Minute,
+		WindowSize:      linkquality.DefaultWindowSize,
+	}
+}
+
+// Node is one mesh router: radio + MAC + prober + neighbor table + ODMRP.
+type Node struct {
+	ID     packet.NodeID
+	Radio  *phy.Radio
+	MAC    *mac.MAC
+	Table  *linkquality.Table
+	Prober *linkquality.Prober
+	Router *odmrp.Router
+
+	engine *sim.Engine
+}
+
+// New builds a node at position pos on the given medium.
+func New(engine *sim.Engine, medium *phy.Medium, id packet.NodeID, pos geom.Point, cfg Config) (*Node, error) {
+	pm, err := metric.New(cfg.Metric)
+	if err != nil {
+		return nil, err
+	}
+	radio := medium.AttachRadio(id, pos)
+	m := mac.New(engine, radio, cfg.MAC)
+	table := linkquality.NewTable(cfg.DataPacketBytes, cfg.WindowSize, cfg.TableStaleAfter)
+	probeCfg := cfg.Probe
+	if probeCfg.Mode == 0 {
+		probeCfg = linkquality.ConfigFor(cfg.Metric)
+	}
+	prober := linkquality.NewProber(engine, id, probeCfg)
+	router := odmrp.New(engine, id, pm, table, cfg.ODMRP)
+
+	n := &Node{
+		ID:     id,
+		Radio:  radio,
+		MAC:    m,
+		Table:  table,
+		Prober: prober,
+		Router: router,
+		engine: engine,
+	}
+	prober.Send = m.SendBroadcast
+	router.Send = m.SendBroadcast
+	router.Tracer = cfg.Tracer
+	m.Deliver = n.dispatch
+	return n, nil
+}
+
+// dispatch routes received network packets to the right subsystem.
+func (n *Node) dispatch(p *packet.Packet, from packet.NodeID) {
+	if linkquality.HandleProbe(n.Table, p, from, n.engine.Now()) {
+		return
+	}
+	n.Router.Handle(p, from)
+}
+
+// Start begins background activity (probing). ODMRP sources and members are
+// registered separately via the Router.
+func (n *Node) Start() { n.Prober.Start() }
+
+// Stop halts background activity.
+func (n *Node) Stop() { n.Prober.Stop() }

@@ -1,0 +1,102 @@
+package odmrp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refDup is a map-based reference implementation of duplicate detection
+// with the same 64-seq sliding-window semantics.
+type refDup struct {
+	seen    map[uint32]bool
+	highest uint32
+	any     bool
+}
+
+func (r *refDup) mark(seq uint32) bool {
+	if r.seen == nil {
+		r.seen = make(map[uint32]bool)
+	}
+	if !r.any {
+		r.any = true
+		r.highest = seq
+		r.seen[seq] = true
+		return false
+	}
+	if seq > r.highest {
+		r.highest = seq
+	}
+	if r.highest-seq >= 64 {
+		return true // aged out: treated as duplicate
+	}
+	if r.seen[seq] {
+		return true
+	}
+	r.seen[seq] = true
+	return false
+}
+
+func TestDupWindowMatchesReference(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(raw []uint16) bool {
+		var w dupWindow
+		var ref refDup
+		base := uint32(1000)
+		for _, r := range raw {
+			// Mostly-increasing sequence numbers with occasional reordering,
+			// like real flood traffic.
+			seq := base + uint32(r%97) - 48
+			if int32(seq) < 0 {
+				seq = 0
+			}
+			if r%7 == 0 {
+				base += uint32(r % 5)
+			}
+			if w.seen(seq) != ref.mark(seq) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupWindowMonotoneGrowth(t *testing.T) {
+	// Strictly increasing sequences are never duplicates.
+	if err := quick.Check(func(steps []uint8) bool {
+		var w dupWindow
+		seq := uint32(0)
+		for _, s := range steps {
+			seq += uint32(s%64) + 1
+			if w.seen(seq) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupWindowSecondSightingAlwaysDuplicate(t *testing.T) {
+	// Within the window, a second sighting of any seq must be flagged.
+	if err := quick.Check(func(offsets []uint8) bool {
+		var w dupWindow
+		w.seen(100)
+		var inWindow []uint32
+		for _, off := range offsets {
+			seq := 100 + uint32(off%60)
+			w.seen(seq)
+			inWindow = append(inWindow, seq)
+		}
+		for _, seq := range inWindow {
+			if !w.seen(seq) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package odmrp
+
+import (
+	"testing"
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+)
+
+func TestSourceDoesNotDeliverOwnData(t *testing.T) {
+	f, s, _, m := chain(t, metric.SPP, DefaultParams())
+	s.JoinGroup(1) // source is also a member of its own group
+	m.JoinGroup(1)
+	own := 0
+	s.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+		if p.Src == s.ID() {
+			own++
+		}
+	}
+	f.engine.Schedule(0, func() { s.StartSource(1) })
+	f.engine.Run(time.Second)
+	f.engine.Schedule(0, func() { s.SendData(1, 512) })
+	f.engine.Run(f.engine.Now() + time.Second)
+	if own != 0 {
+		t.Fatalf("source delivered %d of its own packets", own)
+	}
+	if s.Stats.DataDuplicates != 0 {
+		t.Fatalf("echoed own packet counted as duplicate: %d", s.Stats.DataDuplicates)
+	}
+}
+
+func TestFGRefreshExtendsExpiry(t *testing.T) {
+	f, s, fw, m := chain(t, metric.SPP, DefaultParams())
+	m.JoinGroup(1)
+	f.engine.Schedule(0, func() { s.StartSource(1) })
+	// Run for several refresh periods: the FG flag must stay continuously
+	// set even though each individual grant would have expired.
+	end := 4 * DefaultParams().FGTimeout
+	for at := time.Second; at < end; at += time.Second {
+		at := at
+		f.engine.Run(at)
+		if f.engine.Now() > DefaultParams().FGTimeout && !fw.IsForwarder(1) {
+			t.Fatalf("FG flag lapsed at %v despite periodic refreshes", f.engine.Now())
+		}
+	}
+}
+
+func TestDataTTLBoundsForwarding(t *testing.T) {
+	// A 6-node chain with data TTL 3: the packet must die mid-chain.
+	f := newFakeNet(13)
+	params := DefaultParams()
+	var routers []*Router
+	for i := packet.NodeID(0); i < 6; i++ {
+		routers = append(routers, f.addNode(i, metric.SPP, params))
+	}
+	for i := packet.NodeID(0); i < 5; i++ {
+		f.connect(i, i+1, time.Millisecond, 0.9, 0.9)
+	}
+	routers[5].JoinGroup(1)
+	f.engine.Schedule(0, func() { routers[0].StartSource(1) })
+	f.engine.Run(time.Second)
+	// Force every intermediate node into the forwarding group, then send
+	// data with a small TTL by lowering the router's parameter.
+	for _, r := range routers[1:5] {
+		r.fgUntil[1] = f.engine.Now() + time.Hour
+	}
+	delivered := 0
+	routers[5].OnDeliver = func(*packet.Packet, packet.NodeID) { delivered++ }
+	// SendData uses params.TTL; craft a low-TTL packet directly instead.
+	low := &packet.Packet{
+		Kind: packet.TypeData, Src: 0, PrevHop: 0, Group: 1, Seq: 999,
+		TTL: 3, PayloadBytes: 64, SentAt: f.engine.Now(),
+	}
+	f.engine.Schedule(0, func() {
+		for edge, delay := range f.delays {
+			if edge.From != 0 {
+				continue
+			}
+			to := f.routers[edge.To]
+			c := low.Clone()
+			f.engine.Schedule(delay, func() { to.Handle(c, 0) })
+		}
+	})
+	f.engine.Run(f.engine.Now() + time.Second)
+	if delivered != 0 {
+		t.Fatalf("TTL-3 data crossed a 5-hop chain")
+	}
+	// Node 3 received it with TTL 1 and must not have forwarded it.
+	if routers[4].Stats.DataDuplicates != 0 {
+		t.Fatal("unexpected duplicate accounting")
+	}
+}
+
+func TestReplyForUnknownSourceIgnored(t *testing.T) {
+	f := newFakeNet(14)
+	r := f.addNode(1, metric.SPP, DefaultParams())
+	sent := 0
+	r.Send = func(*packet.Packet) bool { sent++; return true }
+	reply := &packet.Packet{
+		Kind: packet.TypeJoinReply, Src: 2, Group: 1, Seq: 0,
+		Replies: []packet.ReplyEntry{{Source: 9, NextHop: 1}},
+	}
+	r.Handle(reply, 2)
+	f.engine.Run(time.Second)
+	// No query round for source 9 exists: the node sets its FG flag (it is
+	// named next hop) but cannot propagate a reply.
+	if sent != 0 {
+		t.Fatalf("propagated %d replies without a query round", sent)
+	}
+	if !r.IsForwarder(1) {
+		t.Fatal("FG flag should still be set; data forwarding is safe")
+	}
+}
+
+func TestHandleRejectsUnknownKinds(t *testing.T) {
+	f := newFakeNet(15)
+	r := f.addNode(1, metric.SPP, DefaultParams())
+	if r.Handle(&packet.Packet{Kind: packet.TypeProbe}, 2) {
+		t.Fatal("probe packets are not ODMRP's to handle")
+	}
+	if !r.Handle(&packet.Packet{Kind: packet.TypeData, Src: 2, Group: 1}, 2) {
+		t.Fatal("data packets are ODMRP's to handle")
+	}
+}
+
+func TestStopSourceIdempotent(t *testing.T) {
+	f, s, _, _ := chain(t, metric.SPP, DefaultParams())
+	f.engine.Schedule(0, func() {
+		s.StartSource(1)
+		s.StartSource(1) // duplicate start is a no-op
+	})
+	f.engine.Run(100 * time.Millisecond)
+	if s.Stats.QueriesOriginated != 1 {
+		t.Fatalf("duplicate StartSource flooded %d queries, want 1", s.Stats.QueriesOriginated)
+	}
+	s.StopSource(1)
+	s.StopSource(1) // double stop must not panic
+	f.engine.Run(10 * time.Second)
+	if s.Stats.QueriesOriginated != 1 {
+		t.Fatal("queries flooded after StopSource")
+	}
+}

@@ -1,0 +1,654 @@
+// Package odmrp implements the On-Demand Multicast Routing Protocol and the
+// paper's high-throughput extensions (§3).
+//
+// ODMRP builds a per-group forwarding mesh: each source periodically floods
+// a JOIN QUERY; group members answer with a JOIN REPLY that travels hop by
+// hop back toward the source, setting the forwarding-group (FG) flag at each
+// relay. Data packets are link-layer broadcast and rebroadcast by FG nodes.
+//
+// The original protocol effectively selects shortest-delay (min-hop) paths:
+// members reply to the first query copy they hear. The modified protocol of
+// the paper makes three changes:
+//
+//  1. Every node maintains a NEIGHBOR TABLE of link costs measured by
+//     probes (package linkquality) and accumulates the cost of the traveled
+//     path in the JOIN QUERY using a pluggable routing metric
+//     (package metric).
+//  2. A member waits δ before replying, collects duplicate queries, and
+//     replies along the best-cost path seen.
+//  3. Intermediate nodes re-forward duplicate queries that improve on the
+//     best cost seen so far, but only within α < δ of the first copy,
+//     bounding overhead while adding path diversity.
+package odmrp
+
+import (
+	"time"
+
+	"meshcast/internal/linkquality"
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/sim"
+	"meshcast/internal/trace"
+)
+
+// Params configures the protocol.
+type Params struct {
+	// RefreshInterval is the period between JOIN QUERY floods of an active
+	// source.
+	RefreshInterval time.Duration
+	// FGTimeout is how long a forwarding-group flag stays set after the
+	// last JOIN REPLY refreshed it. ODMRP traditionally uses a small
+	// multiple of the refresh interval.
+	FGTimeout time.Duration
+	// MemberDelta (δ) is how long a member accumulates duplicate JOIN
+	// QUERY packets before replying along the best path. Zero selects the
+	// original first-copy behavior.
+	MemberDelta time.Duration
+	// DupAlpha (α) is the window after the first copy of a query during
+	// which improving duplicates are re-forwarded. Zero disables duplicate
+	// forwarding (the original behavior).
+	DupAlpha time.Duration
+	// TTL bounds query propagation in hops.
+	TTL uint8
+	// QueryJitter is the maximum random delay added before rebroadcasting
+	// a JOIN QUERY, decorrelating the flood.
+	QueryJitter time.Duration
+	// DataJitter is the maximum random delay added before rebroadcasting a
+	// data packet at an FG node.
+	DataJitter time.Duration
+	// ReplyJitter is the maximum random delay before propagating a JOIN
+	// REPLY.
+	ReplyJitter time.Duration
+	// ReplyRetries enables passive-acknowledgment JOIN REPLY
+	// retransmission (an ODMRP robustness mechanism beyond the paper's
+	// version): after sending a reply naming an upstream next hop, the
+	// node expects to overhear that neighbor's own JOIN REPLY; if it does
+	// not within ReplyAckTimeout, the reply is retransmitted up to this
+	// many times. Zero (the default, and the paper's behavior) disables
+	// retransmission.
+	ReplyRetries int
+	// ReplyAckTimeout is the passive-acknowledgment wait.
+	ReplyAckTimeout time.Duration
+}
+
+// DefaultParams returns the configuration used by the paper's simulations:
+// δ = 30 ms, α = 20 ms, refresh every 3 s, FG timeout 3 × refresh.
+func DefaultParams() Params {
+	return Params{
+		RefreshInterval: 3 * time.Second,
+		FGTimeout:       9 * time.Second,
+		MemberDelta:     30 * time.Millisecond,
+		DupAlpha:        20 * time.Millisecond,
+		TTL:             32,
+		QueryJitter:     4 * time.Millisecond,
+		DataJitter:      time.Millisecond,
+		ReplyJitter:     2 * time.Millisecond,
+		ReplyAckTimeout: 60 * time.Millisecond,
+	}
+}
+
+// OriginalParams returns DefaultParams with the paper's modifications
+// switched off: members reply to the first JOIN QUERY immediately and
+// duplicates are never re-forwarded. Combined with the MinHop metric this is
+// the original ODMRP baseline.
+func OriginalParams() Params {
+	p := DefaultParams()
+	p.MemberDelta = 0
+	p.DupAlpha = 0
+	return p
+}
+
+// Stats counts protocol activity at one node.
+type Stats struct {
+	QueriesOriginated   uint64
+	QueriesForwarded    uint64
+	DupQueriesForwarded uint64
+	RepliesSent         uint64
+	ReplyRetransmits    uint64
+	DataOriginated      uint64
+	DataForwarded       uint64
+	DataDelivered       uint64
+	DataDuplicates      uint64
+	ControlBytesSent    uint64
+}
+
+// Edge is a directed link used by delivered or forwarded data, for tree
+// analysis (paper Figure 5).
+type Edge struct {
+	From, To packet.NodeID
+}
+
+// groupSource keys per-(group, source) state.
+type groupSource struct {
+	group packet.GroupID
+	src   packet.NodeID
+}
+
+// queryRound holds the state of the latest JOIN QUERY flood round seen for
+// one (group, source).
+type queryRound struct {
+	seq       uint32
+	firstSeen time.Duration
+	// firstUpstream is the previous hop of the first copy received; the
+	// fallback path when no copy has a usable (fully measured) cost yet.
+	firstUpstream packet.NodeID
+	// bestCost / bestUpstream track the best path offered by any copy of
+	// this round's query (used by members when replying and by FG nodes
+	// when propagating replies).
+	bestCost     float64
+	bestUpstream packet.NodeID
+	bestHops     uint8
+	// bestForwarded is the best cost this node has re-broadcast for this
+	// round; duplicates must beat it to be forwarded again.
+	bestForwarded float64
+	forwardedAny  bool
+	// replyScheduled marks that a member reply timer is pending.
+	replyScheduled bool
+	// replied marks that a JOIN REPLY (member or FG propagation) has been
+	// sent for this round already.
+	replied bool
+}
+
+// dupWindow is the sliding duplicate-suppression window for data packets of
+// one (group, source).
+type dupWindow struct {
+	highest uint32
+	mask    uint64 // bit i set = seq (highest - i) seen
+	any     bool
+}
+
+// seen marks seq and reports whether it was already present. Sequence
+// numbers older than the 64-packet window are treated as duplicates.
+func (w *dupWindow) seen(seq uint32) bool {
+	if !w.any {
+		w.any = true
+		w.highest = seq
+		w.mask = 1
+		return false
+	}
+	switch {
+	case seq > w.highest:
+		shift := seq - w.highest
+		if shift >= 64 {
+			w.mask = 0
+		} else {
+			w.mask <<= shift
+		}
+		w.mask |= 1
+		w.highest = seq
+		return false
+	case w.highest-seq >= 64:
+		return true
+	default:
+		bit := uint64(1) << (w.highest - seq)
+		if w.mask&bit != 0 {
+			return true
+		}
+		w.mask |= bit
+		return false
+	}
+}
+
+// Router is one node's ODMRP instance.
+type Router struct {
+	// Send broadcasts a packet via the node's MAC; reports acceptance.
+	Send func(p *packet.Packet) bool
+	// OnDeliver is called for every data packet delivered to this node as
+	// a group member (first copy only).
+	OnDeliver func(p *packet.Packet, from packet.NodeID)
+	// Tracer, when non-nil, receives protocol events (query/reply/data).
+	Tracer *trace.Tracer
+	// Stats accumulates protocol counters.
+	Stats Stats
+
+	id     packet.NodeID
+	engine *sim.Engine
+	rng    *sim.RNG
+	params Params
+	pm     metric.PathMetric
+	table  *linkquality.Table
+
+	members map[packet.GroupID]bool
+	sources map[packet.GroupID]*sim.Ticker
+	srcSeq  map[packet.GroupID]uint32
+	dataSeq map[packet.GroupID]uint32
+
+	rounds  map[groupSource]*queryRound
+	fgUntil map[packet.GroupID]time.Duration
+	dups    map[groupSource]*dupWindow
+	pending map[groupSource]*pendingReply
+
+	// edgeUse counts data packets carried per directed link into this node
+	// (delivered or forwarded), for tree analysis.
+	edgeUse map[Edge]uint64
+}
+
+// New creates a router for node id using path metric pm and neighbor table
+// table. For the original ODMRP baseline pass metric.MustNew(metric.MinHop)
+// and OriginalParams().
+func New(engine *sim.Engine, id packet.NodeID, pm metric.PathMetric, table *linkquality.Table, params Params) *Router {
+	return &Router{
+		id:      id,
+		engine:  engine,
+		rng:     engine.RNG().Split(),
+		params:  params,
+		pm:      pm,
+		table:   table,
+		members: make(map[packet.GroupID]bool),
+		sources: make(map[packet.GroupID]*sim.Ticker),
+		srcSeq:  make(map[packet.GroupID]uint32),
+		dataSeq: make(map[packet.GroupID]uint32),
+		rounds:  make(map[groupSource]*queryRound),
+		fgUntil: make(map[packet.GroupID]time.Duration),
+		dups:    make(map[groupSource]*dupWindow),
+		pending: make(map[groupSource]*pendingReply),
+		edgeUse: make(map[Edge]uint64),
+	}
+}
+
+// ID returns the node ID.
+func (r *Router) ID() packet.NodeID { return r.id }
+
+// Metric returns the router's path metric.
+func (r *Router) Metric() metric.PathMetric { return r.pm }
+
+// JoinGroup registers this node as a receiver member of group.
+func (r *Router) JoinGroup(group packet.GroupID) { r.members[group] = true }
+
+// LeaveGroup removes receiver membership.
+func (r *Router) LeaveGroup(group packet.GroupID) { delete(r.members, group) }
+
+// IsMember reports receiver membership.
+func (r *Router) IsMember(group packet.GroupID) bool { return r.members[group] }
+
+// IsForwarder reports whether the FG flag for group is currently set.
+func (r *Router) IsForwarder(group packet.GroupID) bool {
+	return r.engine.Now() < r.fgUntil[group]
+}
+
+// EdgeUse returns a copy of the per-link data usage counters.
+func (r *Router) EdgeUse() map[Edge]uint64 {
+	out := make(map[Edge]uint64, len(r.edgeUse))
+	for e, n := range r.edgeUse {
+		out[e] = n
+	}
+	return out
+}
+
+// StartSource begins periodic JOIN QUERY floods for group, making this node
+// an active multicast source. The first flood is sent immediately.
+func (r *Router) StartSource(group packet.GroupID) {
+	if _, ok := r.sources[group]; ok {
+		return
+	}
+	r.floodQuery(group)
+	r.sources[group] = sim.NewTicker(r.engine, r.params.RefreshInterval, r.params.RefreshInterval/10, r.rng,
+		func() { r.floodQuery(group) })
+}
+
+// StopSource halts the query floods for group.
+func (r *Router) StopSource(group packet.GroupID) {
+	if t, ok := r.sources[group]; ok {
+		t.Stop()
+		delete(r.sources, group)
+	}
+}
+
+func (r *Router) floodQuery(group packet.GroupID) {
+	seq := r.srcSeq[group]
+	r.srcSeq[group] = seq + 1
+	q := &packet.Packet{
+		Kind:    packet.TypeJoinQuery,
+		Src:     r.id,
+		PrevHop: r.id,
+		Group:   group,
+		Seq:     seq,
+		TTL:     r.params.TTL,
+		Cost:    r.pm.Initial(),
+		SentAt:  r.engine.Now(),
+	}
+	if r.send(q) {
+		r.Stats.QueriesOriginated++
+		r.Tracer.Emit(r.id, trace.CatQuery, "originate grp=%v seq=%d", group, seq)
+	}
+}
+
+// SendData multicasts one application payload of payloadBytes to group.
+// The node must be a registered source (StartSource) for routes to exist,
+// but SendData does not enforce that.
+func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
+	seq := r.dataSeq[group]
+	r.dataSeq[group] = seq + 1
+	p := &packet.Packet{
+		Kind:         packet.TypeData,
+		Src:          r.id,
+		PrevHop:      r.id,
+		Group:        group,
+		Seq:          seq,
+		TTL:          r.params.TTL,
+		PayloadBytes: payloadBytes,
+		SentAt:       r.engine.Now(),
+	}
+	// Mark our own packet as seen so an echoed copy is not re-forwarded.
+	r.dupFor(groupSource{group, r.id}).seen(seq)
+	if r.Send != nil && r.Send(p) {
+		r.Stats.DataOriginated++
+		r.Tracer.Emit(r.id, trace.CatData, "originate grp=%v seq=%d", group, seq)
+	}
+}
+
+func (r *Router) dupFor(key groupSource) *dupWindow {
+	w, ok := r.dups[key]
+	if !ok {
+		w = &dupWindow{}
+		r.dups[key] = w
+	}
+	return w
+}
+
+// send broadcasts control packets and accounts their bytes.
+func (r *Router) send(p *packet.Packet) bool {
+	if r.Send == nil {
+		return false
+	}
+	if !r.Send(p) {
+		return false
+	}
+	r.Stats.ControlBytesSent += uint64(p.SizeBytes())
+	return true
+}
+
+// Handle processes a received ODMRP packet. It reports whether the packet
+// kind belonged to ODMRP.
+func (r *Router) Handle(p *packet.Packet, from packet.NodeID) bool {
+	switch p.Kind {
+	case packet.TypeJoinQuery:
+		r.onQuery(p, from)
+	case packet.TypeJoinReply:
+		r.onReply(p, from)
+	case packet.TypeData:
+		r.onData(p, from)
+	default:
+		return false
+	}
+	return true
+}
+
+func (r *Router) onQuery(p *packet.Packet, from packet.NodeID) {
+	if p.Src == r.id {
+		return // our own flood echoed back
+	}
+	now := r.engine.Now()
+	key := groupSource{p.Group, p.Src}
+
+	// Accumulate the cost of the link we just traversed (from → us), as
+	// measured by our NEIGHBOR TABLE.
+	linkCost := r.pm.LinkCost(r.table.Estimate(uint16(from), now))
+	newCost := r.pm.Accumulate(p.Cost, linkCost)
+	hops := p.HopCount + 1
+
+	round, ok := r.rounds[key]
+	stale := ok && p.Seq < round.seq
+	if stale {
+		return
+	}
+	first := !ok || p.Seq > round.seq
+	if first {
+		round = &queryRound{
+			seq:           p.Seq,
+			firstSeen:     now,
+			firstUpstream: from,
+			bestCost:      r.pm.Worst(),
+			bestForwarded: r.pm.Worst(),
+		}
+		r.rounds[key] = round
+	}
+
+	// Track the best candidate path for this round.
+	if r.pm.Better(newCost, round.bestCost) {
+		round.bestCost = newCost
+		round.bestUpstream = from
+		round.bestHops = hops
+	}
+
+	// Member behavior.
+	if r.members[p.Group] {
+		if r.params.MemberDelta <= 0 {
+			// Original ODMRP: reply immediately to the first copy.
+			if first {
+				r.sendReply(p.Group, p.Src, p.Seq, from)
+				round.replied = true
+			}
+		} else if !round.replyScheduled {
+			round.replyScheduled = true
+			r.engine.Schedule(r.params.MemberDelta, func() {
+				cur := r.rounds[key]
+				if cur == nil || cur.seq != p.Seq || cur.replied {
+					return
+				}
+				cur.replied = true
+				r.sendReply(p.Group, p.Src, p.Seq, r.upstreamOf(cur))
+			})
+		}
+	}
+
+	// Forwarding behavior: rebroadcast the first copy; within α, also
+	// rebroadcast duplicates that improve on the best cost forwarded so far.
+	if p.TTL <= 1 {
+		return
+	}
+	forward := false
+	if !round.forwardedAny {
+		forward = true
+	} else if r.params.DupAlpha > 0 &&
+		now <= round.firstSeen+r.params.DupAlpha &&
+		r.pm.Better(newCost, round.bestForwarded) {
+		forward = true
+		r.Stats.DupQueriesForwarded++
+	}
+	if !forward {
+		return
+	}
+	wasFirst := !round.forwardedAny
+	round.forwardedAny = true
+	round.bestForwarded = newCost
+
+	fwd := p.Clone()
+	fwd.PrevHop = r.id
+	fwd.Cost = newCost
+	fwd.HopCount = hops
+	fwd.TTL = p.TTL - 1
+	r.jitterSend(fwd, r.params.QueryJitter, func() {
+		if wasFirst {
+			r.Stats.QueriesForwarded++
+			r.Tracer.Emit(r.id, trace.CatQuery, "forward grp=%v src=%v seq=%d cost=%.4g",
+				fwd.Group, fwd.Src, fwd.Seq, fwd.Cost)
+		} else {
+			r.Tracer.Emit(r.id, trace.CatQuery, "forward-dup grp=%v src=%v seq=%d cost=%.4g",
+				fwd.Group, fwd.Src, fwd.Seq, fwd.Cost)
+		}
+	})
+}
+
+// sendReply broadcasts a JOIN REPLY naming nextHop as the upstream relay
+// toward src for the given query round.
+func (r *Router) sendReply(group packet.GroupID, src packet.NodeID, seq uint32, nextHop packet.NodeID) {
+	if nextHop == r.id {
+		return
+	}
+	reply := &packet.Packet{
+		Kind:    packet.TypeJoinReply,
+		Src:     r.id,
+		PrevHop: r.id,
+		Group:   group,
+		Seq:     seq,
+		SentAt:  r.engine.Now(),
+		Replies: []packet.ReplyEntry{{Source: src, NextHop: nextHop}},
+	}
+	r.jitterSend(reply, r.params.ReplyJitter, func() {
+		r.Stats.RepliesSent++
+		r.Tracer.Emit(r.id, trace.CatReply, "reply grp=%v src=%v seq=%d nexthop=%v", group, src, seq, nextHop)
+		r.armReplyAck(group, src, seq, nextHop, reply)
+	})
+}
+
+// pendingReply tracks a JOIN REPLY awaiting passive acknowledgment.
+type pendingReply struct {
+	seq      uint32
+	nextHop  packet.NodeID
+	attempts int
+	timer    *sim.Event
+	pkt      *packet.Packet
+}
+
+// armReplyAck schedules passive-ack supervision of a sent reply. The
+// confirmation is overhearing nextHop's own JOIN REPLY for the same source
+// at the same (or newer) round.
+func (r *Router) armReplyAck(group packet.GroupID, src packet.NodeID, seq uint32, nextHop packet.NodeID, pkt *packet.Packet) {
+	if r.params.ReplyRetries <= 0 || nextHop == src {
+		// A reply whose next hop is the source itself has no downstream
+		// reply to overhear; the source's data flow is the implicit ack.
+		return
+	}
+	key := groupSource{group, src}
+	p := r.pending[key]
+	if p == nil || p.seq != seq {
+		if p != nil && p.timer != nil {
+			p.timer.Stop()
+		}
+		p = &pendingReply{seq: seq, nextHop: nextHop, pkt: pkt}
+		r.pending[key] = p
+	}
+	p.timer = r.engine.Schedule(r.params.ReplyAckTimeout, func() { r.replyAckTimeout(key, p) })
+}
+
+func (r *Router) replyAckTimeout(key groupSource, p *pendingReply) {
+	if r.pending[key] != p {
+		return // superseded
+	}
+	if p.attempts >= r.params.ReplyRetries {
+		delete(r.pending, key)
+		return
+	}
+	p.attempts++
+	if r.Send != nil && r.Send(p.pkt.Clone()) {
+		r.Stats.ReplyRetransmits++
+		r.Stats.ControlBytesSent += uint64(p.pkt.SizeBytes())
+		r.Tracer.Emit(r.id, trace.CatReply, "reply-retx grp=%v src=%v seq=%d attempt=%d",
+			key.group, key.src, p.seq, p.attempts)
+	}
+	p.timer = r.engine.Schedule(r.params.ReplyAckTimeout, func() { r.replyAckTimeout(key, p) })
+}
+
+// confirmReplyAck cancels supervision when the expected upstream reply is
+// overheard.
+func (r *Router) confirmReplyAck(group packet.GroupID, src packet.NodeID, seq uint32, from packet.NodeID) {
+	key := groupSource{group, src}
+	p := r.pending[key]
+	if p == nil || from != p.nextHop || seq < p.seq {
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	delete(r.pending, key)
+}
+
+// upstreamOf returns the next hop toward the source for a query round: the
+// best-cost upstream when a usable (fully measured) path was seen, otherwise
+// the first copy's upstream (original ODMRP behavior), which keeps routes
+// bootstrapping while probes warm up.
+func (r *Router) upstreamOf(round *queryRound) packet.NodeID {
+	if r.pm.Usable(round.bestCost) {
+		return round.bestUpstream
+	}
+	return round.firstUpstream
+}
+
+func (r *Router) onReply(p *packet.Packet, from packet.NodeID) {
+	for _, entry := range p.Replies {
+		// Any overheard reply from our chosen upstream confirms it took
+		// over propagation (passive acknowledgment).
+		r.confirmReplyAck(p.Group, entry.Source, p.Seq, from)
+		if entry.NextHop != r.id {
+			continue
+		}
+		if entry.Source == r.id {
+			// The reply reached the source: the branch is complete.
+			continue
+		}
+		// We are on the path: set/refresh the forwarding-group flag.
+		until := r.engine.Now() + r.params.FGTimeout
+		if until > r.fgUntil[p.Group] {
+			if r.engine.Now() >= r.fgUntil[p.Group] {
+				r.Tracer.Emit(r.id, trace.CatReply, "fg-set grp=%v (from %v)", p.Group, from)
+			}
+			r.fgUntil[p.Group] = until
+		}
+		// Propagate our own JOIN REPLY one hop further toward the source,
+		// once per query round.
+		key := groupSource{p.Group, entry.Source}
+		round := r.rounds[key]
+		if round == nil || round.replied {
+			continue
+		}
+		round.replied = true
+		r.sendReply(p.Group, entry.Source, round.seq, r.upstreamOf(round))
+	}
+}
+
+func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
+	if p.Src == r.id {
+		return
+	}
+	key := groupSource{p.Group, p.Src}
+	if r.dupFor(key).seen(p.Seq) {
+		r.Stats.DataDuplicates++
+		return
+	}
+	carried := false
+	if r.members[p.Group] {
+		r.Stats.DataDelivered++
+		carried = true
+		r.Tracer.Emit(r.id, trace.CatData, "deliver grp=%v src=%v seq=%d from=%v", p.Group, p.Src, p.Seq, from)
+		if r.OnDeliver != nil {
+			r.OnDeliver(p, from)
+		}
+	}
+	if r.IsForwarder(p.Group) && p.TTL > 1 {
+		fwd := p.Clone()
+		fwd.PrevHop = r.id
+		fwd.TTL = p.TTL - 1
+		carried = true
+		r.jitterSend(fwd, r.params.DataJitter, func() {
+			r.Stats.DataForwarded++
+			r.Tracer.Emit(r.id, trace.CatData, "forward grp=%v src=%v seq=%d", fwd.Group, fwd.Src, fwd.Seq)
+		})
+	}
+	if carried {
+		r.edgeUse[Edge{From: from, To: r.id}]++
+	}
+}
+
+// jitterSend broadcasts p after a uniform random delay in [0, jitter),
+// invoking onSent if the MAC accepted it.
+func (r *Router) jitterSend(p *packet.Packet, jitter time.Duration, onSent func()) {
+	send := func() {
+		ok := r.Send != nil && r.Send(p)
+		if !ok {
+			return
+		}
+		if p.Kind != packet.TypeData {
+			r.Stats.ControlBytesSent += uint64(p.SizeBytes())
+		}
+		if onSent != nil {
+			onSent()
+		}
+	}
+	if jitter <= 0 {
+		send()
+		return
+	}
+	d := time.Duration(r.rng.Float64() * float64(jitter))
+	r.engine.Schedule(d, send)
+}

@@ -1,0 +1,43 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary checks that arbitrary datagrams never crash the
+// decoder and that anything it accepts re-encodes losslessly (daemons feed
+// it raw UDP payloads).
+func FuzzUnmarshalBinary(f *testing.F) {
+	seed := &Packet{
+		Kind: TypeJoinQuery, Src: 3, PrevHop: 2, Group: 1, Seq: 9,
+		HopCount: 2, TTL: 30, Cost: 1.5, PayloadBytes: 512,
+		Replies: []ReplyEntry{{Source: 1, NextHop: 2}},
+	}
+	data, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.UnmarshalBinary(data); err != nil {
+			return // rejected input is fine
+		}
+		// Round-trip whatever was accepted.
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted packet failed to marshal: %v", err)
+		}
+		var q Packet
+		if err := q.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.Kind != p.Kind || q.Src != p.Src || q.Seq != p.Seq || len(q.Replies) != len(p.Replies) {
+			t.Fatalf("round trip changed packet: %+v vs %+v", q, p)
+		}
+	})
+}

@@ -1,0 +1,239 @@
+// Package packet defines the frame and packet formats shared by the
+// simulator, the ODMRP implementation, and the user-level daemon: MAC frames,
+// ODMRP control packets (JOIN QUERY / JOIN REPLY), link-quality probes, and
+// multicast data. It also provides a compact binary wire encoding used by
+// cmd/odmrpd to exchange packets over real UDP sockets.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node. IDs are assigned densely from 0 by the topology.
+type NodeID uint16
+
+// Broadcast is the all-nodes MAC destination. Multicast protocols in mesh
+// networks transmit data and control packets to this address at the link
+// layer to exploit the wireless multicast advantage (paper §2.1).
+const Broadcast NodeID = 0xffff
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string {
+	if n == Broadcast {
+		return "*"
+	}
+	return fmt.Sprintf("n%d", uint16(n))
+}
+
+// GroupID identifies a multicast group (the paper's odmrpd uses the IP
+// multicast address; we use a small integer).
+type GroupID uint16
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return fmt.Sprintf("g%d", uint16(g)) }
+
+// Type discriminates network-layer packets.
+type Type uint8
+
+// Packet types.
+const (
+	// TypeData is a multicast data packet.
+	TypeData Type = iota + 1
+	// TypeJoinQuery is an ODMRP JOIN QUERY flooded from a source.
+	TypeJoinQuery
+	// TypeJoinReply is an ODMRP JOIN REPLY propagated from members toward
+	// sources, establishing the forwarding group.
+	TypeJoinReply
+	// TypeProbe is a single broadcast link-quality probe (ETX-style).
+	TypeProbe
+	// TypeProbePairSmall is the first (small) packet of a packet-pair probe
+	// (PP/ETT-style).
+	TypeProbePairSmall
+	// TypeProbePairLarge is the second (large) packet of a packet-pair
+	// probe.
+	TypeProbePairLarge
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeJoinQuery:
+		return "JOIN_QUERY"
+	case TypeJoinReply:
+		return "JOIN_REPLY"
+	case TypeProbe:
+		return "PROBE"
+	case TypeProbePairSmall:
+		return "PAIR_SMALL"
+	case TypeProbePairLarge:
+		return "PAIR_LARGE"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Header byte counts used when computing on-air sizes and overhead
+// percentages. The MAC constant approximates an 802.11 data header + FCS;
+// the network constant approximates IP+UDP, matching the paper's
+// application-level daemon design.
+const (
+	MACHeaderBytes = 34
+	NetHeaderBytes = 28
+)
+
+// ReplyEntry is one (source, next hop) pair in a JOIN REPLY. A neighbor that
+// finds itself listed as NextHop becomes part of the forwarding group and
+// propagates its own reply toward that source.
+type ReplyEntry struct {
+	Source  NodeID
+	NextHop NodeID
+}
+
+// Packet is a network-layer packet. A single struct (rather than one type
+// per packet kind) keeps the simulator's hot path allocation-light; only the
+// fields relevant to Kind are meaningful.
+type Packet struct {
+	Kind Type
+	// Src is the originator (traffic source for data, query source for
+	// JOIN QUERY, replying member/forwarder for JOIN REPLY, prober for
+	// probes).
+	Src NodeID
+	// PrevHop is the node that (re)transmitted this copy. Updated at each
+	// hop; receivers use it to index the neighbor table.
+	PrevHop NodeID
+	// Group is the multicast group for data and ODMRP control packets.
+	Group GroupID
+	// Seq identifies a packet within (Src, Kind) — data sequence numbers,
+	// JOIN QUERY round numbers, or probe/pair sequence numbers.
+	Seq uint32
+	// HopCount is the number of hops traveled so far.
+	HopCount uint8
+	// TTL bounds further propagation.
+	TTL uint8
+	// Cost is the accumulated path cost in a JOIN QUERY, in the units of
+	// whichever routing metric the protocol instance uses (sum for
+	// ETX/ETT/PP, recurrence for METX, product of delivery probabilities
+	// for SPP).
+	Cost float64
+	// Replies lists the (source, next hop) pairs of a JOIN REPLY.
+	Replies []ReplyEntry
+	// PayloadBytes is the application payload size for data packets and
+	// the padding size for probes; headers are added by SizeBytes.
+	PayloadBytes int
+	// SentAt is the virtual time the packet left its originator
+	// (end-to-end delay accounting).
+	SentAt time.Duration
+}
+
+// SizeBytes returns the on-air network-layer size: payload plus network
+// header plus kind-specific fixed fields. MAC framing is added by the MAC
+// layer.
+func (p *Packet) SizeBytes() int {
+	size := NetHeaderBytes + p.PayloadBytes
+	switch p.Kind {
+	case TypeJoinQuery:
+		size += 16 // src, group, seq, hop, ttl, cost
+	case TypeJoinReply:
+		size += 8 + 4*len(p.Replies)
+	case TypeData:
+		size += 12 // group, src, seq
+	case TypeProbe, TypeProbePairSmall, TypeProbePairLarge:
+		size += 8 // seq + kind marker
+	}
+	return size
+}
+
+// Clone returns a deep copy of p. Forwarding nodes clone before mutating
+// PrevHop/Cost/HopCount so that other receivers of the same broadcast see
+// the original values.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Replies != nil {
+		q.Replies = make([]ReplyEntry, len(p.Replies))
+		copy(q.Replies, p.Replies)
+	}
+	return &q
+}
+
+// String implements fmt.Stringer (used by trace logs).
+func (p *Packet) String() string {
+	switch p.Kind {
+	case TypeJoinQuery:
+		return fmt.Sprintf("JOIN_QUERY{src=%v grp=%v seq=%d hops=%d cost=%.4g prev=%v}",
+			p.Src, p.Group, p.Seq, p.HopCount, p.Cost, p.PrevHop)
+	case TypeJoinReply:
+		return fmt.Sprintf("JOIN_REPLY{from=%v grp=%v seq=%d entries=%d}", p.Src, p.Group, p.Seq, len(p.Replies))
+	case TypeData:
+		return fmt.Sprintf("DATA{src=%v grp=%v seq=%d}", p.Src, p.Group, p.Seq)
+	default:
+		return fmt.Sprintf("%v{src=%v seq=%d}", p.Kind, p.Src, p.Seq)
+	}
+}
+
+// FrameKind discriminates MAC-layer frames.
+type FrameKind uint8
+
+// MAC frame kinds. Broadcast data uses FrameData with Dst == Broadcast; the
+// RTS/CTS/ACK kinds exist only for the unicast MAC mode.
+const (
+	FrameData FrameKind = iota + 1
+	FrameRTS
+	FrameCTS
+	FrameACK
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameData:
+		return "DATA"
+	case FrameRTS:
+		return "RTS"
+	case FrameCTS:
+		return "CTS"
+	case FrameACK:
+		return "ACK"
+	default:
+		return fmt.Sprintf("FRAME(%d)", uint8(k))
+	}
+}
+
+// Control frame sizes in bytes (802.11).
+const (
+	RTSBytes = 20
+	CTSBytes = 14
+	ACKBytes = 14
+)
+
+// Frame is a MAC-layer frame.
+type Frame struct {
+	Kind FrameKind
+	// Src is the transmitting node; Dst is Broadcast for link-layer
+	// broadcast.
+	Src, Dst NodeID
+	// Payload is the network packet for FrameData; nil for control frames.
+	Payload *Packet
+	// DurationNAV is the network-allocation-vector value carried by
+	// RTS/CTS for virtual carrier sense.
+	DurationNAV time.Duration
+}
+
+// SizeBytes returns the on-air size of the frame including MAC framing.
+func (f *Frame) SizeBytes() int {
+	switch f.Kind {
+	case FrameRTS:
+		return RTSBytes
+	case FrameCTS:
+		return CTSBytes
+	case FrameACK:
+		return ACKBytes
+	default:
+		if f.Payload == nil {
+			return MACHeaderBytes
+		}
+		return MACHeaderBytes + f.Payload.SizeBytes()
+	}
+}

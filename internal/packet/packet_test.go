@@ -1,0 +1,199 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(5).String(); got != "n5" {
+		t.Fatalf("NodeID(5) = %q", got)
+	}
+	if got := Broadcast.String(); got != "*" {
+		t.Fatalf("Broadcast = %q", got)
+	}
+}
+
+func TestPacketSizeBytes(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Packet
+		want int
+	}{
+		{"data 512B", Packet{Kind: TypeData, PayloadBytes: 512}, NetHeaderBytes + 512 + 12},
+		{"join query", Packet{Kind: TypeJoinQuery}, NetHeaderBytes + 16},
+		{"join reply 3 entries", Packet{Kind: TypeJoinReply, Replies: make([]ReplyEntry, 3)}, NetHeaderBytes + 8 + 12},
+		{"probe padded", Packet{Kind: TypeProbe, PayloadBytes: 74}, NetHeaderBytes + 74 + 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.SizeBytes(); got != tt.want {
+				t.Fatalf("SizeBytes = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFrameSizeBytes(t *testing.T) {
+	data := &Packet{Kind: TypeData, PayloadBytes: 512}
+	tests := []struct {
+		name string
+		f    Frame
+		want int
+	}{
+		{"rts", Frame{Kind: FrameRTS}, RTSBytes},
+		{"cts", Frame{Kind: FrameCTS}, CTSBytes},
+		{"ack", Frame{Kind: FrameACK}, ACKBytes},
+		{"data", Frame{Kind: FrameData, Payload: data}, MACHeaderBytes + data.SizeBytes()},
+		{"data nil payload", Frame{Kind: FrameData}, MACHeaderBytes},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.SizeBytes(); got != tt.want {
+				t.Fatalf("SizeBytes = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Packet{
+		Kind:    TypeJoinReply,
+		Src:     3,
+		Replies: []ReplyEntry{{Source: 1, NextHop: 2}},
+	}
+	q := p.Clone()
+	q.Replies[0].NextHop = 9
+	q.Src = 7
+	if p.Replies[0].NextHop != 2 {
+		t.Fatal("Clone shares the Replies slice")
+	}
+	if p.Src != 3 {
+		t.Fatal("Clone shares scalar state")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	p := &Packet{
+		Kind:         TypeJoinQuery,
+		Src:          12,
+		PrevHop:      7,
+		Group:        2,
+		Seq:          99,
+		HopCount:     4,
+		TTL:          28,
+		Cost:         3.14159,
+		PayloadBytes: 512,
+		SentAt:       1234567 * time.Microsecond,
+		Replies:      []ReplyEntry{{Source: 1, NextHop: 2}, {Source: 3, NextHop: 4}},
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != p.Kind || q.Src != p.Src || q.PrevHop != p.PrevHop || q.Group != p.Group ||
+		q.Seq != p.Seq || q.HopCount != p.HopCount || q.TTL != p.TTL ||
+		q.Cost != p.Cost || q.PayloadBytes != p.PayloadBytes || q.SentAt != p.SentAt {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, *p)
+	}
+	if len(q.Replies) != 2 || q.Replies[0] != p.Replies[0] || q.Replies[1] != p.Replies[1] {
+		t.Fatalf("replies mismatch: %v", q.Replies)
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(kind uint8, src, prev, grp uint16, seq uint32, hops, ttl uint8, cost float64, payload uint16, nReplies uint8) bool {
+		p := &Packet{
+			Kind:         Type(kind),
+			Src:          NodeID(src),
+			PrevHop:      NodeID(prev),
+			Group:        GroupID(grp),
+			Seq:          seq,
+			HopCount:     hops,
+			TTL:          ttl,
+			Cost:         cost,
+			PayloadBytes: int(payload),
+		}
+		for i := 0; i < int(nReplies%8); i++ {
+			p.Replies = append(p.Replies, ReplyEntry{Source: NodeID(i), NextHop: NodeID(i + 1)})
+		}
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var q Packet
+		if err := q.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if q.Cost != p.Cost && !(q.Cost != q.Cost && p.Cost != p.Cost) { // NaN-safe compare
+			return false
+		}
+		if q.Kind != p.Kind || q.Src != p.Src || q.Seq != p.Seq || len(q.Replies) != len(p.Replies) {
+			return false
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	p := &Packet{Kind: TypeData, Replies: []ReplyEntry{{1, 2}}}
+	p.Kind = TypeJoinReply
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		var q Packet
+		if err := q.UnmarshalBinary(data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestMarshalRejectsOversizedPayload(t *testing.T) {
+	p := &Packet{Kind: TypeData, PayloadBytes: 1 << 20}
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Fatal("expected error for oversized payload")
+	}
+	p = &Packet{Kind: TypeData, PayloadBytes: -1}
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Fatal("expected error for negative payload")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, tt := range []struct {
+		typ  Type
+		want string
+	}{
+		{TypeData, "DATA"},
+		{TypeJoinQuery, "JOIN_QUERY"},
+		{TypeJoinReply, "JOIN_REPLY"},
+		{TypeProbe, "PROBE"},
+		{TypeProbePairSmall, "PAIR_SMALL"},
+		{TypeProbePairLarge, "PAIR_LARGE"},
+		{Type(99), "TYPE(99)"},
+	} {
+		if got := tt.typ.String(); got != tt.want {
+			t.Fatalf("Type(%d).String() = %q, want %q", tt.typ, got, tt.want)
+		}
+	}
+	for _, tt := range []struct {
+		kind FrameKind
+		want string
+	}{
+		{FrameData, "DATA"}, {FrameRTS, "RTS"}, {FrameCTS, "CTS"}, {FrameACK, "ACK"}, {FrameKind(9), "FRAME(9)"},
+	} {
+		if got := tt.kind.String(); got != tt.want {
+			t.Fatalf("FrameKind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}

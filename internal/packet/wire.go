@@ -1,0 +1,92 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Wire encoding used by cmd/odmrpd to carry packets inside UDP datagrams.
+// Layout (big endian):
+//
+//	byte   0     kind
+//	bytes  1-2   src
+//	bytes  3-4   prevHop
+//	bytes  5-6   group
+//	bytes  7-10  seq
+//	byte   11    hopCount
+//	byte   12    ttl
+//	bytes 13-20  cost (IEEE 754)
+//	bytes 21-28  sentAt (ns)
+//	bytes 29-30  payloadBytes
+//	bytes 31-32  number of reply entries, then 4 bytes each (source, nextHop)
+const wireFixedLen = 33
+
+// ErrTruncated reports a datagram too short to decode.
+var ErrTruncated = errors.New("packet: truncated wire data")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	if len(p.Replies) > math.MaxUint16 {
+		return nil, fmt.Errorf("packet: %d reply entries exceed wire limit", len(p.Replies))
+	}
+	if p.PayloadBytes < 0 || p.PayloadBytes > math.MaxUint16 {
+		return nil, fmt.Errorf("packet: payload size %d out of wire range", p.PayloadBytes)
+	}
+	buf := make([]byte, wireFixedLen+4*len(p.Replies))
+	buf[0] = byte(p.Kind)
+	binary.BigEndian.PutUint16(buf[1:], uint16(p.Src))
+	binary.BigEndian.PutUint16(buf[3:], uint16(p.PrevHop))
+	binary.BigEndian.PutUint16(buf[5:], uint16(p.Group))
+	binary.BigEndian.PutUint32(buf[7:], p.Seq)
+	buf[11] = p.HopCount
+	buf[12] = p.TTL
+	binary.BigEndian.PutUint64(buf[13:], math.Float64bits(p.Cost))
+	binary.BigEndian.PutUint64(buf[21:], uint64(p.SentAt))
+	binary.BigEndian.PutUint16(buf[29:], uint16(p.PayloadBytes))
+	binary.BigEndian.PutUint16(buf[31:], uint16(len(p.Replies)))
+	off := wireFixedLen
+	for _, e := range p.Replies {
+		binary.BigEndian.PutUint16(buf[off:], uint16(e.Source))
+		binary.BigEndian.PutUint16(buf[off+2:], uint16(e.NextHop))
+		off += 4
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Packet) UnmarshalBinary(data []byte) error {
+	if len(data) < wireFixedLen {
+		return ErrTruncated
+	}
+	p.Kind = Type(data[0])
+	p.Src = NodeID(binary.BigEndian.Uint16(data[1:]))
+	p.PrevHop = NodeID(binary.BigEndian.Uint16(data[3:]))
+	p.Group = GroupID(binary.BigEndian.Uint16(data[5:]))
+	p.Seq = binary.BigEndian.Uint32(data[7:])
+	p.HopCount = data[11]
+	p.TTL = data[12]
+	p.Cost = math.Float64frombits(binary.BigEndian.Uint64(data[13:]))
+	p.SentAt = time.Duration(binary.BigEndian.Uint64(data[21:]))
+	p.PayloadBytes = int(binary.BigEndian.Uint16(data[29:]))
+	n := int(binary.BigEndian.Uint16(data[31:]))
+	if len(data) < wireFixedLen+4*n {
+		return ErrTruncated
+	}
+	if n == 0 {
+		p.Replies = nil
+		return nil
+	}
+	p.Replies = make([]ReplyEntry, n)
+	off := wireFixedLen
+	for i := range p.Replies {
+		p.Replies[i] = ReplyEntry{
+			Source:  NodeID(binary.BigEndian.Uint16(data[off:])),
+			NextHop: NodeID(binary.BigEndian.Uint16(data[off+2:])),
+		}
+		off += 4
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package phy models the physical layer: a shared wireless medium that
+// distributes frames to radios according to a propagation model, per-packet
+// Rayleigh fading, half-duplex radios, carrier sensing, and a capture-based
+// collision model.
+//
+// Every simulated transmission fans out to all radios whose mean received
+// power is non-negligible. Each (packet, receiver) pair gets an independent
+// fading draw; a receiver locks onto the first decodable arrival and loses it
+// if a sufficiently strong overlapping arrival appears (no capture) or if the
+// receiver itself transmits (half duplex).
+package phy
+
+import (
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/packet"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+)
+
+// Params configures all radios on a medium.
+type Params struct {
+	// TxPowerW is the transmit power in watts.
+	TxPowerW float64
+	// RxThresholdW is the minimum instantaneous power to decode a frame.
+	RxThresholdW float64
+	// CSThresholdW is the minimum instantaneous power to sense the channel
+	// busy (and to count as interference).
+	CSThresholdW float64
+	// CaptureRatio is the linear power ratio by which a locked frame must
+	// exceed an interferer to survive the overlap (10 ≈ 10 dB).
+	CaptureRatio float64
+	// BitrateBps is the channel bitrate. The paper uses 2 Mbps, the 802.11
+	// broadcast basic rate.
+	BitrateBps float64
+	// PreambleDelay is the fixed PHY preamble+PLCP header time prepended
+	// to every frame (192 µs for 802.11 long preamble at 1 Mbps PLCP).
+	PreambleDelay time.Duration
+}
+
+// DefaultParams returns the parameters used throughout the paper's
+// simulations: 2 Mbps channel, WaveLAN thresholds giving 250 m range and
+// 550 m carrier sense, 10 dB capture.
+func DefaultParams() Params {
+	return Params{
+		TxPowerW:      propagation.DefaultTxPowerW,
+		RxThresholdW:  propagation.DefaultRxThresholdW,
+		CSThresholdW:  propagation.DefaultCSThresholdW,
+		CaptureRatio:  10,
+		BitrateBps:    2e6,
+		PreambleDelay: 192 * time.Microsecond,
+	}
+}
+
+// AirTime returns the on-air duration of size bytes at the configured rate,
+// including the PHY preamble.
+func (p Params) AirTime(sizeBytes int) time.Duration {
+	bits := float64(sizeBytes * 8)
+	return p.PreambleDelay + time.Duration(bits/p.BitrateBps*float64(time.Second))
+}
+
+// Medium is the shared wireless channel. It owns all radios and delivers
+// transmissions between them. Medium is driven entirely by the simulation
+// engine's event loop and must not be used concurrently.
+type Medium struct {
+	engine   *sim.Engine
+	pathLoss propagation.PathLoss
+	fading   propagation.Fading
+	rng      *sim.RNG
+	params   Params
+	radios   []*Radio
+
+	// ignoreBelowW: arrivals with mean power under this are not modeled at
+	// all. Set well below the CS threshold so that fading can never lift
+	// an ignored arrival above it.
+	ignoreBelowW float64
+
+	// linkFunc, when set, replaces path loss + fading entirely: it returns
+	// the instantaneous received power for a (tx, rx) pair. Trace-driven
+	// emulations (the paper's 8-node testbed) use it to impose measured
+	// per-link loss classes while keeping the MAC and collision machinery.
+	linkFunc LinkFunc
+
+	// OnTransmit, when set, observes every frame as it is put on the air
+	// (packet capture, statistics).
+	OnTransmit func(at time.Duration, f *packet.Frame)
+}
+
+// LinkFunc computes the instantaneous received power in watts for one
+// transmission from tx to rx at virtual time now. Returning 0 removes the
+// pair from the simulation entirely (not even carrier sense).
+type LinkFunc func(tx, rx packet.NodeID, now time.Duration, rng *sim.RNG) float64
+
+// SetLinkFunc installs a link oracle; pass nil to restore the physics
+// models.
+func (m *Medium) SetLinkFunc(f LinkFunc) { m.linkFunc = f }
+
+// NewMedium creates a medium using the engine's clock, the given propagation
+// and fading models, and radio parameters.
+func NewMedium(engine *sim.Engine, pathLoss propagation.PathLoss, fading propagation.Fading, params Params) *Medium {
+	return &Medium{
+		engine:       engine,
+		pathLoss:     pathLoss,
+		fading:       fading,
+		rng:          engine.RNG().Split(),
+		params:       params,
+		ignoreBelowW: params.CSThresholdW / 200,
+	}
+}
+
+// Params returns the radio parameters shared by all radios on the medium.
+func (m *Medium) Params() Params { return m.params }
+
+// AttachRadio creates a radio for node id at position pos and registers it.
+func (m *Medium) AttachRadio(id packet.NodeID, pos geom.Point) *Radio {
+	r := &Radio{
+		ID:     id,
+		Pos:    pos,
+		medium: m,
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns the attached radios (shared slice; callers must not
+// modify).
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+// MeanPower returns the mean (pre-fading) received power at distance d.
+func (m *Medium) MeanPower(d float64) float64 {
+	return m.pathLoss.ReceivedPower(m.params.TxPowerW, d)
+}
+
+// DeliveryProbability returns the analytic per-packet delivery probability
+// between two positions under the medium's fading model, ignoring
+// interference. Used by topology tools and tests.
+func (m *Medium) DeliveryProbability(a, b geom.Point) float64 {
+	mean := m.MeanPower(a.Distance(b))
+	if _, ok := m.fading.(propagation.NoFading); ok {
+		if mean >= m.params.RxThresholdW {
+			return 1
+		}
+		return 0
+	}
+	return propagation.ReceptionProbability(mean, m.params.RxThresholdW)
+}
+
+// transmit distributes a frame from radio src across the medium.
+func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration) {
+	if m.OnTransmit != nil {
+		m.OnTransmit(m.engine.Now(), frame)
+	}
+	for _, rx := range m.radios {
+		if rx == src {
+			continue
+		}
+		var power float64
+		if m.linkFunc != nil {
+			power = m.linkFunc(src.ID, rx.ID, m.engine.Now(), m.rng)
+		} else {
+			mean := m.pathLoss.ReceivedPower(m.params.TxPowerW, src.Pos.Distance(rx.Pos))
+			if mean < m.ignoreBelowW {
+				continue
+			}
+			power = m.fading.Apply(mean, m.rng)
+		}
+		if power < m.ignoreBelowW {
+			continue
+		}
+		d := src.Pos.Distance(rx.Pos)
+		propDelay := time.Duration(d / propagation.SpeedOfLight * float64(time.Second))
+		rx := rx
+		a := &arrival{frame: frame, power: power}
+		m.engine.Schedule(propDelay, func() { rx.beginArrival(a) })
+		m.engine.Schedule(propDelay+airtime, func() { rx.endArrival(a) })
+	}
+}
+
+// arrival is one frame's signal as seen by one receiver.
+type arrival struct {
+	frame     *packet.Frame
+	power     float64
+	corrupted bool
+}
+
+// RadioStats counts PHY-level outcomes at one radio.
+type RadioStats struct {
+	// FramesSent counts transmissions started.
+	FramesSent uint64
+	// FramesDelivered counts frames decoded and handed to the MAC.
+	FramesDelivered uint64
+	// Collisions counts locked frames lost to interference.
+	Collisions uint64
+	// BelowThreshold counts arrivals too weak to decode (fading/path loss).
+	BelowThreshold uint64
+	// HalfDuplexLoss counts frames that arrived while transmitting.
+	HalfDuplexLoss uint64
+}
+
+// Radio is one node's half-duplex transceiver.
+type Radio struct {
+	// ID is the owning node.
+	ID packet.NodeID
+	// Pos is the radio's fixed position (mesh nodes are static).
+	Pos geom.Point
+
+	// ReceiveFrame is invoked for every successfully decoded frame. Set by
+	// the MAC layer.
+	ReceiveFrame func(f *packet.Frame)
+	// BusyChanged is invoked when physical carrier sense changes state.
+	// Set by the MAC layer.
+	BusyChanged func(busy bool)
+
+	// Stats accumulates PHY outcome counters.
+	Stats RadioStats
+
+	medium       *Medium
+	transmitting bool
+	locked       *arrival
+	arrivals     []*arrival
+	sensedPower  float64 // sum of in-flight arrival powers
+	lastBusy     bool    // last state reported through BusyChanged
+}
+
+// AirTime returns the on-air duration of a frame of the given size under
+// the medium's parameters.
+func (r *Radio) AirTime(sizeBytes int) time.Duration {
+	return r.medium.params.AirTime(sizeBytes)
+}
+
+// Transmit puts a frame on the air and returns its airtime. The caller (MAC)
+// is responsible for deferring until the channel is idle; the radio itself
+// will transmit regardless (that is what makes collisions possible).
+func (r *Radio) Transmit(f *packet.Frame) time.Duration {
+	airtime := r.medium.params.AirTime(f.SizeBytes())
+	r.Stats.FramesSent++
+	r.transmitting = true
+	// Half duplex: anything currently being received is lost.
+	if r.locked != nil {
+		r.locked.corrupted = true
+		r.Stats.HalfDuplexLoss++
+		r.locked = nil
+	}
+	r.medium.transmit(r, f, airtime)
+	r.medium.engine.Schedule(airtime, func() {
+		r.transmitting = false
+		r.notifyBusy(r.CarrierBusy())
+	})
+	r.notifyBusy(true)
+	return airtime
+}
+
+// CarrierBusy reports physical carrier sense: the radio is transmitting or
+// the total in-flight power exceeds the carrier-sense threshold.
+func (r *Radio) CarrierBusy() bool {
+	return r.transmitting || r.sensedPower >= r.medium.params.CSThresholdW
+}
+
+func (r *Radio) notifyBusy(busy bool) {
+	if busy == r.lastBusy {
+		return
+	}
+	r.lastBusy = busy
+	if r.BusyChanged != nil {
+		r.BusyChanged(busy)
+	}
+}
+
+func (r *Radio) beginArrival(a *arrival) {
+	r.arrivals = append(r.arrivals, a)
+	r.sensedPower += a.power
+
+	switch {
+	case r.transmitting:
+		// Receiver deaf while transmitting.
+		a.corrupted = true
+		r.Stats.HalfDuplexLoss++
+	case a.power < r.medium.params.RxThresholdW:
+		// Too weak to decode; still contributes interference and carrier
+		// sense.
+		a.corrupted = true
+		r.Stats.BelowThreshold++
+	case r.locked == nil:
+		// Try to lock. Existing interference may already drown the frame.
+		interference := r.sensedPower - a.power
+		if interference > 0 && a.power < r.medium.params.CaptureRatio*interference {
+			a.corrupted = true
+			r.Stats.Collisions++
+		} else {
+			r.locked = a
+		}
+	default:
+		// Already locked onto another frame: this arrival cannot be
+		// decoded, and it may also destroy the locked frame unless the
+		// locked frame captures it.
+		a.corrupted = true
+		if r.locked.power < r.medium.params.CaptureRatio*a.power {
+			r.locked.corrupted = true
+			r.locked = nil
+			r.Stats.Collisions++
+		}
+	}
+
+	r.notifyBusy(r.CarrierBusy())
+}
+
+func (r *Radio) endArrival(a *arrival) {
+	for i, x := range r.arrivals {
+		if x == a {
+			r.arrivals = append(r.arrivals[:i], r.arrivals[i+1:]...)
+			break
+		}
+	}
+	r.sensedPower -= a.power
+	if r.sensedPower < 0 {
+		r.sensedPower = 0 // guard against float drift
+	}
+	if r.locked == a {
+		r.locked = nil
+		if !a.corrupted {
+			r.Stats.FramesDelivered++
+			if r.ReceiveFrame != nil {
+				r.ReceiveFrame(a.frame)
+			}
+		}
+	}
+	r.notifyBusy(r.CarrierBusy())
+}

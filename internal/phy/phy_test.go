@@ -1,0 +1,309 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/packet"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+)
+
+func newTestMedium(t *testing.T, fading propagation.Fading) (*sim.Engine, *Medium) {
+	t.Helper()
+	engine := sim.NewEngine(42)
+	medium := NewMedium(engine, propagation.NewTwoRay(), fading, DefaultParams())
+	return engine, medium
+}
+
+func dataFrame(src packet.NodeID, bytes int) *packet.Frame {
+	return &packet.Frame{
+		Kind:    packet.FrameData,
+		Src:     src,
+		Dst:     packet.Broadcast,
+		Payload: &packet.Packet{Kind: packet.TypeData, Src: src, PayloadBytes: bytes},
+	}
+}
+
+func TestAirTime(t *testing.T) {
+	p := DefaultParams()
+	// 1000 bytes = 8000 bits at 2 Mbps = 4 ms, plus 192 µs preamble.
+	got := p.AirTime(1000)
+	want := 4*time.Millisecond + 192*time.Microsecond
+	if got != want {
+		t.Fatalf("AirTime(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestDeliveryWithinRangeNoFading(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	var got *packet.Frame
+	rx.ReceiveFrame = func(f *packet.Frame) { got = f }
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.RunAll()
+	if got == nil {
+		t.Fatal("frame not delivered at 200m without fading")
+	}
+	if got.Payload.Src != 0 {
+		t.Fatalf("delivered frame has src %v", got.Payload.Src)
+	}
+	if rx.Stats.FramesDelivered != 1 {
+		t.Fatalf("FramesDelivered = %d", rx.Stats.FramesDelivered)
+	}
+}
+
+func TestNoDeliveryBeyondRangeNoFading(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 300, Y: 0})
+	delivered := false
+	rx.ReceiveFrame = func(*packet.Frame) { delivered = true }
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.RunAll()
+	if delivered {
+		t.Fatal("frame delivered at 300m, beyond 250m range")
+	}
+	if rx.Stats.BelowThreshold != 1 {
+		t.Fatalf("BelowThreshold = %d, want 1", rx.Stats.BelowThreshold)
+	}
+}
+
+func TestCollisionEqualPower(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	// Two transmitters equidistant from the receiver, out of carrier-sense
+	// range of each other is not needed — they transmit at the same instant.
+	a := medium.AttachRadio(0, geom.Point{X: -200, Y: 0})
+	b := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	rx := medium.AttachRadio(2, geom.Point{X: 0, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	engine.Schedule(0, func() { a.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(0, func() { b.Transmit(dataFrame(1, 512)) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d frames from an equal-power collision, want 0", delivered)
+	}
+	if rx.Stats.Collisions == 0 {
+		t.Fatal("collision not counted")
+	}
+}
+
+func TestCaptureStrongFrameSurvives(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	near := medium.AttachRadio(0, geom.Point{X: 100, Y: 0}) // strong at rx
+	far := medium.AttachRadio(1, geom.Point{X: -245, Y: 0}) // weak at rx
+	rx := medium.AttachRadio(2, geom.Point{X: 0, Y: 0})
+	// Power ratio (245/100)^4 ≈ 36 > 10 dB capture ratio.
+	delivered := 0
+	var deliveredSrc packet.NodeID
+	rx.ReceiveFrame = func(f *packet.Frame) { delivered++; deliveredSrc = f.Src }
+	engine.Schedule(0, func() {
+		near.Transmit(&packet.Frame{Kind: packet.FrameData, Src: 0, Dst: packet.Broadcast, Payload: &packet.Packet{Kind: packet.TypeData, PayloadBytes: 512}})
+	})
+	engine.Schedule(time.Microsecond, func() {
+		far.Transmit(&packet.Frame{Kind: packet.FrameData, Src: 1, Dst: packet.Broadcast, Payload: &packet.Packet{Kind: packet.TypeData, PayloadBytes: 512}})
+	})
+	engine.RunAll()
+	if delivered != 1 || deliveredSrc != 0 {
+		t.Fatalf("delivered=%d src=%v; want exactly the strong frame", delivered, deliveredSrc)
+	}
+}
+
+func TestWeakLateArrivalDoesNotCorruptLocked(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	near := medium.AttachRadio(0, geom.Point{X: 100, Y: 0})
+	far := medium.AttachRadio(1, geom.Point{X: -245, Y: 0})
+	rx := medium.AttachRadio(2, geom.Point{X: 0, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	// Strong frame first (locks), weak frame overlaps mid-way.
+	engine.Schedule(0, func() { near.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { far.Transmit(dataFrame(1, 64)) })
+	engine.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (strong frame should capture)", delivered)
+	}
+	if rx.Stats.Collisions != 0 {
+		t.Fatalf("Collisions = %d, want 0", rx.Stats.Collisions)
+	}
+}
+
+func TestStrongLateArrivalCorruptsLocked(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	far := medium.AttachRadio(0, geom.Point{X: -245, Y: 0})
+	near := medium.AttachRadio(1, geom.Point{X: 100, Y: 0})
+	rx := medium.AttachRadio(2, geom.Point{X: 0, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	// Weak frame locks first; strong frame arrives mid-way and destroys it.
+	// The strong frame itself is also lost (receiver was locked).
+	engine.Schedule(0, func() { far.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { near.Transmit(dataFrame(1, 512)) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", delivered)
+	}
+	if rx.Stats.Collisions == 0 {
+		t.Fatal("expected a collision to be counted")
+	}
+}
+
+func TestHalfDuplexReceiverTransmitting(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	a := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	b := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	delivered := 0
+	b.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	engine.Schedule(0, func() { b.Transmit(dataFrame(1, 512)) }) // b is busy transmitting
+	engine.Schedule(time.Millisecond, func() { a.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d while transmitting, want 0", delivered)
+	}
+	if b.Stats.HalfDuplexLoss == 0 {
+		t.Fatal("half-duplex loss not counted")
+	}
+}
+
+func TestCarrierSenseDuringTransmission(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	// Node at 400m: beyond receive range (250m) but within CS range (550m).
+	sensor := medium.AttachRadio(1, geom.Point{X: 400, Y: 0})
+	var busyDuring, busyAfter bool
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { busyDuring = sensor.CarrierBusy() })
+	engine.Schedule(time.Second, func() { busyAfter = sensor.CarrierBusy() })
+	engine.RunAll()
+	if !busyDuring {
+		t.Fatal("sensor at 400m should sense carrier during transmission")
+	}
+	if busyAfter {
+		t.Fatal("sensor should be idle after transmission ends")
+	}
+}
+
+func TestBusyChangedFiresOnTransitionOnly(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	a := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	b := medium.AttachRadio(1, geom.Point{X: 10, Y: 0})
+	rx := medium.AttachRadio(2, geom.Point{X: 100, Y: 0})
+	var transitions []bool
+	rx.BusyChanged = func(busy bool) { transitions = append(transitions, busy) }
+	// Two overlapping transmissions: rx should see busy=true once at the
+	// start and busy=false once after both end.
+	engine.Schedule(0, func() { a.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { b.Transmit(dataFrame(1, 512)) })
+	engine.RunAll()
+	if len(transitions) != 2 || transitions[0] != true || transitions[1] != false {
+		t.Fatalf("transitions = %v, want [true false]", transitions)
+	}
+}
+
+func TestRayleighEmpiricalDeliveryMatchesAnalytic(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.Rayleigh{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 180, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	const n = 20000
+	for i := 0; i < n; i++ {
+		i := i
+		engine.At(time.Duration(i)*10*time.Millisecond, func() { tx.Transmit(dataFrame(0, 64)) })
+	}
+	engine.RunAll()
+	want := medium.DeliveryProbability(tx.Pos, rx.Pos)
+	got := float64(delivered) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical delivery %v, analytic %v", got, want)
+	}
+}
+
+func TestDeliveryProbabilityNoFadingIsStep(t *testing.T) {
+	_, medium := newTestMedium(t, propagation.NoFading{})
+	in := medium.DeliveryProbability(geom.Point{}, geom.Point{X: 249})
+	out := medium.DeliveryProbability(geom.Point{}, geom.Point{X: 251})
+	if in != 1 || out != 0 {
+		t.Fatalf("step delivery = (%v, %v), want (1, 0)", in, out)
+	}
+}
+
+func TestIgnoredArrivalsBeyondInterferenceRange(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	far := medium.AttachRadio(1, geom.Point{X: 5000, Y: 0})
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.RunAll()
+	if far.Stats.BelowThreshold != 0 {
+		t.Fatal("arrival at 5km should be ignored entirely, not modeled")
+	}
+	if far.CarrierBusy() {
+		t.Fatal("radio at 5km should never sense carrier")
+	}
+}
+
+func TestSumInterferenceBlocksLock(t *testing.T) {
+	// Several individually weak interferers can still drown a new arrival:
+	// locking uses the interference *sum*. Three transmitters near the
+	// receiver start first; a fourth, slightly farther, then cannot lock.
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	var interferers []*Radio
+	for i := 0; i < 3; i++ {
+		interferers = append(interferers,
+			medium.AttachRadio(packet.NodeID(i), geom.Point{X: 120, Y: float64(i * 5)}))
+	}
+	wanted := medium.AttachRadio(9, geom.Point{X: -160, Y: 0})
+	rx := medium.AttachRadio(10, geom.Point{X: 0, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	// Interferers transmit together: equal power → none locks cleanly at
+	// rx, but their energy is on the air.
+	for _, r := range interferers {
+		r := r
+		engine.Schedule(0, func() { r.Transmit(dataFrame(r.ID, 512)) })
+	}
+	// The wanted frame arrives while the channel carries 3x interference;
+	// power(160m) < 10 x [3 x power(120m)] so it must not lock.
+	engine.Schedule(100*time.Microsecond, func() { wanted.Transmit(dataFrame(9, 512)) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d; sum interference should block the lock", delivered)
+	}
+}
+
+func TestPropagationDelayOrdersArrivals(t *testing.T) {
+	// A frame reaches a 50m receiver before a 200m receiver.
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	near := medium.AttachRadio(1, geom.Point{X: 50, Y: 0})
+	far := medium.AttachRadio(2, geom.Point{X: 200, Y: 0})
+	var nearAt, farAt time.Duration
+	near.ReceiveFrame = func(*packet.Frame) { nearAt = engine.Now() }
+	far.ReceiveFrame = func(*packet.Frame) { farAt = engine.Now() }
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.RunAll()
+	if nearAt == 0 || farAt == 0 {
+		t.Fatal("frames not delivered")
+	}
+	if farAt <= nearAt {
+		t.Fatalf("far receiver finished at %v, near at %v; propagation delay missing", farAt, nearAt)
+	}
+}
+
+func TestOnTransmitHookSeesEveryFrame(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	medium.AttachRadio(1, geom.Point{X: 100, Y: 0})
+	var seen []packet.NodeID
+	medium.OnTransmit = func(_ time.Duration, f *packet.Frame) { seen = append(seen, f.Src) }
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.Schedule(time.Second, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if len(seen) != 2 || seen[0] != 0 {
+		t.Fatalf("OnTransmit saw %v", seen)
+	}
+}

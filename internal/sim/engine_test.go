@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOWithinSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.Schedule(5*time.Second, func() { at = e.Now() })
+	e.RunAll()
+	if at != 5*time.Second {
+		t.Fatalf("Now inside event = %v, want 5s", at)
+	}
+}
+
+func TestEngineRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(1*time.Second, func() { fired++ })
+	e.Schedule(10*time.Second, func() { fired++ })
+	end := e.Run(5 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if end != 5*time.Second {
+		t.Fatalf("end = %v, want 5s", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunResumesAfterUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(10*time.Second, func() { fired++ })
+	e.Run(5 * time.Second)
+	e.Run(20 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 after resumed run", fired)
+	}
+}
+
+func TestEventStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	if !ev.Stop() {
+		t.Fatal("Stop on pending event returned false")
+	}
+	if ev.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("stopped event fired")
+	}
+}
+
+func TestEventStopAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(time.Second, func() {})
+	e.RunAll()
+	if ev.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestScheduleNegativeDelayFiresNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {
+		fired := false
+		e.Schedule(-time.Second, func() { fired = true })
+		_ = fired
+	})
+	var at time.Duration = -1
+	e.Schedule(2*time.Second, func() {
+		e.Schedule(-5*time.Second, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 2*time.Second {
+		t.Fatalf("negative-delay event fired at %v, want 2s", at)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(time.Second, func() {
+		fired++
+		e.Halt()
+	})
+	e.Schedule(2*time.Second, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 after Halt", fired)
+	}
+	e.Resume()
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after Resume", fired)
+	}
+}
+
+func TestEventsScheduledFromEvents(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			e.Schedule(time.Millisecond, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.RunAll()
+	if count != 100 {
+		t.Fatalf("chained events = %d, want 100", count)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("final time = %v, want 99ms", e.Now())
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := NewEngine(1)
+	var times []time.Duration
+	NewTicker(e, time.Second, 0, nil, func() { times = append(times, e.Now()) })
+	e.Run(5500 * time.Millisecond)
+	if len(times) != 5 {
+		t.Fatalf("ticker fired %d times, want 5 (at %v)", len(times), times)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * time.Second
+		if at != want {
+			t.Fatalf("firing %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var tk *Ticker
+	tk = NewTicker(e, time.Second, 0, nil, func() {
+		fired++
+		if fired == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(time.Minute)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3 after Stop from callback", fired)
+	}
+}
+
+func TestTickerJitterBounded(t *testing.T) {
+	e := NewEngine(42)
+	rng := e.RNG().Split()
+	var prev time.Duration
+	var gaps []time.Duration
+	NewTicker(e, time.Second, 500*time.Millisecond, rng, func() {
+		if prev != 0 {
+			gaps = append(gaps, e.Now()-prev)
+		}
+		prev = e.Now()
+	})
+	e.Run(time.Minute)
+	if len(gaps) < 10 {
+		t.Fatalf("too few firings: %d", len(gaps))
+	}
+	varied := false
+	for _, g := range gaps {
+		if g < time.Second || g >= 1500*time.Millisecond {
+			t.Fatalf("gap %v outside [1s, 1.5s)", g)
+		}
+		if g != gaps[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jittered gaps are all identical")
+	}
+}
+
+func TestEngineOrderingProperty(t *testing.T) {
+	// Random schedules always execute in non-decreasing time order, with
+	// FIFO tie-breaking by insertion sequence.
+	if err := quick.Check(func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 || len(delaysRaw) > 200 {
+			return true
+		}
+		e := NewEngine(1)
+		type fired struct {
+			at  time.Duration
+			seq int
+		}
+		var got []fired
+		for i, d := range delaysRaw {
+			i := i
+			at := time.Duration(d%50) * time.Millisecond
+			e.At(at, func() { got = append(got, fired{e.Now(), i}) })
+		}
+		e.RunAll()
+		if len(got) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false // FIFO violated within a timestamp
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayTrackerPercentiles(t *testing.T) {
+	var d DelayTracker
+	// 1..100 ms, inserted out of order.
+	for i := 100; i >= 1; i-- {
+		d.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p := d.Percentiles()
+	if p.Count != 100 {
+		t.Fatalf("count = %d", p.Count)
+	}
+	if p.P50 < 49*time.Millisecond || p.P50 > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", p.P50)
+	}
+	if p.P90 < 89*time.Millisecond || p.P90 > 91*time.Millisecond {
+		t.Fatalf("p90 = %v", p.P90)
+	}
+	if p.P99 < 98*time.Millisecond || p.P99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", p.P99)
+	}
+	if p.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", p.Max)
+	}
+}
+
+func TestDelayTrackerEmpty(t *testing.T) {
+	var d DelayTracker
+	if p := d.Percentiles(); p.Count != 0 || p.Max != 0 {
+		t.Fatalf("empty percentiles = %+v", p)
+	}
+}
+
+func TestDelayTrackerObserveAfterPercentiles(t *testing.T) {
+	var d DelayTracker
+	d.Observe(10 * time.Millisecond)
+	_ = d.Percentiles()
+	d.Observe(time.Millisecond) // must re-sort
+	if p := d.Percentiles(); p.P50 != time.Millisecond && p.P50 != 10*time.Millisecond {
+		t.Fatalf("p50 = %v", p.P50)
+	}
+	if p := d.Percentiles(); p.Max != 10*time.Millisecond {
+		t.Fatalf("max = %v", p.Max)
+	}
+}
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts := NewTimeSeries(10 * time.Second)
+	// Bucket 0: 4 sent, 2 delivered. Bucket 2: 1 sent, 1 delivered.
+	for i := 0; i < 4; i++ {
+		ts.RecordSent(time.Duration(i) * time.Second)
+	}
+	ts.RecordDelivered(2 * time.Second)
+	ts.RecordDelivered(9 * time.Second)
+	ts.RecordSent(25 * time.Second)
+	ts.RecordDelivered(25 * time.Second)
+
+	points := ts.Points()
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	if points[0].Sent != 4 || points[0].Delivered != 2 || points[0].Ratio != 0.5 {
+		t.Fatalf("bucket 0 = %+v", points[0])
+	}
+	if points[1].Sent != 0 || points[1].Ratio != 0 {
+		t.Fatalf("bucket 1 = %+v", points[1])
+	}
+	if points[2].Start != 20*time.Second || points[2].Ratio != 1 {
+		t.Fatalf("bucket 2 = %+v", points[2])
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.RecordSent(-5 * time.Second)
+	if pts := ts.Points(); len(pts) != 1 || pts[0].Sent != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestTimeSeriesDefaultBucket(t *testing.T) {
+	ts := NewTimeSeries(0)
+	ts.RecordSent(15 * time.Second)
+	if pts := ts.Points(); len(pts) != 2 {
+		t.Fatalf("default bucket should be 10s, got %d buckets", len(pts))
+	}
+}

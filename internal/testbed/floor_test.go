@@ -1,0 +1,166 @@
+package testbed
+
+import (
+	"testing"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+)
+
+func TestPaperScenarioMatchesConstants(t *testing.T) {
+	sc := PaperScenario()
+	if len(sc.Nodes) != 8 || len(sc.Links) != len(Links) {
+		t.Fatalf("paper scenario shape: %d nodes, %d links", len(sc.Nodes), len(sc.Links))
+	}
+	if len(sc.Groups) != 2 || sc.Groups[0].Source != 2 || sc.Groups[1].Source != 4 {
+		t.Fatalf("paper groups = %+v", sc.Groups)
+	}
+	// Mutating the copy must not corrupt the package constants.
+	sc.Links[0].Class = LowLoss
+	if Links[0].Class != Lossy {
+		t.Fatal("PaperScenario shares the Links slice")
+	}
+}
+
+func TestGenerateFloorShape(t *testing.T) {
+	sc, err := GenerateFloor(FloorConfig{Nodes: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Nodes) != 16 {
+		t.Fatalf("nodes = %d", len(sc.Nodes))
+	}
+	if !scenarioConnected(sc) {
+		t.Fatal("generated floor disconnected")
+	}
+	lossy := 0
+	for _, l := range sc.Links {
+		if l.Class == Lossy {
+			lossy++
+		}
+		if _, ok := sc.Positions[l.A]; !ok {
+			t.Fatalf("link endpoint %v missing position", l.A)
+		}
+	}
+	if lossy == 0 || lossy == len(sc.Links) {
+		t.Fatalf("lossy links = %d of %d, want a mix", lossy, len(sc.Links))
+	}
+	// Lossy links must be (on average) longer than low-loss ones — they
+	// model wall-heavy long links.
+	var lossySum, cleanSum float64
+	var lossyN, cleanN int
+	for _, l := range sc.Links {
+		d := sc.Positions[l.A].Distance(sc.Positions[l.B])
+		if l.Class == Lossy {
+			lossySum += d
+			lossyN++
+		} else {
+			cleanSum += d
+			cleanN++
+		}
+	}
+	if lossySum/float64(lossyN) <= cleanSum/float64(cleanN) {
+		t.Fatal("lossy links are not longer than clean links on average")
+	}
+	if len(sc.Groups) != 2 {
+		t.Fatalf("groups = %d", len(sc.Groups))
+	}
+	seen := map[packet.NodeID]bool{}
+	for _, g := range sc.Groups {
+		for _, id := range append([]packet.NodeID{g.Source}, g.Members...) {
+			if seen[id] {
+				t.Fatalf("node %v reused across sessions", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestGenerateFloorDeterministic(t *testing.T) {
+	a, err := GenerateFloor(FloorConfig{Nodes: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFloor(FloorConfig{Nodes: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Links) != len(b.Links) {
+		t.Fatal("same seed, different link count")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatal("same seed, different links")
+		}
+	}
+	c, err := GenerateFloor(FloorConfig{Nodes: 12, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Links) == len(c.Links)
+	if same {
+		for i := range a.Links {
+			if a.Links[i] != c.Links[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical floors")
+	}
+}
+
+func TestGenerateFloorRejectsTiny(t *testing.T) {
+	if _, err := GenerateFloor(FloorConfig{Nodes: 2, Seed: 1}); err == nil {
+		t.Fatal("expected error for 2-node floor")
+	}
+}
+
+func TestRunScenarioOnGeneratedFloor(t *testing.T) {
+	sc, err := GenerateFloor(FloorConfig{Nodes: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(metric.SPP, 5)
+	cfg.WarmupSeconds = 40
+	cfg.TrafficSeconds = 60
+	res, err := RunScenario(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PDR <= 0.3 {
+		t.Fatalf("floor run PDR = %v", res.Summary.PDR)
+	}
+	if len(res.PerMember) != 4 {
+		t.Fatalf("per-member = %d, want 4 (2 groups x 2 members)", len(res.PerMember))
+	}
+}
+
+func TestLargerFloorMetricsStillBeatBaseline(t *testing.T) {
+	// The future-work claim: on a larger, more diverse testbed the
+	// link-quality gain persists.
+	sc, err := GenerateFloor(FloorConfig{Nodes: 14, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k metric.Kind) float64 {
+		var sum float64
+		for _, seed := range []uint64{1, 2, 3} {
+			cfg := DefaultConfig(k, seed)
+			cfg.WarmupSeconds = 40
+			cfg.TrafficSeconds = 60
+			res, err := RunScenario(cfg, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Summary.PDR
+		}
+		return sum / 3
+	}
+	base := run(metric.MinHop)
+	spp := run(metric.SPP)
+	if spp <= base {
+		t.Fatalf("SPP %.3f did not beat baseline %.3f on the generated floor", spp, base)
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace provides lightweight structured event tracing for
+// simulation runs: protocol and MAC components emit typed events, and
+// sinks filter, count, or render them. Tracing is pull-wired (components
+// take a *Tracer that may be nil) so the hot path pays a single nil check
+// when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"meshcast/internal/packet"
+)
+
+// Category classifies trace events.
+type Category uint8
+
+// Event categories.
+const (
+	// CatQuery covers JOIN QUERY origination and forwarding.
+	CatQuery Category = iota + 1
+	// CatReply covers JOIN REPLY traffic and FG transitions.
+	CatReply
+	// CatData covers data origination, forwarding and delivery.
+	CatData
+	// CatProbe covers link-quality probing.
+	CatProbe
+	// CatMAC covers MAC transmissions and drops.
+	CatMAC
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatQuery:
+		return "QUERY"
+	case CatReply:
+		return "REPLY"
+	case CatData:
+		return "DATA"
+	case CatProbe:
+		return "PROBE"
+	case CatMAC:
+		return "MAC"
+	default:
+		return fmt.Sprintf("CAT(%d)", uint8(c))
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	// At is the virtual time of the event.
+	At time.Duration
+	// Node is the node the event occurred on.
+	Node packet.NodeID
+	// Cat classifies the event.
+	Cat Category
+	// Msg is a short human-readable description.
+	Msg string
+}
+
+// String implements fmt.Stringer: "12.3456s n7 QUERY forward seq=3".
+func (e Event) String() string {
+	return fmt.Sprintf("%10.4fs %-5v %-5v %s", e.At.Seconds(), e.Node, e.Cat, e.Msg)
+}
+
+// Sink consumes trace events. Implementations must be safe for use from the
+// single simulation goroutine; the Tracer does not add locking around Emit.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Tracer fans events out to a sink with category filtering. A nil *Tracer
+// is valid and discards everything, so components can hold one
+// unconditionally.
+type Tracer struct {
+	sink Sink
+	mask uint16 // bit per category
+	now  func() time.Duration
+}
+
+// New creates a tracer feeding sink, enabled for the given categories (all
+// categories when none are listed). now supplies virtual time.
+func New(sink Sink, now func() time.Duration, cats ...Category) *Tracer {
+	var mask uint16
+	if len(cats) == 0 {
+		mask = ^uint16(0)
+	}
+	for _, c := range cats {
+		mask |= 1 << c
+	}
+	return &Tracer{sink: sink, mask: mask, now: now}
+}
+
+// Enabled reports whether a category is currently traced.
+func (t *Tracer) Enabled(c Category) bool {
+	return t != nil && t.mask&(1<<c) != 0
+}
+
+// Emit records an event for node in category c. It is a no-op on a nil
+// tracer or a filtered category; the format string is only rendered when
+// the event is kept.
+func (t *Tracer) Emit(node packet.NodeID, c Category, format string, args ...any) {
+	if !t.Enabled(c) {
+		return
+	}
+	t.sink.Emit(Event{
+		At:   t.now(),
+		Node: node,
+		Cat:  c,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Writer is a Sink that renders events as lines to an io.Writer.
+type Writer struct {
+	W io.Writer
+}
+
+var _ Sink = Writer{}
+
+// Emit implements Sink.
+func (w Writer) Emit(e Event) {
+	fmt.Fprintln(w.W, e.String())
+}
+
+// Buffer is a Sink that retains events in memory (bounded), for tests and
+// post-run analysis.
+type Buffer struct {
+	// Cap bounds retained events; 0 means unbounded.
+	Cap int
+
+	mu     sync.Mutex
+	events []Event
+	// Dropped counts events discarded because the buffer was full.
+	dropped uint64
+}
+
+var _ Sink = (*Buffer)(nil)
+
+// Emit implements Sink.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.Cap > 0 && len(b.events) >= b.Cap {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Events returns a snapshot of the retained events.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Dropped returns the number of discarded events.
+func (b *Buffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// CountByCategory tallies retained events per category.
+func (b *Buffer) CountByCategory() map[Category]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Category]int)
+	for _, e := range b.events {
+		out[e.Cat]++
+	}
+	return out
+}
+
+// Counter is a Sink that only counts events, for cheap always-on tracing.
+type Counter struct {
+	mu sync.Mutex
+	n  map[Category]uint64
+}
+
+var _ Sink = (*Counter)(nil)
+
+// Emit implements Sink.
+func (c *Counter) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == nil {
+		c.n = make(map[Category]uint64)
+	}
+	c.n[e.Cat]++
+}
+
+// Count returns the tally for a category.
+func (c *Counter) Count(cat Category) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n[cat]
+}

@@ -1,0 +1,93 @@
+// Package traffic provides application-layer workload generators for the
+// simulation: constant-bit-rate multicast sources matching the paper's
+// workload (512-byte packets at 20 packets/second).
+package traffic
+
+import (
+	"time"
+
+	"meshcast/internal/odmrp"
+	"meshcast/internal/packet"
+	"meshcast/internal/sim"
+)
+
+// CBRConfig describes a constant-bit-rate multicast flow.
+type CBRConfig struct {
+	// Group is the destination multicast group.
+	Group packet.GroupID
+	// PayloadBytes is the application payload per packet (paper: 512).
+	PayloadBytes int
+	// Interval is the inter-packet gap (paper: 50 ms = 20 pkt/s).
+	Interval time.Duration
+	// Jitter adds a uniform [0, Jitter) offset per packet to avoid phase
+	// lock between flows.
+	Jitter time.Duration
+	// Start delays the first packet.
+	Start time.Duration
+	// Stop ends the flow (zero = never).
+	Stop time.Duration
+}
+
+// DefaultCBR returns the paper's CBR workload for a group: 512-byte packets
+// at 20 packets/second.
+func DefaultCBR(group packet.GroupID) CBRConfig {
+	return CBRConfig{
+		Group:        group,
+		PayloadBytes: 512,
+		Interval:     50 * time.Millisecond,
+		Jitter:       5 * time.Millisecond,
+	}
+}
+
+// CBR drives a router as a multicast source.
+type CBR struct {
+	// Sent counts packets handed to the router.
+	Sent uint64
+	// OnSend, when non-nil, observes each data packet's send time.
+	OnSend func(at time.Duration)
+
+	router *odmrp.Router
+	engine *sim.Engine
+	rng    *sim.RNG
+	cfg    CBRConfig
+	ticker *sim.Ticker
+}
+
+// NewCBR creates a CBR source on router; call Start to begin.
+func NewCBR(engine *sim.Engine, router *odmrp.Router, cfg CBRConfig) *CBR {
+	return &CBR{
+		router: router,
+		engine: engine,
+		rng:    engine.RNG().Split(),
+		cfg:    cfg,
+	}
+}
+
+// Start registers the router as an ODMRP source and schedules the flow.
+func (c *CBR) Start() {
+	c.engine.Schedule(c.cfg.Start, func() {
+		c.router.StartSource(c.cfg.Group)
+		c.ticker = sim.NewTicker(c.engine, c.cfg.Interval, c.cfg.Jitter, c.rng, c.emit)
+	})
+}
+
+func (c *CBR) emit() {
+	if c.cfg.Stop > 0 && c.engine.Now() >= c.cfg.Stop {
+		c.StopNow()
+		return
+	}
+	c.router.SendData(c.cfg.Group, c.cfg.PayloadBytes)
+	c.Sent++
+	if c.OnSend != nil {
+		c.OnSend(c.engine.Now())
+	}
+}
+
+// StopNow halts the flow and the source's query floods.
+func (c *CBR) StopNow() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+	c.router.StopSource(c.cfg.Group)
+}

@@ -1,0 +1,167 @@
+// Package viz renders topologies and multicast trees as ASCII maps for the
+// command-line tools — enough to eyeball a deployment, a forwarding group,
+// or the Figure 4/5 floor plan without leaving the terminal.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"meshcast/internal/geom"
+)
+
+// Node is a labeled point on the map.
+type Node struct {
+	Label string
+	Pos   geom.Point
+}
+
+// EdgeStyle selects the character used to draw an edge.
+type EdgeStyle int
+
+// Edge styles: solid for low-loss/selected links, dashed for lossy links,
+// arrow for directed tree edges.
+const (
+	Solid EdgeStyle = iota + 1
+	Dashed
+)
+
+// Edge is a link to draw between two node labels.
+type Edge struct {
+	From, To string
+	Style    EdgeStyle
+}
+
+// Map renders nodes and edges on a character canvas of the given width (in
+// characters). Height follows from the bounding box's aspect ratio, with
+// characters assumed twice as tall as wide.
+func Map(nodes []Node, edges []Edge, width int) string {
+	if len(nodes) == 0 {
+		return "(empty map)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, n := range nodes {
+		minX = math.Min(minX, n.Pos.X)
+		minY = math.Min(minY, n.Pos.Y)
+		maxX = math.Max(maxX, n.Pos.X)
+		maxY = math.Max(maxY, n.Pos.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	height := int(float64(width) * spanY / spanX / 2)
+	if height < 4 {
+		height = 4
+	}
+	if height > 60 {
+		height = 60
+	}
+
+	cells := make([][]rune, height+1)
+	for i := range cells {
+		cells[i] = make([]rune, width+1)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	toCell := func(p geom.Point) [2]int {
+		cx := int((p.X - minX) / spanX * float64(width))
+		cy := int((p.Y - minY) / spanY * float64(height))
+		return [2]int{cx, height - cy} // y grows upward on the map
+	}
+	byLabel := make(map[string]geom.Point, len(nodes))
+	for _, n := range nodes {
+		byLabel[n.Label] = n.Pos
+	}
+
+	for _, e := range edges {
+		a, okA := byLabel[e.From]
+		b, okB := byLabel[e.To]
+		if !okA || !okB {
+			continue
+		}
+		mark := '·'
+		if e.Style == Dashed {
+			mark = '~'
+		}
+		drawLine(cells, toCell(a), toCell(b), mark)
+	}
+	for _, n := range nodes {
+		c := toCell(n.Pos)
+		placeLabel(cells, c[0], c[1], n.Label)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "map %.0fx%.0f m (· solid, ~ dashed)\n", spanX, spanY)
+	for _, row := range cells {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// drawLine draws a Bresenham line between two cells.
+func drawLine(cells [][]rune, from, to [2]int, mark rune) {
+	x0, y0 := from[0], from[1]
+	x1, y1 := to[0], to[1]
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if y0 >= 0 && y0 < len(cells) && x0 >= 0 && x0 < len(cells[y0]) && cells[y0][x0] == ' ' {
+			cells[y0][x0] = mark
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// placeLabel writes a label starting at the node cell, clipped to the row.
+func placeLabel(cells [][]rune, cx, cy int, label string) {
+	if cy < 0 || cy >= len(cells) {
+		return
+	}
+	row := cells[cy]
+	for i, r := range label {
+		x := cx + i
+		if x < 0 || x >= len(row) {
+			return
+		}
+		row[x] = r
+	}
+}
+
+// toCell helpers.
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

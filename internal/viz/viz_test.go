@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"meshcast/internal/geom"
+)
+
+func TestMapPlacesLabels(t *testing.T) {
+	out := Map([]Node{
+		{Label: "A", Pos: geom.Point{X: 0, Y: 0}},
+		{Label: "B", Pos: geom.Point{X: 100, Y: 100}},
+	}, nil, 40)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var aLine, bLine int
+	for i, l := range lines {
+		if strings.Contains(l, "A") && !strings.Contains(l, "map") {
+			aLine = i
+		}
+		if strings.Contains(l, "B") {
+			bLine = i
+		}
+	}
+	// Y grows upward: B (y=100) must be rendered above A (y=0).
+	if bLine >= aLine {
+		t.Fatalf("B on line %d should be above A on line %d:\n%s", bLine, aLine, out)
+	}
+}
+
+func TestMapDrawsEdges(t *testing.T) {
+	nodes := []Node{
+		{Label: "A", Pos: geom.Point{X: 0, Y: 0}},
+		{Label: "B", Pos: geom.Point{X: 100, Y: 0}},
+		{Label: "C", Pos: geom.Point{X: 50, Y: 80}},
+	}
+	out := Map(nodes, []Edge{
+		{From: "A", To: "B", Style: Solid},
+		{From: "A", To: "C", Style: Dashed},
+	}, 50)
+	if !strings.Contains(out, "·") {
+		t.Fatalf("solid edge not drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "~") {
+		t.Fatalf("dashed edge not drawn:\n%s", out)
+	}
+}
+
+func TestMapUnknownEdgeEndpointsIgnored(t *testing.T) {
+	out := Map([]Node{{Label: "A", Pos: geom.Point{}}},
+		[]Edge{{From: "A", To: "missing", Style: Solid}}, 30)
+	body := out[strings.Index(out, "\n")+1:] // skip the legend line
+	if strings.Contains(body, "·") {
+		t.Fatal("edge to unknown node drawn")
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(nil, nil, 40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty map = %q", out)
+	}
+}
+
+func TestMapDegenerateGeometry(t *testing.T) {
+	// All nodes at one point, tiny width: must not panic or divide by zero.
+	out := Map([]Node{
+		{Label: "A", Pos: geom.Point{X: 5, Y: 5}},
+		{Label: "B", Pos: geom.Point{X: 5, Y: 5}},
+	}, []Edge{{From: "A", To: "B", Style: Solid}}, 1)
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	nodes := []Node{
+		{Label: "n1", Pos: geom.Point{X: 0, Y: 0}},
+		{Label: "n2", Pos: geom.Point{X: 30, Y: 40}},
+	}
+	edges := []Edge{{From: "n1", To: "n2", Style: Solid}}
+	if Map(nodes, edges, 40) != Map(nodes, edges, 40) {
+		t.Fatal("identical inputs rendered differently")
+	}
+}

@@ -1,0 +1,458 @@
+// Package meshcast is a wireless mesh network simulator and a complete
+// implementation of the ODMRP multicast protocol equipped with the
+// high-throughput routing metrics of Roy, Koutsonikolas, Das and Hu,
+// "High-Throughput Multicast Routing Metrics in Wireless Mesh Networks"
+// (ICDCS 2006): ETX, ETT, PP, METX and SPP, adapted for link-layer
+// broadcast.
+//
+// The package offers three levels of use:
+//
+//   - Metric algebra: NewMetric / PathCost evaluate and compare multicast
+//     path costs for any of the six metrics on static link data.
+//   - Simulation: Simulation builds an 802.11 mesh (two-ray propagation,
+//     Rayleigh fading, DCF MAC) running ODMRP with a chosen metric, CBR
+//     multicast traffic, and full measurement collection.
+//   - Paper experiments: RunTestbed reproduces the paper's 8-node indoor
+//     testbed; the cmd/experiments tool regenerates every table and figure.
+//
+// All randomness derives from a single seed: runs are exactly reproducible.
+package meshcast
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"meshcast/internal/analysis"
+	"meshcast/internal/emu"
+	"meshcast/internal/experiments"
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/node"
+	"meshcast/internal/odmrp"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/stats"
+	"meshcast/internal/testbed"
+	"meshcast/internal/topology"
+	"meshcast/internal/traffic"
+	"meshcast/internal/viz"
+)
+
+// Metric identifies a multicast routing metric.
+type Metric = metric.Kind
+
+// The available metrics. MinHop reproduces the original ODMRP; the other
+// five are the paper's high-throughput adaptations.
+const (
+	MinHop = metric.MinHop
+	ETX    = metric.ETX
+	ETT    = metric.ETT
+	PP     = metric.PP
+	METX   = metric.METX
+	SPP    = metric.SPP
+)
+
+// Metrics returns all metrics in presentation order.
+func Metrics() []Metric { return metric.All() }
+
+// LinkQualityMetrics returns the five probing metrics (everything except
+// MinHop).
+func LinkQualityMetrics() []Metric { return metric.LinkQuality() }
+
+// ParseMetric converts a name ("spp", "etx", ...) to a Metric.
+func ParseMetric(s string) (Metric, error) { return metric.ParseKind(s) }
+
+// LinkEstimate carries per-link measurements for static path evaluation.
+type LinkEstimate = metric.LinkEstimate
+
+// PathCost folds per-link estimates through a metric's cost algebra,
+// source first, and returns the resulting path cost. Use BetterPath to
+// compare two costs under the same metric (SPP is maximized, the others
+// minimized).
+func PathCost(m Metric, links []LinkEstimate) (float64, error) {
+	pm, err := metric.New(m)
+	if err != nil {
+		return 0, err
+	}
+	return metric.PathCostFromEstimates(pm, links), nil
+}
+
+// BetterPath reports whether path cost a beats b under metric m.
+func BetterPath(m Metric, a, b float64) (bool, error) {
+	pm, err := metric.New(m)
+	if err != nil {
+		return false, err
+	}
+	return pm.Better(a, b), nil
+}
+
+// NodeID identifies a node in a simulation.
+type NodeID = packet.NodeID
+
+// GroupID identifies a multicast group.
+type GroupID = packet.GroupID
+
+// Summary aggregates a run's delivery statistics.
+type Summary = stats.Summary
+
+// MemberPDR is one receiver's per-flow delivery ratio.
+type MemberPDR = stats.MemberPDR
+
+// Percentiles summarizes an end-to-end delay distribution.
+type Percentiles = stats.Percentiles
+
+// Edge is a directed data-plane link (for tree analysis).
+type Edge = odmrp.Edge
+
+// SimulationConfig configures a Simulation.
+type SimulationConfig struct {
+	// Seed drives all randomness; identical seeds give identical runs.
+	Seed uint64
+	// Metric selects the routing metric (default SPP).
+	Metric Metric
+	// DisableFading switches off Rayleigh fading (links become on/off by
+	// distance). The paper's simulations keep fading on.
+	DisableFading bool
+	// PayloadBytes is the CBR payload size (default 512).
+	PayloadBytes int
+	// SendInterval is the CBR inter-packet gap (default 50 ms).
+	SendInterval time.Duration
+}
+
+// Simulation is a programmable mesh-network simulation: place nodes, join
+// groups, attach sources, run, inspect.
+type Simulation struct {
+	engine    *sim.Engine
+	medium    *phy.Medium
+	nodes     []*node.Node
+	collector *stats.Collector
+	delays    stats.DelayTracker
+	flows     []*traffic.CBR
+	flowKeys  []flowKey
+	cfg       SimulationConfig
+	started   bool
+}
+
+type flowKey struct {
+	group GroupID
+	src   NodeID
+}
+
+// NewSimulation creates an empty simulation.
+func NewSimulation(cfg SimulationConfig) *Simulation {
+	if cfg.Metric == 0 {
+		cfg.Metric = SPP
+	}
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = 512
+	}
+	if cfg.SendInterval == 0 {
+		cfg.SendInterval = 50 * time.Millisecond
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	var fading propagation.Fading = propagation.Rayleigh{}
+	if cfg.DisableFading {
+		fading = propagation.NoFading{}
+	}
+	return &Simulation{
+		engine:    engine,
+		medium:    phy.NewMedium(engine, propagation.NewTwoRay(), fading, phy.DefaultParams()),
+		collector: stats.NewCollector(),
+		cfg:       cfg,
+	}
+}
+
+// AddNode places a mesh router at (x, y) metres and returns its ID.
+func (s *Simulation) AddNode(x, y float64) (NodeID, error) {
+	id := NodeID(len(s.nodes))
+	n, err := node.New(s.engine, s.medium, id, geom.Point{X: x, Y: y}, s.nodeConfig())
+	if err != nil {
+		return 0, err
+	}
+	s.nodes = append(s.nodes, n)
+	return id, nil
+}
+
+func (s *Simulation) nodeConfig() node.Config {
+	cfg := node.DefaultConfig(s.cfg.Metric)
+	cfg.DataPacketBytes = s.cfg.PayloadBytes
+	return cfg
+}
+
+// AddRandomNodes places n nodes uniformly in a side × side square, redrawing
+// until the 250 m disc graph is connected. It returns the IDs.
+func (s *Simulation) AddRandomNodes(n int, side float64) ([]NodeID, error) {
+	topo, err := topology.RandomConnected(s.engine.RNG().Split(), n, geom.Square(side), 250, 500)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]NodeID, 0, n)
+	for _, p := range topo.Positions {
+		id, err := s.AddNode(p.X, p.Y)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// NodeCount returns the number of placed nodes.
+func (s *Simulation) NodeCount() int { return len(s.nodes) }
+
+// Join subscribes a node to a multicast group as a receiver.
+func (s *Simulation) Join(id NodeID, group GroupID) error {
+	n, err := s.node(id)
+	if err != nil {
+		return err
+	}
+	n.Router.JoinGroup(group)
+	r := n.Router
+	r.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+		delay := s.engine.Now() - p.SentAt
+		s.collector.RecordDelivered(r.ID(), p.Group, p.Src, p.PayloadBytes, delay)
+		s.delays.Observe(delay)
+	}
+	// Subscribe this member to every known source of the group.
+	for _, fk := range s.flowKeys {
+		if fk.group == group {
+			s.collector.Subscribe(id, group, fk.src)
+		}
+	}
+	return nil
+}
+
+// AddSource attaches a CBR multicast flow from node id to group, starting at
+// the given offset into the run. Declare sources before Run.
+func (s *Simulation) AddSource(id NodeID, group GroupID, start time.Duration) error {
+	n, err := s.node(id)
+	if err != nil {
+		return err
+	}
+	cbr := traffic.NewCBR(s.engine, n.Router, traffic.CBRConfig{
+		Group:        group,
+		PayloadBytes: s.cfg.PayloadBytes,
+		Interval:     s.cfg.SendInterval,
+		Jitter:       s.cfg.SendInterval / 10,
+		Start:        start,
+	})
+	s.flows = append(s.flows, cbr)
+	s.flowKeys = append(s.flowKeys, flowKey{group, id})
+	// Existing members of the group subscribe to the new source.
+	for _, m := range s.nodes {
+		if m.Router.IsMember(group) && m.ID != id {
+			s.collector.Subscribe(m.ID, group, id)
+		}
+	}
+	return nil
+}
+
+func (s *Simulation) node(id NodeID) (*node.Node, error) {
+	if int(id) >= len(s.nodes) {
+		return nil, fmt.Errorf("meshcast: unknown node %v", id)
+	}
+	return s.nodes[int(id)], nil
+}
+
+// Run advances the simulation to the given absolute virtual time. It may be
+// called repeatedly with increasing times.
+func (s *Simulation) Run(until time.Duration) {
+	if !s.started {
+		s.started = true
+		for _, n := range s.nodes {
+			n.Start()
+		}
+		for _, f := range s.flows {
+			f.Start()
+		}
+	}
+	s.engine.Run(until)
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.engine.Now() }
+
+// Summary returns aggregated delivery statistics for the run so far.
+func (s *Simulation) Summary() Summary {
+	s.syncSent()
+	return s.collector.Summarize()
+}
+
+// PerMember returns each member's per-flow delivery ratio.
+func (s *Simulation) PerMember() []MemberPDR {
+	s.syncSent()
+	return s.collector.PerMemberPDR()
+}
+
+// GroupSummary returns delivery statistics restricted to one group.
+func (s *Simulation) GroupSummary(group GroupID) Summary {
+	s.syncSent()
+	return s.collector.GroupSummary(group)
+}
+
+func (s *Simulation) syncSent() {
+	var probeBytes uint64
+	for _, n := range s.nodes {
+		probeBytes += n.Prober.Stats.BytesSent
+	}
+	s.collector.ProbeBytes = probeBytes
+	for i, f := range s.flows {
+		s.collector.SetSent(s.flowKeys[i].group, s.flowKeys[i].src, f.Sent)
+	}
+}
+
+// DelayPercentiles summarizes the end-to-end delay distribution of every
+// delivery so far.
+func (s *Simulation) DelayPercentiles() Percentiles {
+	return s.delays.Percentiles()
+}
+
+// IsForwarder reports whether a node currently holds the forwarding-group
+// flag for a group.
+func (s *Simulation) IsForwarder(id NodeID, group GroupID) bool {
+	n, err := s.node(id)
+	if err != nil {
+		return false
+	}
+	return n.Router.IsForwarder(group)
+}
+
+// EdgeUse merges the per-node counters of data packets carried per directed
+// link — the multicast tree, weighted by use.
+func (s *Simulation) EdgeUse() map[Edge]uint64 {
+	out := make(map[Edge]uint64)
+	for _, n := range s.nodes {
+		for e, c := range n.Router.EdgeUse() {
+			out[e] += c
+		}
+	}
+	return out
+}
+
+// OptimalSPP returns, for every node, the best achievable end-to-end
+// delivery probability from source over the simulation's analytic link
+// graph (closed-form Rayleigh reception probabilities, no interference) —
+// the ceiling routing can reach per transmission chain. Compare against
+// PerMember PDRs to grade routing efficiency.
+func (s *Simulation) OptimalSPP(source NodeID) ([]float64, error) {
+	if int(source) >= len(s.nodes) {
+		return nil, fmt.Errorf("meshcast: unknown node %v", source)
+	}
+	positions := make([]geom.Point, len(s.nodes))
+	for i, n := range s.nodes {
+		positions[i] = n.Radio.Pos
+	}
+	g := analysis.FromPositions(positions, s.medium, s.cfg.PayloadBytes, 0.001)
+	return analysis.OptimalSPP(g, int(source))
+}
+
+// TestbedConfig configures a run of the paper's 8-node testbed emulation.
+type TestbedConfig = testbed.Config
+
+// TestbedResult is the outcome of a testbed run.
+type TestbedResult = testbed.Result
+
+// TestbedLink describes one link of the testbed topology.
+type TestbedLink = testbed.Link
+
+// DefaultTestbedConfig mirrors the paper's §5 experiments (400 s runs).
+func DefaultTestbedConfig(m Metric, seed uint64) TestbedConfig {
+	return testbed.DefaultConfig(m, seed)
+}
+
+// RunTestbed executes the paper's testbed scenario: source 2 → members
+// {3, 5} and source 4 → members {1, 7} over the Figure 4 topology with
+// time-varying lossy links.
+func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
+	return testbed.Run(cfg)
+}
+
+// TestbedLinks returns the Figure 4 topology with loss classifications.
+func TestbedLinks() []TestbedLink {
+	links := make([]TestbedLink, len(testbed.Links))
+	copy(links, testbed.Links)
+	return links
+}
+
+// TestbedHeavyEdges extracts the data-plane tree of a testbed run: directed
+// edges carrying at least minShare of a source's packets (Figure 5).
+func TestbedHeavyEdges(res *TestbedResult, minShare float64) []testbed.TreeEdge {
+	return testbed.HeavyEdges(res, minShare)
+}
+
+// TestbedMap renders the paper's Figure 4 floor plan as an ASCII map of the
+// given character width, with lossy links dashed.
+func TestbedMap(width int) string {
+	sc := testbed.PaperScenario()
+	nodes := make([]viz.Node, 0, len(sc.Nodes))
+	for _, id := range sc.Nodes {
+		nodes = append(nodes, viz.Node{Label: id.String(), Pos: sc.Positions[id]})
+	}
+	edges := make([]viz.Edge, 0, len(sc.Links))
+	for _, l := range sc.Links {
+		style := viz.Solid
+		if l.Class == testbed.Lossy {
+			style = viz.Dashed
+		}
+		edges = append(edges, viz.Edge{From: l.A.String(), To: l.B.String(), Style: style})
+	}
+	return viz.Map(nodes, edges, width)
+}
+
+// TestbedTreeMap renders a testbed run's heavily used data edges over the
+// Figure 4 floor plan (the paper's Figure 5), lossy edges dashed.
+func TestbedTreeMap(res *TestbedResult, minShare float64, width int) string {
+	sc := testbed.PaperScenario()
+	nodes := make([]viz.Node, 0, len(sc.Nodes))
+	for _, id := range sc.Nodes {
+		nodes = append(nodes, viz.Node{Label: id.String(), Pos: sc.Positions[id]})
+	}
+	heavy := testbed.HeavyEdges(res, minShare)
+	edges := make([]viz.Edge, 0, len(heavy))
+	for _, e := range heavy {
+		style := viz.Solid
+		if e.Class == testbed.Lossy {
+			style = viz.Dashed
+		}
+		edges = append(edges, viz.Edge{From: e.Edge.From.String(), To: e.Edge.To.String(), Style: style})
+	}
+	return viz.Map(nodes, edges, width)
+}
+
+// LiveTestbedResult summarizes a real-time testbed fleet run.
+type LiveTestbedResult = emu.FleetResult
+
+// RunLiveTestbed executes the paper's Figure 4 testbed as *live* ODMRP
+// daemons exchanging real UDP datagrams over an in-process lossy ether, for
+// the given wall-clock duration — the same protocol code as the simulator,
+// driven by real sockets and real time (paper §5.2's architecture).
+func RunLiveTestbed(m Metric, wallClock time.Duration, seed uint64) (LiveTestbedResult, error) {
+	fleet, err := emu.NewFleet(emu.FleetConfig{
+		Scenario: testbed.PaperScenario(),
+		Metric:   m,
+		Seed:     seed,
+	})
+	if err != nil {
+		return LiveTestbedResult{}, err
+	}
+	defer fleet.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), wallClock)
+	defer cancel()
+	fleet.Run(ctx)
+	return fleet.Result(), nil
+}
+
+// PaperScenario returns the paper's §4.1 simulation setup (50 nodes,
+// 1000×1000 m, two groups) for direct use with RunPaperScenario; seed
+// selects the random topology.
+func PaperScenario(m Metric, seed uint64) (experiments.ScenarioConfig, error) {
+	return experiments.DefaultScenario(m, seed)
+}
+
+// RunPaperScenario executes a paper-scale scenario configuration.
+func RunPaperScenario(cfg experiments.ScenarioConfig) (*experiments.RunResult, error) {
+	return experiments.RunScenario(cfg)
+}

@@ -1,0 +1,237 @@
+package meshcast
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPublicPathCostFigure1(t *testing.T) {
+	// Figure 1 through the public API: SPP prefers A-C-D, METX prefers
+	// A-B-D.
+	acd := []LinkEstimate{{DeliveryProb: 1}, {DeliveryProb: 1.0 / 3.0}}
+	abd := []LinkEstimate{{DeliveryProb: 0.25}, {DeliveryProb: 1}}
+
+	sppACD, err := PathCost(SPP, acd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sppABD, _ := PathCost(SPP, abd)
+	better, _ := BetterPath(SPP, sppACD, sppABD)
+	if !better {
+		t.Fatal("SPP should prefer A-C-D")
+	}
+
+	metxACD, _ := PathCost(METX, acd)
+	metxABD, _ := PathCost(METX, abd)
+	if math.Abs(metxACD-6) > 1e-9 || math.Abs(metxABD-5) > 1e-9 {
+		t.Fatalf("METX = (%v, %v), want (6, 5)", metxACD, metxABD)
+	}
+	better, _ = BetterPath(METX, metxABD, metxACD)
+	if !better {
+		t.Fatal("METX should prefer A-B-D")
+	}
+}
+
+func TestPublicPathCostUnknownMetric(t *testing.T) {
+	if _, err := PathCost(Metric(99), nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := BetterPath(Metric(99), 1, 2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseMetricRoundTrip(t *testing.T) {
+	for _, m := range Metrics() {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMetric(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if len(LinkQualityMetrics()) != 5 {
+		t.Fatal("expected 5 link-quality metrics")
+	}
+}
+
+func TestSimulationEndToEnd(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 42, Metric: SPP, DisableFading: true})
+	// A 4-node chain, 200 m spacing.
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		id, err := s.AddNode(float64(i)*200, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if s.NodeCount() != 4 {
+		t.Fatalf("NodeCount = %d", s.NodeCount())
+	}
+	if err := s.Join(ids[3], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSource(ids[0], 1, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60 * time.Second)
+	sum := s.Summary()
+	if sum.PacketsSent == 0 {
+		t.Fatal("no packets sent")
+	}
+	if sum.PDR < 0.8 {
+		t.Fatalf("PDR = %v on a clean chain", sum.PDR)
+	}
+	if got := s.PerMember(); len(got) != 1 || got[0].Member != ids[3] {
+		t.Fatalf("PerMember = %v", got)
+	}
+	if !s.IsForwarder(ids[1], 1) || !s.IsForwarder(ids[2], 1) {
+		t.Fatal("chain intermediates should be forwarders")
+	}
+	if len(s.EdgeUse()) == 0 {
+		t.Fatal("no edge usage recorded")
+	}
+	if s.Now() != 60*time.Second {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSimulationJoinBeforeSourceStillSubscribed(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 1, DisableFading: true})
+	a, _ := s.AddNode(0, 0)
+	b, _ := s.AddNode(150, 0)
+	if err := s.Join(b, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSource(a, 7, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * time.Second)
+	if got := s.PerMember(); len(got) != 1 {
+		t.Fatalf("member joined before source was not subscribed: %v", got)
+	}
+}
+
+func TestSimulationAddRandomNodes(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 3, DisableFading: true})
+	ids, err := s.AddRandomNodes(15, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 15 || s.NodeCount() != 15 {
+		t.Fatalf("ids = %d, count = %d", len(ids), s.NodeCount())
+	}
+}
+
+func TestSimulationUnknownNode(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 1})
+	if err := s.Join(99, 1); err == nil {
+		t.Fatal("Join of unknown node should fail")
+	}
+	if err := s.AddSource(99, 1, 0); err == nil {
+		t.Fatal("AddSource of unknown node should fail")
+	}
+	if s.IsForwarder(99, 1) {
+		t.Fatal("unknown node is not a forwarder")
+	}
+}
+
+func TestPublicTestbedRun(t *testing.T) {
+	cfg := DefaultTestbedConfig(PP, 1)
+	cfg.WarmupSeconds = 30
+	cfg.TrafficSeconds = 60
+	res, err := RunTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PDR <= 0 {
+		t.Fatal("testbed delivered nothing")
+	}
+	if len(TestbedLinks()) == 0 {
+		t.Fatal("no testbed links exposed")
+	}
+	if edges := TestbedHeavyEdges(res, 0.3); len(edges) == 0 {
+		t.Fatal("no heavy edges")
+	}
+}
+
+func TestPaperScenarioExposed(t *testing.T) {
+	cfg, err := PaperScenario(SPP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.NodeCount() != 50 {
+		t.Fatalf("paper scenario nodes = %d", cfg.Topology.NodeCount())
+	}
+	// Shrink for test runtime.
+	cfg.TrafficStart = 5 * time.Second
+	cfg.Duration = 20 * time.Second
+	res, err := RunPaperScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PacketsSent == 0 {
+		t.Fatal("no packets sent")
+	}
+}
+
+func TestSimulationDelayPercentiles(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 4, DisableFading: true})
+	a, _ := s.AddNode(0, 0)
+	b, _ := s.AddNode(150, 0)
+	if err := s.Join(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSource(a, 1, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(20 * time.Second)
+	p := s.DelayPercentiles()
+	if p.Count == 0 {
+		t.Fatal("no delays observed")
+	}
+	if p.P50 <= 0 || p.P50 > p.Max {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	// One hop at 2 Mbps: a 586-byte frame takes ~2.5 ms; the median delay
+	// should be in the low milliseconds.
+	if p.P50 > 20*time.Millisecond {
+		t.Fatalf("1-hop median delay = %v, implausibly high", p.P50)
+	}
+}
+
+func TestTestbedMapsRender(t *testing.T) {
+	if out := TestbedMap(80); len(out) < 100 {
+		t.Fatalf("TestbedMap too small: %q", out)
+	}
+	cfg := DefaultTestbedConfig(PP, 1)
+	cfg.WarmupSeconds = 20
+	cfg.TrafficSeconds = 30
+	res, err := RunTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := TestbedTreeMap(res, 0.3, 80); len(out) < 100 {
+		t.Fatalf("TestbedTreeMap too small: %q", out)
+	}
+}
+
+func TestSimulationGroupSummary(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 9, DisableFading: true})
+	a, _ := s.AddNode(0, 0)
+	b, _ := s.AddNode(150, 0)
+	if err := s.Join(b, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSource(a, 4, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10 * time.Second)
+	g := s.GroupSummary(4)
+	if g.PacketsSent == 0 || g.PDR < 0.9 {
+		t.Fatalf("group summary = %+v", g)
+	}
+	if other := s.GroupSummary(5); other.PacketsSent != 0 {
+		t.Fatalf("unknown group = %+v", other)
+	}
+}
