@@ -7,6 +7,8 @@
 //	go run ./cmd/meshsim -metric spp -seed 1 -seconds 100
 //	go run ./cmd/meshsim -metric minhop -nodes 30 -side 800 -groups 1
 //	go run ./cmd/meshsim -metric pp -probe-rate 5 -v
+//	go run ./cmd/meshsim -metric spp -churn 0.25 -seconds 200
+//	go run ./cmd/meshsim -metric ett -fault-script faults.json
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"meshcast/internal/experiments"
+	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
 	"meshcast/internal/propagation"
@@ -26,33 +29,81 @@ import (
 	"meshcast/internal/trace"
 )
 
+// options collects the flag-built run configuration.
+type options struct {
+	Metric    string
+	Seed      uint64
+	Nodes     int
+	Side      float64
+	Groups    int
+	Sources   int
+	Members   int
+	Seconds   int
+	Warmup    int
+	ProbeRate float64
+	NoFading  bool
+	Verbose   bool
+	TraceCats string
+	Capture   string
+
+	// Churn enables MTBF/MTTR node churn over this fraction of nodes
+	// (0 = off); ChurnMTBF and ChurnMTTR shape the renewal process.
+	Churn     float64
+	ChurnMTBF time.Duration
+	ChurnMTTR time.Duration
+	// FaultScript loads a JSON fault plan (outages, link faults,
+	// partitions, churn) from a file; combinable with Churn.
+	FaultScript string
+}
+
+// defaultOptions mirrors the flag defaults, for tests that call run directly.
+func defaultOptions() options {
+	return options{
+		Metric:    "spp",
+		Seed:      1,
+		Nodes:     50,
+		Side:      1000,
+		Groups:    2,
+		Sources:   1,
+		Members:   10,
+		Seconds:   100,
+		Warmup:    100,
+		ProbeRate: 1,
+		ChurnMTBF: 60 * time.Second,
+		ChurnMTTR: 15 * time.Second,
+	}
+}
+
 func main() {
-	var (
-		metricName = flag.String("metric", "spp", "routing metric: minhop, etx, ett, pp, metx, spp")
-		seed       = flag.Uint64("seed", 1, "random seed (topology + all protocol randomness)")
-		nodes      = flag.Int("nodes", 50, "number of mesh nodes")
-		side       = flag.Float64("side", 1000, "deployment square side in metres")
-		groups     = flag.Int("groups", 2, "number of multicast groups")
-		sources    = flag.Int("sources", 1, "sources per group")
-		members    = flag.Int("members", 10, "receiver members per group")
-		seconds    = flag.Int("seconds", 100, "traffic seconds")
-		warmup     = flag.Int("warmup", 100, "probe warmup seconds before traffic")
-		probeRate  = flag.Float64("probe-rate", 1, "probing rate factor (5 = high-overhead column)")
-		noFading   = flag.Bool("no-fading", false, "disable Rayleigh fading")
-		verbose    = flag.Bool("v", false, "print per-member delivery ratios")
-		traceCats  = flag.String("trace", "", "comma-separated trace categories to print (query,reply,data,probe,mac)")
-		captureTo  = flag.String("capture", "", "record every transmitted frame to this file (see cmd/meshdump)")
-		scenario   = flag.String("scenario", "", "run a JSON scenario spec instead of the flag-built one")
-	)
+	def := defaultOptions()
+	var opt options
+	flag.StringVar(&opt.Metric, "metric", def.Metric, "routing metric: minhop, etx, ett, pp, metx, spp")
+	flag.Uint64Var(&opt.Seed, "seed", def.Seed, "random seed (topology + all protocol randomness)")
+	flag.IntVar(&opt.Nodes, "nodes", def.Nodes, "number of mesh nodes")
+	flag.Float64Var(&opt.Side, "side", def.Side, "deployment square side in metres")
+	flag.IntVar(&opt.Groups, "groups", def.Groups, "number of multicast groups")
+	flag.IntVar(&opt.Sources, "sources", def.Sources, "sources per group")
+	flag.IntVar(&opt.Members, "members", def.Members, "receiver members per group")
+	flag.IntVar(&opt.Seconds, "seconds", def.Seconds, "traffic seconds")
+	flag.IntVar(&opt.Warmup, "warmup", def.Warmup, "probe warmup seconds before traffic")
+	flag.Float64Var(&opt.ProbeRate, "probe-rate", def.ProbeRate, "probing rate factor (5 = high-overhead column)")
+	flag.BoolVar(&opt.NoFading, "no-fading", def.NoFading, "disable Rayleigh fading")
+	flag.BoolVar(&opt.Verbose, "v", def.Verbose, "print per-member delivery ratios")
+	flag.StringVar(&opt.TraceCats, "trace", def.TraceCats, "comma-separated trace categories to print (query,reply,data,probe,mac)")
+	flag.StringVar(&opt.Capture, "capture", def.Capture, "record every transmitted frame to this file (see cmd/meshdump)")
+	flag.Float64Var(&opt.Churn, "churn", def.Churn, "fraction of nodes subject to crash/restart churn (0 disables)")
+	flag.DurationVar(&opt.ChurnMTBF, "churn-mtbf", def.ChurnMTBF, "mean time between failures per churned node")
+	flag.DurationVar(&opt.ChurnMTTR, "churn-mttr", def.ChurnMTTR, "mean time to repair per churned node")
+	flag.StringVar(&opt.FaultScript, "fault-script", def.FaultScript, "JSON fault plan (outages, link faults, partitions, churn)")
+	scenario := flag.String("scenario", "", "run a JSON scenario spec instead of the flag-built one")
 	flag.Parse()
 	if *scenario != "" {
-		if err := runSpec(*scenario, *verbose, *captureTo); err != nil {
+		if err := runSpec(*scenario, opt.Verbose, opt.Capture); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := run(*metricName, *seed, *nodes, *side, *groups, *sources, *members,
-		*seconds, *warmup, *probeRate, *noFading, *verbose, *traceCats, *captureTo); err != nil {
+	if err := run(opt); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -99,40 +150,73 @@ func parseTraceCats(s string) ([]trace.Category, error) {
 	return out, nil
 }
 
-func run(metricName string, seed uint64, nodes int, side float64, groups, sources, members,
-	seconds, warmup int, probeRate float64, noFading, verbose bool, traceCats, capturePath string) error {
-	kind, err := metric.ParseKind(metricName)
+// faultPlan assembles the fault plan from -fault-script and -churn.
+func faultPlan(opt options) (*faults.Plan, error) {
+	var plan faults.Plan
+	if opt.FaultScript != "" {
+		p, err := faults.LoadPlan(opt.FaultScript)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if opt.Churn > 0 {
+		if plan.Churn != nil {
+			return nil, fmt.Errorf("churn configured both by -churn and by the fault script")
+		}
+		plan.Churn = &faults.ChurnModel{
+			Fraction: opt.Churn,
+			MTBF:     opt.ChurnMTBF,
+			MTTR:     opt.ChurnMTTR,
+			// Churn only the measurement window: the warmup exists to give
+			// every metric converged estimates to start from.
+			Start: time.Duration(opt.Warmup) * time.Second,
+		}
+	}
+	if plan.Empty() {
+		return nil, nil
+	}
+	return &plan, nil
+}
+
+func run(opt options) error {
+	kind, err := metric.ParseKind(opt.Metric)
 	if err != nil {
 		return err
 	}
-	cats, err := parseTraceCats(traceCats)
+	cats, err := parseTraceCats(opt.TraceCats)
 	if err != nil {
 		return err
 	}
-	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
-	topo, err := topology.RandomConnected(rng, nodes, geom.Square(side), 250, 500)
+	plan, err := faultPlan(opt)
+	if err != nil {
+		return err
+	}
+	rng := sim.NewRNG(opt.Seed ^ 0x9e3779b97f4a7c15)
+	topo, err := topology.RandomConnected(rng, opt.Nodes, geom.Square(opt.Side), 250, 500)
 	if err != nil {
 		return err
 	}
 	cfg := experiments.ScenarioConfig{
-		Seed:            seed,
+		Seed:            opt.Seed,
 		Metric:          kind,
 		Topology:        topo,
-		Duration:        time.Duration(warmup+seconds) * time.Second,
-		Groups:          experiments.DefaultGroups(rng.Split(), nodes, groups, sources, members),
+		Duration:        time.Duration(opt.Warmup+opt.Seconds) * time.Second,
+		Groups:          experiments.DefaultGroups(rng.Split(), opt.Nodes, opt.Groups, opt.Sources, opt.Members),
 		PayloadBytes:    512,
 		SendInterval:    50 * time.Millisecond,
-		ProbeRateFactor: probeRate,
-		TrafficStart:    time.Duration(warmup) * time.Second,
+		ProbeRateFactor: opt.ProbeRate,
+		TrafficStart:    time.Duration(opt.Warmup) * time.Second,
+		Faults:          plan,
 	}
-	if noFading {
+	if opt.NoFading {
 		cfg.Fading = propagation.NoFading{}
 	}
-	if traceCats != "" {
+	if opt.TraceCats != "" {
 		cfg.TraceSink = trace.Writer{W: os.Stderr}
 		cfg.TraceCats = cats
 	}
-	cfg.CapturePath = capturePath
+	cfg.CapturePath = opt.Capture
 
 	start := time.Now()
 	res, err := experiments.RunScenario(cfg)
@@ -141,10 +225,12 @@ func run(metricName string, seed uint64, nodes int, side float64, groups, source
 	}
 
 	fmt.Printf("metric=%s nodes=%d area=%.0fx%.0fm groups=%d sources/group=%d members/group=%d\n",
-		kind, nodes, side, side, groups, sources, members)
-	fmt.Printf("simulated %ds traffic (+%ds warmup) in %s (%d events)\n",
-		seconds, warmup, time.Since(start).Round(time.Millisecond), res.Events)
-	printResult(res, verbose)
+		kind, opt.Nodes, opt.Side, opt.Side, opt.Groups, opt.Sources, opt.Members)
+	// Wall-clock timing goes to stderr: stdout must be byte-identical across
+	// same-seed runs so churn results can be diffed.
+	fmt.Fprintf(os.Stderr, "simulated %ds traffic (+%ds warmup) in %s (%d events)\n",
+		opt.Seconds, opt.Warmup, time.Since(start).Round(time.Millisecond), res.Events)
+	printResult(res, opt.Verbose)
 	return nil
 }
 
@@ -160,6 +246,12 @@ func printResult(res *experiments.RunResult, verbose bool) {
 		s.ProbeOverheadPct, res.ProbeBytes)
 	fmt.Printf("control bytes (queries+replies): %d; data rebroadcasts: %d; PHY collisions: %d\n",
 		res.ControlBytes, res.DataForwards, res.MACCollisions)
+	if res.Health != nil {
+		fmt.Printf("faults: %d outage episodes\n", res.Faulted)
+		for _, g := range res.Health {
+			fmt.Printf("  %v\n", g)
+		}
+	}
 	if verbose {
 		fmt.Println("per-member delivery:")
 		for _, m := range res.PerMember {

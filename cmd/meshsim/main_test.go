@@ -32,12 +32,72 @@ func TestParseTraceCats(t *testing.T) {
 	}
 }
 
-func TestRunRejectsBadMetric(t *testing.T) {
-	if err := run("bogus", 1, 5, 300, 1, 1, 2, 1, 1, 1, false, false, "", ""); err == nil {
+// tinyOptions is a seconds-scale run for tests.
+func tinyOptions() options {
+	opt := defaultOptions()
+	opt.Nodes = 6
+	opt.Side = 350
+	opt.Groups = 1
+	opt.Members = 2
+	opt.Seconds = 2
+	opt.Warmup = 2
+	return opt
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	opt := tinyOptions()
+	opt.Metric = "bogus"
+	if err := run(opt); err == nil {
 		t.Fatal("bad metric accepted")
 	}
-	if err := run("spp", 1, 5, 300, 1, 1, 2, 1, 1, 1, false, false, "nope", ""); err == nil {
+	opt = tinyOptions()
+	opt.TraceCats = "nope"
+	if err := run(opt); err == nil {
 		t.Fatal("bad trace category accepted")
+	}
+	opt = tinyOptions()
+	opt.FaultScript = "/does/not/exist.json"
+	if err := run(opt); err == nil {
+		t.Fatal("missing fault script accepted")
+	}
+	opt = tinyOptions()
+	opt.Churn = 2
+	if err := run(opt); err == nil {
+		t.Fatal("churn fraction > 1 accepted")
+	}
+}
+
+func TestFaultPlanMergesFlagsAndScript(t *testing.T) {
+	opt := defaultOptions()
+	if plan, err := faultPlan(opt); err != nil || plan != nil {
+		t.Fatalf("no-fault options produced %v, %v", plan, err)
+	}
+
+	opt.Churn = 0.1
+	plan, err := faultPlan(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || plan.Churn == nil || plan.Churn.Fraction != 0.1 {
+		t.Fatalf("churn plan = %+v", plan)
+	}
+	if plan.Churn.MTBF != opt.ChurnMTBF || plan.Churn.MTTR != opt.ChurnMTTR {
+		t.Fatalf("churn timing = %+v", plan.Churn)
+	}
+
+	// A script with its own churn section conflicts with -churn.
+	path := t.TempDir() + "/faults.json"
+	if err := os.WriteFile(path, []byte(`{"churn": {"fraction": 0.2, "mtbf_s": 60, "mttr_s": 10}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt.FaultScript = path
+	if _, err := faultPlan(opt); err == nil {
+		t.Fatal("conflicting churn configuration accepted")
+	}
+	opt.Churn = 0
+	plan, err = faultPlan(opt)
+	if err != nil || plan == nil || plan.Churn == nil || plan.Churn.Fraction != 0.2 {
+		t.Fatalf("script-only plan = %+v, %v", plan, err)
 	}
 }
 
@@ -45,15 +105,35 @@ func TestRunTinySimulation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a small simulation")
 	}
-	if err := run("spp", 1, 6, 350, 1, 1, 2, 2, 2, 1, false, true, "", ""); err != nil {
+	opt := tinyOptions()
+	opt.Verbose = true
+	if err := run(opt); err != nil {
 		t.Fatal(err)
 	}
 	// With fading disabled and a capture file.
 	path := t.TempDir() + "/run.mcap"
-	if err := run("minhop", 1, 6, 350, 1, 1, 2, 2, 2, 1, true, false, "", path); err != nil {
+	opt = tinyOptions()
+	opt.Metric = "minhop"
+	opt.NoFading = true
+	opt.Capture = path
+	if err := run(opt); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
 		t.Fatalf("capture not written: %v", err)
+	}
+}
+
+func TestRunWithChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation")
+	}
+	opt := tinyOptions()
+	opt.Seconds = 20
+	opt.Churn = 0.5
+	opt.ChurnMTBF = 10_000_000_000 // 10s
+	opt.ChurnMTTR = 3_000_000_000  // 3s
+	if err := run(opt); err != nil {
+		t.Fatal(err)
 	}
 }

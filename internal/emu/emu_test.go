@@ -178,6 +178,131 @@ func TestDriverInjection(t *testing.T) {
 	}
 }
 
+// tightenRegTiming speeds up the registration keepalive for restart tests
+// and restores the defaults on cleanup.
+func tightenRegTiming(t *testing.T) {
+	t.Helper()
+	savedMin, savedMax, savedRefresh, savedRead := regRetryMin, regRetryMax, regRefresh, readDeadline
+	regRetryMin = 20 * time.Millisecond
+	regRetryMax = 200 * time.Millisecond
+	regRefresh = 100 * time.Millisecond
+	readDeadline = 50 * time.Millisecond
+	t.Cleanup(func() {
+		regRetryMin, regRetryMax, regRefresh, readDeadline = savedMin, savedMax, savedRefresh, savedRead
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func hasClient(e *Ether, id packet.NodeID) bool {
+	for _, c := range e.Clients() {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNodeConnReregistersAfterEtherRestart(t *testing.T) {
+	tightenRegTiming(t)
+	ether, err := NewEther("127.0.0.1:0", NewLinkTable(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ether.Addr()
+	c, err := Dial(5, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitFor(t, 2*time.Second, "initial registration", func() bool { return hasClient(ether, 5) })
+	waitFor(t, 2*time.Second, "registration ack", c.Registered)
+
+	if err := ether.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A new ether on the same port has an empty client table; the daemon's
+	// periodic re-registration must repopulate it without any help.
+	ether2, err := NewEther(addr, NewLinkTable(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ether2.Close()
+	waitFor(t, 3*time.Second, "re-registration with restarted ether", func() bool { return hasClient(ether2, 5) })
+}
+
+// TestDaemonReconnectsAfterEtherRestart kills the ether mid-session and
+// brings a fresh one up on the same port: both daemons must re-register and
+// delivery must resume.
+func TestDaemonReconnectsAfterEtherRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	tightenRegTiming(t)
+	ether, err := NewEther("127.0.0.1:0", NewLinkTable(1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ether.Addr()
+
+	mk := func(cfg DaemonConfig) *Daemon {
+		cfg.EtherAddr = addr
+		cfg.Metric = metric.SPP
+		cfg.SendInterval = 20 * time.Millisecond
+		d, err := NewDaemon(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	src := mk(DaemonConfig{ID: 1, SourceGroups: []packet.GroupID{9}, Seed: 1})
+	sink := mk(DaemonConfig{ID: 2, JoinGroups: []packet.GroupID{9}, Seed: 2})
+	defer src.Close()
+	defer sink.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, d := range []*Daemon{src, sink} {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Run(ctx)
+		}()
+	}
+
+	waitFor(t, 5*time.Second, "initial delivery", func() bool { return len(sink.Delivered()) >= 5 })
+
+	if err := ether.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // outage: sends go nowhere
+	before := len(sink.Delivered())
+
+	ether2, err := NewEther(addr, NewLinkTable(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ether2.Close()
+
+	waitFor(t, 5*time.Second, "delivery to resume after ether restart", func() bool {
+		return len(sink.Delivered()) >= before+5
+	})
+	cancel()
+	wg.Wait()
+}
+
 // TestDaemonEndToEnd runs a real three-daemon multicast session over
 // loopback UDP: source 1 — relay 2 — receiver 3, with the 1-3 link dead so
 // delivery requires the forwarding group at node 2.

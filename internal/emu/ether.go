@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"meshcast/internal/packet"
 )
@@ -27,6 +28,19 @@ import (
 const (
 	msgRegister byte = 'R'
 	msgFrame    byte = 'F'
+	msgRegAck   byte = 'A'
+)
+
+// Registration keepalive tuning. Daemons re-register with the ether on a
+// schedule: unacknowledged registrations retry with capped exponential
+// backoff, and acknowledged ones refresh periodically so a restarted ether
+// (which lost its client table) re-learns every daemon within one refresh
+// interval. Variables rather than constants so tests can tighten them.
+var (
+	regRetryMin  = 100 * time.Millisecond
+	regRetryMax  = 2 * time.Second
+	regRefresh   = time.Second
+	readDeadline = 500 * time.Millisecond
 )
 
 // LinkTable holds per-link delivery probabilities for the emulated medium.
@@ -158,6 +172,11 @@ func (e *Ether) serve() {
 			e.mu.Lock()
 			e.clients[id] = from
 			e.mu.Unlock()
+			// Acknowledge so the daemon knows it is registered and can stop
+			// its retry backoff.
+			ack := [3]byte{msgRegAck}
+			binary.BigEndian.PutUint16(ack[1:], uint16(id))
+			e.conn.WriteToUDP(ack[:], from)
 		case msgFrame:
 			e.fanOut(id, buf[:n])
 		}
@@ -210,11 +229,19 @@ type NodeConn struct {
 	// thread-safe (daemons inject into their real-time driver).
 	OnPacket func(p *packet.Packet, from packet.NodeID)
 
-	closed chan struct{}
-	done   chan struct{}
+	mu      sync.Mutex
+	lastAck time.Time
+
+	closed       chan struct{}
+	done         chan struct{}
+	maintainDone chan struct{}
 }
 
-// Dial connects node id to the ether at addr and registers it.
+// Dial connects node id to the ether at addr and registers it. Registration
+// is maintained in the background: the first attempt is sent immediately,
+// then retried with capped exponential backoff until the ether acknowledges
+// it, and refreshed periodically afterwards — so a daemon survives (and
+// recovers from) an ether that starts late or restarts mid-run.
 func Dial(id packet.NodeID, addr string) (*NodeConn, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -225,20 +252,58 @@ func Dial(id packet.NodeID, addr string) (*NodeConn, error) {
 		return nil, fmt.Errorf("emu: dial: %w", err)
 	}
 	nc := &NodeConn{
-		id:     id,
-		conn:   conn,
-		closed: make(chan struct{}),
-		done:   make(chan struct{}),
-	}
-	reg := make([]byte, 3)
-	reg[0] = msgRegister
-	binary.BigEndian.PutUint16(reg[1:], uint16(id))
-	if _, err := conn.Write(reg); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("emu: register: %w", err)
+		id:           id,
+		conn:         conn,
+		closed:       make(chan struct{}),
+		done:         make(chan struct{}),
+		maintainDone: make(chan struct{}),
 	}
 	go nc.receive()
+	go nc.maintain()
 	return nc, nil
+}
+
+// register sends one registration datagram. Errors are ignored: the ether
+// may be down, and the maintain loop will retry.
+func (c *NodeConn) register() {
+	reg := [3]byte{msgRegister}
+	binary.BigEndian.PutUint16(reg[1:], uint16(c.id))
+	c.conn.Write(reg[:])
+}
+
+// Registered reports whether the ether has acknowledged a registration
+// recently (within one retry ceiling of the refresh interval).
+func (c *NodeConn) Registered() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.lastAck.IsZero() && time.Since(c.lastAck) < regRefresh+regRetryMax
+}
+
+// maintain keeps the registration alive: exponential backoff (plus jitter,
+// so a fleet of daemons does not thunder in lockstep at a restarted ether)
+// while unacknowledged, a steady refresh once acknowledged. The periodic
+// refresh is what heals an ether restart — the new ether has an empty client
+// table until each daemon's next registration arrives.
+func (c *NodeConn) maintain() {
+	defer close(c.maintainDone)
+	backoff := regRetryMin
+	for {
+		c.register()
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff/4)+1))
+		select {
+		case <-c.closed:
+			return
+		case <-time.After(wait):
+		}
+		if c.Registered() {
+			backoff = regRefresh
+		} else {
+			backoff *= 2
+			if backoff > regRetryMax {
+				backoff = regRetryMax
+			}
+		}
+	}
 }
 
 // Send broadcasts a packet through the ether. Safe for use from one
@@ -265,25 +330,49 @@ func (c *NodeConn) receive() {
 	defer close(c.done)
 	buf := make([]byte, 64*1024)
 	for {
+		// Bounded reads: the loop must wake up to notice Close, and a
+		// transient socket error (ECONNREFUSED from a connected UDP socket
+		// whose ether is down) must not kill the receiver for good.
+		c.conn.SetReadDeadline(time.Now().Add(readDeadline))
 		n, err := c.conn.Read(buf)
 		if err != nil {
-			return
-		}
-		if n < 3 || buf[0] != msgFrame {
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			// Transient (the ether may be restarting); back off briefly so
+			// a hard error cannot spin the loop.
+			time.Sleep(10 * time.Millisecond)
 			continue
 		}
-		sender := packet.NodeID(binary.BigEndian.Uint16(buf[1:3]))
-		var p packet.Packet
-		if err := p.UnmarshalBinary(buf[3:n]); err != nil {
+		if n < 3 {
 			continue
 		}
-		if c.OnPacket != nil {
-			c.OnPacket(&p, sender)
+		switch buf[0] {
+		case msgRegAck:
+			c.mu.Lock()
+			c.lastAck = time.Now()
+			c.mu.Unlock()
+		case msgFrame:
+			sender := packet.NodeID(binary.BigEndian.Uint16(buf[1:3]))
+			var p packet.Packet
+			if err := p.UnmarshalBinary(buf[3:n]); err != nil {
+				continue
+			}
+			if c.OnPacket != nil {
+				c.OnPacket(&p, sender)
+			}
 		}
 	}
 }
 
-// Close shuts the connection down and waits for the receive goroutine.
+// Close shuts the connection down and waits for the receive and maintain
+// goroutines.
 func (c *NodeConn) Close() error {
 	select {
 	case <-c.closed:
@@ -293,5 +382,6 @@ func (c *NodeConn) Close() error {
 	}
 	err := c.conn.Close()
 	<-c.done
+	<-c.maintainDone
 	return err
 }

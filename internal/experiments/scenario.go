@@ -12,6 +12,7 @@ import (
 
 	"meshcast/internal/capture"
 
+	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/linkquality"
 	"meshcast/internal/mac"
@@ -75,6 +76,12 @@ type ScenarioConfig struct {
 	// CapturePath, when non-empty, records every transmitted frame to this
 	// file in the capture format (see internal/capture, cmd/meshdump).
 	CapturePath string
+	// Faults, when non-nil and non-empty, injects node churn, scripted
+	// outages, link impairments, and partitions into the run (see
+	// internal/faults). The fault schedule is drawn from the scenario Seed
+	// only, so every metric evaluated on the same seed faces the same
+	// failures.
+	Faults *faults.Plan
 }
 
 // DefaultScenario returns the paper's §4.1 setup for the given metric and
@@ -144,6 +151,34 @@ type RunResult struct {
 	// Events is the number of simulation events processed (performance
 	// reporting).
 	Events uint64
+	// Health holds per-group self-healing metrics (repair latency, PDR
+	// during outages, availability); nil unless the scenario injects faults.
+	Health []stats.GroupHealth
+	// Faulted reports how many distinct outage episodes the run injected.
+	Faulted int
+}
+
+// faultTarget couples a node's crash lifecycle with its application flows:
+// a crashed source must stop generating packets (they would inflate the PDR
+// denominator with sends that never reached the air) and must re-register
+// itself as an ODMRP source when it comes back.
+type faultTarget struct {
+	node  *node.Node
+	flows []*traffic.CBR
+}
+
+func (t *faultTarget) Fail() {
+	t.node.Fail()
+	for _, f := range t.flows {
+		f.Pause()
+	}
+}
+
+func (t *faultTarget) Restore() {
+	t.node.Restore()
+	for _, f := range t.flows {
+		f.Resume()
+	}
 }
 
 // RunScenario executes one simulation and returns its measurements.
@@ -211,6 +246,8 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	collector := stats.NewCollector()
 	var delays stats.DelayTracker
 	var flows []*traffic.CBR
+	var health *stats.HealthTracker // set below iff faults are injected
+	flowsByNode := make(map[int][]*traffic.CBR)
 
 	for _, spec := range cfg.Groups {
 		spec := spec
@@ -225,8 +262,12 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				delay := engine.Now() - p.SentAt
 				collector.RecordDelivered(r.ID(), p.Group, p.Src, p.PayloadBytes, delay)
 				delays.Observe(delay)
+				if health != nil {
+					health.RecordDelivered(p.Group, engine.Now())
+				}
 			}
 		}
+		nMembers := len(spec.Members)
 		for _, s := range spec.Sources {
 			cbr := traffic.NewCBR(engine, nodes[s].Router, traffic.CBRConfig{
 				Group:        spec.Group,
@@ -235,9 +276,40 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				Jitter:       cfg.SendInterval / 10,
 				Start:        cfg.TrafficStart,
 			})
+			// Health accounts delivery opportunities: one per (packet,
+			// member), matching the collector's PDR denominator.
+			cbr.OnSend = func(at time.Duration) {
+				if health == nil {
+					return
+				}
+				for i := 0; i < nMembers; i++ {
+					health.RecordSent(spec.Group, at)
+				}
+			}
 			cbr.Start()
 			flows = append(flows, cbr)
+			flowsByNode[s] = append(flowsByNode[s], cbr)
 		}
+	}
+
+	var sched *faults.Scheduler
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		targets := make([]faults.Target, len(nodes))
+		for i, n := range nodes {
+			targets[i] = &faultTarget{node: n, flows: flowsByNode[i]}
+		}
+		// The fault RNG is derived from the seed alone (not the engine's
+		// stream) so the injected failures are identical for every metric
+		// evaluated on the same seed — the comparison the churn experiment
+		// needs.
+		var err error
+		sched, err = faults.NewScheduler(engine, sim.NewRNG(cfg.Seed^0xfa0175eed), *cfg.Faults, targets, cfg.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault plan: %w", err)
+		}
+		medium.SetImpairment(sched.Impairment)
+		health = stats.NewHealthTracker(sched.Onsets(), sched.Windows())
+		sched.Start()
 	}
 
 	// Snapshot probe bytes when traffic starts so that the reported probing
@@ -281,5 +353,9 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	res.Summary = collector.Summarize()
 	res.PerMember = collector.PerMemberPDR()
 	res.Delay = delays.Percentiles()
+	if health != nil {
+		res.Health = health.Health()
+		res.Faulted = sched.DownCount()
+	}
 	return res, nil
 }

@@ -1,0 +1,295 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"meshcast/internal/packet"
+	"meshcast/internal/sim"
+)
+
+// fakeTarget records fail/restore transitions with timestamps.
+type fakeTarget struct {
+	engine *sim.Engine
+	events []string
+	times  []time.Duration
+	down   bool
+}
+
+func (f *fakeTarget) Fail() {
+	f.down = true
+	f.events = append(f.events, "fail")
+	f.times = append(f.times, f.engine.Now())
+}
+
+func (f *fakeTarget) Restore() {
+	f.down = false
+	f.events = append(f.events, "restore")
+	f.times = append(f.times, f.engine.Now())
+}
+
+func makeTargets(engine *sim.Engine, n int) ([]Target, []*fakeTarget) {
+	fakes := make([]*fakeTarget, n)
+	targets := make([]Target, n)
+	for i := range fakes {
+		fakes[i] = &fakeTarget{engine: engine}
+		targets[i] = fakes[i]
+	}
+	return targets, fakes
+}
+
+func TestScriptedOutagesFireOnSchedule(t *testing.T) {
+	engine := sim.NewEngine(1)
+	targets, fakes := makeTargets(engine, 3)
+	plan := Plan{Outages: []Outage{
+		{Node: 1, Start: 10 * time.Second, Duration: 5 * time.Second},
+		{Node: 2, Start: 20 * time.Second, Duration: 2 * time.Second},
+	}}
+	s, err := NewScheduler(engine, sim.NewRNG(7), plan, targets, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	engine.Run(time.Minute)
+
+	if got := fakes[0].events; len(got) != 0 {
+		t.Fatalf("untouched node saw events %v", got)
+	}
+	if got := fakes[1].events; !reflect.DeepEqual(got, []string{"fail", "restore"}) {
+		t.Fatalf("node 1 events = %v", got)
+	}
+	if got := fakes[1].times; got[0] != 10*time.Second || got[1] != 15*time.Second {
+		t.Fatalf("node 1 times = %v", got)
+	}
+	if got := fakes[2].times; got[0] != 20*time.Second || got[1] != 22*time.Second {
+		t.Fatalf("node 2 times = %v", got)
+	}
+}
+
+func TestOverlappingOutagesMerge(t *testing.T) {
+	engine := sim.NewEngine(1)
+	targets, fakes := makeTargets(engine, 1)
+	plan := Plan{Outages: []Outage{
+		{Node: 0, Start: 10 * time.Second, Duration: 10 * time.Second},
+		{Node: 0, Start: 15 * time.Second, Duration: 10 * time.Second},
+	}}
+	s, err := NewScheduler(engine, sim.NewRNG(7), plan, targets, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DownCount() != 1 {
+		t.Fatalf("overlapping outages not merged: %d episodes", s.DownCount())
+	}
+	s.Start()
+	engine.Run(time.Minute)
+	// One fail, one restore — never a restore in the middle of the overlap.
+	if got := fakes[0].events; !reflect.DeepEqual(got, []string{"fail", "restore"}) {
+		t.Fatalf("events = %v", got)
+	}
+	if got := fakes[0].times[1]; got != 25*time.Second {
+		t.Fatalf("restore at %v, want 25s", got)
+	}
+}
+
+func TestChurnIsDeterministicAndBounded(t *testing.T) {
+	build := func() *Scheduler {
+		engine := sim.NewEngine(1)
+		targets, _ := makeTargets(engine, 20)
+		plan := Plan{Churn: &ChurnModel{
+			Fraction: 0.25,
+			MTBF:     30 * time.Second,
+			MTTR:     5 * time.Second,
+			Start:    10 * time.Second,
+		}}
+		s, err := NewScheduler(engine, sim.NewRNG(42), plan, targets, 5*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Timeline(), b.Timeline()) {
+		t.Fatal("same seed produced different churn timelines")
+	}
+	tl := a.Timeline()
+	if len(tl) == 0 {
+		t.Fatal("25% churn over 5 minutes produced no events")
+	}
+	churned := map[int]bool{}
+	for _, e := range tl {
+		if e.At < 10*time.Second || e.At > 5*time.Minute {
+			t.Fatalf("event %+v outside [start, horizon]", e)
+		}
+		churned[e.Node] = true
+	}
+	if len(churned) > 5 {
+		t.Fatalf("%d nodes churned, want at most 25%% of 20 = 5", len(churned))
+	}
+
+	// A different seed draws a different schedule.
+	engine := sim.NewEngine(1)
+	targets, _ := makeTargets(engine, 20)
+	c, err := NewScheduler(engine, sim.NewRNG(43), Plan{Churn: &ChurnModel{
+		Fraction: 0.25, MTBF: 30 * time.Second, MTTR: 5 * time.Second, Start: 10 * time.Second,
+	}}, targets, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Timeline(), c.Timeline()) {
+		t.Fatal("different seeds produced identical churn timelines")
+	}
+}
+
+func TestLinkFaultImpairment(t *testing.T) {
+	engine := sim.NewEngine(1)
+	targets, _ := makeTargets(engine, 4)
+	plan := Plan{LinkFaults: []LinkFault{
+		{From: 0, To: 1, Start: 10 * time.Second, Duration: 10 * time.Second, DropProb: 0.5},
+		{From: 2, To: 3, Start: 10 * time.Second, Duration: 10 * time.Second, AttenuationDB: 10, Symmetric: true},
+		{From: -1, To: -1, Start: 40 * time.Second, Duration: 5 * time.Second, DropProb: 1}, // jamming
+	}}
+	s, err := NewScheduler(engine, sim.NewRNG(7), plan, targets, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Directional drop: 0->1 impaired, 1->0 untouched.
+	if got := s.Impairment(0, 1, 15*time.Second); got.DropProb != 0.5 {
+		t.Fatalf("0->1 during fault = %+v", got)
+	}
+	if got := s.Impairment(1, 0, 15*time.Second); got.DropProb != 0 {
+		t.Fatalf("1->0 during directional fault = %+v", got)
+	}
+	// Outside the window: clean.
+	if got := s.Impairment(0, 1, 25*time.Second); got.DropProb != 0 {
+		t.Fatalf("0->1 after heal = %+v", got)
+	}
+	// Symmetric attenuation applies both ways (10 dB = 0.1 linear).
+	for _, dir := range [][2]packet.NodeID{{2, 3}, {3, 2}} {
+		got := s.Impairment(dir[0], dir[1], 12*time.Second)
+		if got.Attenuation < 0.099 || got.Attenuation > 0.101 {
+			t.Fatalf("%v->%v attenuation = %+v", dir[0], dir[1], got)
+		}
+	}
+	// Jamming window hits every pair.
+	if got := s.Impairment(3, 0, 42*time.Second); got.DropProb != 1 {
+		t.Fatalf("jamming window = %+v", got)
+	}
+}
+
+func TestPartitionCutsCrossLinksOnly(t *testing.T) {
+	engine := sim.NewEngine(1)
+	targets, _ := makeTargets(engine, 4)
+	plan := Plan{Partitions: []Partition{
+		{Start: 10 * time.Second, Duration: 10 * time.Second, SideA: []int{0, 1}},
+	}}
+	s, err := NewScheduler(engine, sim.NewRNG(7), plan, targets, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Impairment(0, 2, 15*time.Second); got.DropProb != 1 {
+		t.Fatalf("cross-partition link = %+v, want total loss", got)
+	}
+	if got := s.Impairment(0, 1, 15*time.Second); got.DropProb != 0 {
+		t.Fatalf("intra-partition link = %+v, want clean", got)
+	}
+	if got := s.Impairment(2, 3, 15*time.Second); got.DropProb != 0 {
+		t.Fatalf("side-B internal link = %+v, want clean", got)
+	}
+	if got := s.Impairment(0, 2, 25*time.Second); got.DropProb != 0 {
+		t.Fatalf("link after heal = %+v, want clean", got)
+	}
+}
+
+func TestWindowsAndOnsets(t *testing.T) {
+	engine := sim.NewEngine(1)
+	targets, _ := makeTargets(engine, 3)
+	plan := Plan{
+		Outages: []Outage{
+			{Node: 0, Start: 10 * time.Second, Duration: 10 * time.Second},
+			{Node: 1, Start: 15 * time.Second, Duration: 10 * time.Second}, // overlaps node 0's
+		},
+		LinkFaults: []LinkFault{
+			{From: 0, To: 1, Start: 50 * time.Second, Duration: 5 * time.Second, DropProb: 1},
+		},
+	}
+	s, err := NewScheduler(engine, sim.NewRNG(7), plan, targets, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{
+		{Start: 10 * time.Second, End: 25 * time.Second},
+		{Start: 50 * time.Second, End: 55 * time.Second},
+	}
+	if got := s.Windows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+	wantOnsets := []time.Duration{10 * time.Second, 15 * time.Second, 50 * time.Second}
+	if got := s.Onsets(); !reflect.DeepEqual(got, wantOnsets) {
+		t.Fatalf("Onsets() = %v, want %v", got, wantOnsets)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	engine := sim.NewEngine(1)
+	targets, _ := makeTargets(engine, 2)
+	cases := []Plan{
+		{Outages: []Outage{{Node: 5, Start: 0, Duration: time.Second}}},
+		{Outages: []Outage{{Node: 0, Start: 0, Duration: 0}}},
+		{Churn: &ChurnModel{Fraction: 1.5, MTBF: time.Second, MTTR: time.Second}},
+		{Churn: &ChurnModel{Fraction: 0.5}},
+		{LinkFaults: []LinkFault{{From: 0, To: 1, Duration: time.Second, DropProb: 2}}},
+		{LinkFaults: []LinkFault{{From: 0, To: 1, Duration: 0, DropProb: 0.5}}},
+		{Partitions: []Partition{{Duration: time.Second, SideA: []int{9}}}},
+	}
+	for i, p := range cases {
+		if _, err := NewScheduler(engine, sim.NewRNG(1), p, targets, time.Minute); err == nil {
+			t.Fatalf("case %d: invalid plan accepted", i)
+		}
+	}
+}
+
+func TestLoadPlanScript(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	script := `{
+	  "churn": {"fraction": 0.1, "mtbf_s": 90, "mttr_s": 15, "start_s": 100},
+	  "outages": [{"node": 3, "start_s": 150, "duration_s": 30}],
+	  "links": [{"from": 1, "to": 4, "start_s": 200, "duration_s": 20,
+	             "drop_prob": 0.8, "attenuation_db": 6, "symmetric": true}],
+	  "partitions": [{"start_s": 260, "duration_s": 40, "side_a": [0, 1, 2]}]
+	}`
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Churn == nil || p.Churn.Fraction != 0.1 || p.Churn.MTBF != 90*time.Second {
+		t.Fatalf("churn = %+v", p.Churn)
+	}
+	if len(p.Outages) != 1 || p.Outages[0].Node != 3 || p.Outages[0].Start != 150*time.Second {
+		t.Fatalf("outages = %+v", p.Outages)
+	}
+	if len(p.LinkFaults) != 1 || !p.LinkFaults[0].Symmetric || p.LinkFaults[0].DropProb != 0.8 {
+		t.Fatalf("links = %+v", p.LinkFaults)
+	}
+	if len(p.Partitions) != 1 || len(p.Partitions[0].SideA) != 3 {
+		t.Fatalf("partitions = %+v", p.Partitions)
+	}
+	if p.Empty() {
+		t.Fatal("loaded plan reports Empty")
+	}
+
+	// Unknown fields are typos, not extensions.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"outages": [{"node": 0, "start": 1, "duration_s": 2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(bad); err == nil {
+		t.Fatal("script with unknown field accepted")
+	}
+}

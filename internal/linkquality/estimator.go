@@ -222,6 +222,15 @@ func NewTable(packetBytes, windowSize int, staleAfter time.Duration) *Table {
 	}
 }
 
+// Reset discards every probe-driven estimator, as a node restart would: the
+// restarted node re-learns its neighborhood from scratch instead of trusting
+// estimates measured before the outage (which StaleAfter would only expire
+// later). Static (pinned) estimates survive — they are scenario
+// configuration, not measurement.
+func (t *Table) Reset() {
+	t.entries = make(map[uint16]*Entry)
+}
+
 // SetStatic pins the estimate for a neighbor, bypassing the probe-driven
 // estimators and staleness expiry. Used by analytic scenarios and tests that
 // need exact link qualities.

@@ -142,6 +142,23 @@ func New(engine *sim.Engine, radio *phy.Radio, params Params) *MAC {
 // ID returns the node ID of the underlying radio.
 func (m *MAC) ID() packet.NodeID { return m.radio.ID }
 
+// Reset returns the MAC to idle, dropping every queued frame and canceling
+// all pending contention/timeout timers — the volatile-state loss of a node
+// crash or power cycle. Counters in Stats are preserved (they model an
+// external observer, not on-node state).
+func (m *MAC) Reset() {
+	for _, ev := range []*sim.Event{m.slotEvent, m.difsEvent, m.timerEvent, m.navEvent} {
+		ev.Stop()
+	}
+	m.slotEvent, m.difsEvent, m.timerEvent, m.navEvent = nil, nil, nil, nil
+	m.queue = nil
+	m.state = stateIdle
+	m.cw = m.params.CWMin
+	m.retries = 0
+	m.backoffSlots = 0
+	m.navUntil = 0
+}
+
 // QueueLen returns the current interface queue length.
 func (m *MAC) QueueLen() int { return len(m.queue) }
 

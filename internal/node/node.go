@@ -65,6 +65,7 @@ type Node struct {
 	Router *odmrp.Router
 
 	engine *sim.Engine
+	down   bool
 }
 
 // New builds a node at position pos on the given medium.
@@ -113,3 +114,40 @@ func (n *Node) Start() { n.Prober.Start() }
 
 // Stop halts background activity.
 func (n *Node) Stop() { n.Prober.Stop() }
+
+// Down reports whether the node is currently crashed (between Fail and
+// Restore).
+func (n *Node) Down() bool { return n.down }
+
+// Fail crashes the node: the radio powers off, the MAC drops its queue and
+// timers, probing stops, and the router loses all ODMRP soft state
+// (forwarding-group flags, query rounds, duplicate windows, active source
+// floods). Neighbors keep their estimates for this node until their own
+// StaleAfter expiry — they have no way to know it died. Fail on a node that
+// is already down is a no-op.
+func (n *Node) Fail() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.Radio.SetDown(true)
+	n.MAC.Reset()
+	n.Prober.Stop()
+	n.Router.Reset()
+}
+
+// Restore restarts a crashed node: the radio powers on, probing resumes, and
+// the NEIGHBOR TABLE is wiped so the node re-learns link qualities from
+// scratch instead of routing on estimates measured before the outage.
+// Receiver group memberships survive (configuration); sources must be
+// re-registered by the application (StartSource / CBR resume). Restore on a
+// node that is up is a no-op.
+func (n *Node) Restore() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.Radio.SetDown(false)
+	n.Table.Reset()
+	n.Prober.Start()
+}

@@ -134,3 +134,64 @@ func TestNewRejectsUnknownMetric(t *testing.T) {
 		t.Fatal("expected error for unknown metric")
 	}
 }
+
+func TestFailRestoreLifecycle(t *testing.T) {
+	engine, nodes := buildChain(t, metric.SPP, 3)
+	group := packet.GroupID(7)
+	nodes[2].Router.JoinGroup(group)
+	delivered := 0
+	nodes[2].Router.OnDeliver = func(*packet.Packet, packet.NodeID) { delivered++ }
+	engine.Schedule(10*time.Second, func() { nodes[0].Router.StartSource(group) })
+	send := sim.NewTicker(engine, 100*time.Millisecond, 0, nil, func() {
+		nodes[0].Router.SendData(group, 256)
+	})
+	defer send.Stop()
+	engine.Run(60 * time.Second)
+	if delivered == 0 {
+		t.Fatal("no delivery before failure")
+	}
+	if !nodes[1].Router.IsForwarder(group) {
+		t.Fatal("middle node is not the forwarding relay")
+	}
+	if len(nodes[1].Table.Neighbors(engine.Now())) == 0 {
+		t.Fatal("middle node has no neighbor estimates before crash")
+	}
+
+	// Crash the relay: soft state is gone and nothing flows through it.
+	nodes[1].Fail()
+	if !nodes[1].Down() {
+		t.Fatal("Down() false after Fail")
+	}
+	if nodes[1].Router.IsForwarder(group) {
+		t.Fatal("FG flag survived the crash")
+	}
+	if nodes[1].MAC.QueueLen() != 0 {
+		t.Fatal("MAC queue survived the crash")
+	}
+	before := delivered
+	engine.Run(engine.Now() + 30*time.Second)
+	if delivered != before {
+		t.Fatalf("%d packets delivered through a dead relay", delivered-before)
+	}
+
+	// Restart: neighbor table starts clean and delivery eventually resumes.
+	nodes[1].Restore()
+	if nodes[1].Down() {
+		t.Fatal("Down() true after Restore")
+	}
+	if got := len(nodes[1].Table.Neighbors(engine.Now())); got != 0 {
+		t.Fatalf("restarted node has %d neighbor estimates, want 0", got)
+	}
+	engine.Run(engine.Now() + 60*time.Second)
+	if delivered == before {
+		t.Fatal("delivery did not resume after restore")
+	}
+	// Idempotence.
+	nodes[1].Restore()
+	nodes[1].Fail()
+	nodes[1].Fail()
+	nodes[1].Restore()
+	if nodes[1].Down() {
+		t.Fatal("lifecycle not idempotent")
+	}
+}

@@ -249,6 +249,30 @@ func New(engine *sim.Engine, id packet.NodeID, pm metric.PathMetric, table *link
 // ID returns the node ID.
 func (r *Router) ID() packet.NodeID { return r.id }
 
+// Reset purges all of the router's soft state, modeling a node crash: query
+// rounds, forwarding-group flags, duplicate windows, pending reply-ack
+// supervision, and active source floods are all discarded. Group membership
+// survives (it is configuration, reloaded on restart), and so do the source
+// sequence counters (a restarted source must not reuse sequence numbers its
+// receivers' duplicate windows have already seen — real implementations
+// derive them from stable storage or a clock). A source stopped here must be
+// re-registered via StartSource after restart.
+func (r *Router) Reset() {
+	for g, t := range r.sources {
+		t.Stop()
+		delete(r.sources, g)
+	}
+	for key, p := range r.pending {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		delete(r.pending, key)
+	}
+	r.rounds = make(map[groupSource]*queryRound)
+	r.fgUntil = make(map[packet.GroupID]time.Duration)
+	r.dups = make(map[groupSource]*dupWindow)
+}
+
 // Metric returns the router's path metric.
 func (r *Router) Metric() metric.PathMetric { return r.pm }
 

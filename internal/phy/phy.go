@@ -82,6 +82,10 @@ type Medium struct {
 	// per-link loss classes while keeping the MAC and collision machinery.
 	linkFunc LinkFunc
 
+	// impair, when set, injects per-(tx, rx) faults on top of the power
+	// model (see ImpairFunc).
+	impair ImpairFunc
+
 	// OnTransmit, when set, observes every frame as it is put on the air
 	// (packet capture, statistics).
 	OnTransmit func(at time.Duration, f *packet.Frame)
@@ -95,6 +99,27 @@ type LinkFunc func(tx, rx packet.NodeID, now time.Duration, rng *sim.RNG) float6
 // SetLinkFunc installs a link oracle; pass nil to restore the physics
 // models.
 func (m *Medium) SetLinkFunc(f LinkFunc) { m.linkFunc = f }
+
+// Impairment is an externally injected degradation of one (tx, rx) pair at
+// one instant: an extra drop probability (burst loss, jamming) and a linear
+// attenuation factor applied to the received power (asymmetric degradation,
+// shadowing episodes). The zero value means "unimpaired".
+type Impairment struct {
+	// DropProb is an extra independent loss probability in [0, 1]; 1 removes
+	// the arrival entirely (not even carrier sense).
+	DropProb float64
+	// Attenuation scales the received power; 0 is treated as 1 (none).
+	Attenuation float64
+}
+
+// ImpairFunc reports the current impairment for a transmission from tx to
+// rx at virtual time now. It is consulted on top of whichever power model is
+// active (physics or LinkFunc), which lets fault injection compose with both
+// simulated and trace-driven media.
+type ImpairFunc func(tx, rx packet.NodeID, now time.Duration) Impairment
+
+// SetImpairment installs a fault-injection hook; pass nil to remove it.
+func (m *Medium) SetImpairment(f ImpairFunc) { m.impair = f }
 
 // NewMedium creates a medium using the engine's clock, the given propagation
 // and fading models, and radio parameters.
@@ -165,6 +190,15 @@ func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration
 			}
 			power = m.fading.Apply(mean, m.rng)
 		}
+		if m.impair != nil {
+			imp := m.impair(src.ID, rx.ID, m.engine.Now())
+			if imp.DropProb >= 1 || (imp.DropProb > 0 && m.rng.Float64() < imp.DropProb) {
+				continue
+			}
+			if imp.Attenuation > 0 {
+				power *= imp.Attenuation
+			}
+		}
 		if power < m.ignoreBelowW {
 			continue
 		}
@@ -216,6 +250,7 @@ type Radio struct {
 	Stats RadioStats
 
 	medium       *Medium
+	down         bool
 	transmitting bool
 	locked       *arrival
 	arrivals     []*arrival
@@ -229,10 +264,29 @@ func (r *Radio) AirTime(sizeBytes int) time.Duration {
 	return r.medium.params.AirTime(sizeBytes)
 }
 
+// SetDown powers the radio off (down=true) or on. A powered-off radio
+// neither transmits nor decodes: in-flight arrivals are abandoned and later
+// ones pass through as if the antenna were disconnected. Fault injection
+// uses this to model node crashes.
+func (r *Radio) SetDown(down bool) {
+	r.down = down
+	if down && r.locked != nil {
+		r.locked.corrupted = true
+		r.locked = nil
+	}
+}
+
+// Down reports whether the radio is powered off.
+func (r *Radio) Down() bool { return r.down }
+
 // Transmit puts a frame on the air and returns its airtime. The caller (MAC)
 // is responsible for deferring until the channel is idle; the radio itself
-// will transmit regardless (that is what makes collisions possible).
+// will transmit regardless (that is what makes collisions possible). A
+// powered-off radio silently discards the frame (zero airtime).
 func (r *Radio) Transmit(f *packet.Frame) time.Duration {
+	if r.down {
+		return 0
+	}
 	airtime := r.medium.params.AirTime(f.SizeBytes())
 	r.Stats.FramesSent++
 	r.transmitting = true
@@ -254,6 +308,9 @@ func (r *Radio) Transmit(f *packet.Frame) time.Duration {
 // CarrierBusy reports physical carrier sense: the radio is transmitting or
 // the total in-flight power exceeds the carrier-sense threshold.
 func (r *Radio) CarrierBusy() bool {
+	if r.down {
+		return false
+	}
 	return r.transmitting || r.sensedPower >= r.medium.params.CSThresholdW
 }
 
@@ -272,6 +329,11 @@ func (r *Radio) beginArrival(a *arrival) {
 	r.sensedPower += a.power
 
 	switch {
+	case r.down:
+		// Powered off: the signal passes through undetected. It still sits
+		// in arrivals/sensedPower so endArrival stays symmetric, but a dead
+		// radio reports no carrier and decodes nothing.
+		a.corrupted = true
 	case r.transmitting:
 		// Receiver deaf while transmitting.
 		a.corrupted = true

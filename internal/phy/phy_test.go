@@ -307,3 +307,101 @@ func TestOnTransmitHookSeesEveryFrame(t *testing.T) {
 		t.Fatalf("OnTransmit saw %v", seen)
 	}
 }
+
+func TestImpairmentDropAndAttenuation(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+
+	// Total blackout: nothing arrives, not even carrier sense.
+	medium.SetImpairment(func(_, _ packet.NodeID, _ time.Duration) Impairment {
+		return Impairment{DropProb: 1}
+	})
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if delivered != 0 || rx.Stats.BelowThreshold != 0 {
+		t.Fatalf("blackout delivered=%d belowThreshold=%d", delivered, rx.Stats.BelowThreshold)
+	}
+
+	// Heavy attenuation: the arrival exists but is too weak to decode.
+	medium.SetImpairment(func(_, _ packet.NodeID, _ time.Duration) Impairment {
+		return Impairment{Attenuation: 1e-3}
+	})
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatal("attenuated frame decoded")
+	}
+
+	// Hook removed: back to clean delivery.
+	medium.SetImpairment(nil)
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after impairment removed, want 1", delivered)
+	}
+}
+
+func TestImpairmentIsDirectional(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	a := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	b := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	var aGot, bGot int
+	a.ReceiveFrame = func(*packet.Frame) { aGot++ }
+	b.ReceiveFrame = func(*packet.Frame) { bGot++ }
+	// Impair only the 0 -> 1 direction (asymmetric degradation).
+	medium.SetImpairment(func(tx, rx packet.NodeID, _ time.Duration) Impairment {
+		if tx == 0 && rx == 1 {
+			return Impairment{DropProb: 1}
+		}
+		return Impairment{}
+	})
+	engine.Schedule(0, func() { a.Transmit(dataFrame(0, 64)) })
+	engine.Schedule(time.Second, func() { b.Transmit(dataFrame(1, 64)) })
+	engine.RunAll()
+	if bGot != 0 {
+		t.Fatalf("impaired direction delivered %d frames", bGot)
+	}
+	if aGot != 1 {
+		t.Fatalf("reverse direction delivered %d frames, want 1", aGot)
+	}
+}
+
+func TestRadioDown(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+
+	rx.SetDown(true)
+	if rx.CarrierBusy() {
+		t.Fatal("dead radio senses carrier")
+	}
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatal("dead radio decoded a frame")
+	}
+
+	// A dead radio does not transmit either.
+	sentBefore := tx.Stats.FramesSent
+	tx.SetDown(true)
+	if d := tx.Transmit(dataFrame(0, 64)); d != 0 {
+		t.Fatalf("dead radio reported airtime %v", d)
+	}
+	if tx.Stats.FramesSent != sentBefore {
+		t.Fatal("dead radio counted a transmission")
+	}
+
+	// Power both back on: delivery resumes.
+	tx.SetDown(false)
+	rx.SetDown(false)
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) })
+	engine.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after power-on, want 1", delivered)
+	}
+}

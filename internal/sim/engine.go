@@ -19,18 +19,22 @@ type Event struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
+	engine  *Engine
 	index   int // heap index; -1 once popped or canceled
 	stopped bool
 }
 
-// Stop cancels the event if it has not fired yet. Stopping an already-fired
-// or already-stopped event is a no-op. Stop reports whether the event was
-// still pending.
+// Stop cancels the event if it has not fired yet, removing it from the
+// engine's queue immediately (so mass cancellation — churn, crashed nodes —
+// cannot accumulate dead entries in the heap). Stopping an already-fired or
+// already-stopped event is a no-op. Stop reports whether the event was still
+// pending.
 func (e *Event) Stop() bool {
 	if e == nil || e.stopped || e.index == -1 {
 		return false
 	}
 	e.stopped = true
+	heap.Remove(&e.engine.queue, e.index)
 	return true
 }
 
@@ -55,7 +59,9 @@ func (q eventQueue) Swap(i, j int) {
 func (q *eventQueue) Push(x any) {
 	e, ok := x.(*Event)
 	if !ok {
-		return
+		// Silently dropping a foreign value would corrupt the schedule in a
+		// way that only shows up as missing events much later; fail loudly.
+		panic("sim: eventQueue.Push called with a non-*Event value")
 	}
 	e.index = len(*q)
 	*q = append(*q, e)
@@ -114,7 +120,7 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -130,9 +136,6 @@ func (e *Engine) Run(until time.Duration) time.Duration {
 		}
 		heap.Pop(&e.queue)
 		e.now = next.at
-		if next.stopped {
-			continue
-		}
 		e.Processed++
 		next.fn()
 	}
@@ -148,9 +151,6 @@ func (e *Engine) RunAll() time.Duration {
 		next := e.queue[0]
 		heap.Pop(&e.queue)
 		e.now = next.at
-		if next.stopped {
-			continue
-		}
 		e.Processed++
 		next.fn()
 	}
@@ -164,8 +164,8 @@ func (e *Engine) Halt() { e.halted = true }
 // Resume clears a previous Halt.
 func (e *Engine) Resume() { e.halted = false }
 
-// Pending returns the number of events still queued (including stopped
-// events that have not yet been discarded).
+// Pending returns the exact number of events still queued; canceled events
+// are removed from the queue at Stop time and never counted.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // PeekNext returns the scheduled time of the earliest pending event. The

@@ -90,6 +90,69 @@ func TestEventStop(t *testing.T) {
 	}
 }
 
+func TestEventStopRemovesFromHeap(t *testing.T) {
+	e := NewEngine(1)
+	// Mass-cancel: churn-style workloads stop thousands of timers long
+	// before their deadlines; the queue must shrink immediately.
+	events := make([]*Event, 1000)
+	for i := range events {
+		events[i] = e.Schedule(time.Hour, func() {})
+	}
+	keep := e.Schedule(time.Second, func() {})
+	if got := e.Pending(); got != 1001 {
+		t.Fatalf("pending = %d, want 1001", got)
+	}
+	for _, ev := range events {
+		if !ev.Stop() {
+			t.Fatal("Stop on pending event returned false")
+		}
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("pending after mass cancel = %d, want 1 (exact count)", got)
+	}
+	e.RunAll()
+	if keep.Stop() {
+		t.Fatal("surviving event did not fire")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventStopPreservesOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.Schedule(time.Duration(i)*time.Second, func() { got = append(got, i) }))
+	}
+	// Remove a scattering of events from the middle of the heap.
+	for _, i := range []int{3, 4, 11, 17, 0} {
+		evs[i].Stop()
+	}
+	e.RunAll()
+	want := []int{1, 2, 5, 6, 7, 8, 9, 10, 12, 13, 14, 15, 16, 18, 19}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventQueuePushRejectsForeignValues(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push of a non-*Event did not panic")
+		}
+	}()
+	var q eventQueue
+	q.Push("not an event")
+}
+
 func TestEventStopAfterFire(t *testing.T) {
 	e := NewEngine(1)
 	ev := e.Schedule(time.Second, func() {})

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"meshcast/internal/faults"
+	"meshcast/internal/packet"
+)
+
+// HealthTracker measures mesh self-healing: how quickly delivery to each
+// multicast group resumes after a fault hits (repair latency), how much worse
+// delivery is inside fault windows than outside (outage vs steady-state PDR),
+// and what fraction of the run each group had live delivery (availability).
+//
+// It consumes the precomputed fault geometry from a faults.Scheduler — the
+// onset instants and the merged fault windows — and a per-group stream of
+// send/delivery timestamps fed by the scenario runner. All accounting is
+// per-group rather than per-flow: the paper's self-healing question is "when
+// does the *group* hear from its sources again", not any one receiver.
+type HealthTracker struct {
+	// GapThreshold is the delivery silence that counts as an outage for the
+	// availability metric: if a group that has started receiving goes longer
+	// than this without any delivery, the gap (beyond the threshold) counts
+	// as unavailable time. The default is 1s, i.e. a handful of CBR
+	// intervals.
+	GapThreshold time.Duration
+
+	onsets  []time.Duration
+	windows []faults.Window
+
+	groups map[packet.GroupID]*groupHealth
+}
+
+// groupHealth is the per-group accumulator.
+type groupHealth struct {
+	sentIn, sentOut           uint64 // sends inside / outside fault windows
+	deliveredIn, deliveredOut uint64
+
+	firstDelivery time.Duration
+	lastDelivery  time.Duration
+	anyDelivery   bool
+	unavailable   time.Duration // accumulated gap time beyond GapThreshold
+
+	// pendingOnsets are fault onsets not yet answered by a delivery; the
+	// next delivery closes all of them at once (repair latency = delivery
+	// time minus onset).
+	pendingOnsets []time.Duration
+	nextOnset     int // index into tracker onsets not yet reached
+	repairs       []time.Duration
+}
+
+// NewHealthTracker builds a tracker for the given fault schedule. Both slices
+// come straight from faults.Scheduler: Onsets() and Windows().
+func NewHealthTracker(onsets []time.Duration, windows []faults.Window) *HealthTracker {
+	return &HealthTracker{
+		GapThreshold: time.Second,
+		onsets:       onsets,
+		windows:      windows,
+		groups:       make(map[packet.GroupID]*groupHealth),
+	}
+}
+
+func (h *HealthTracker) group(g packet.GroupID) *groupHealth {
+	gh, ok := h.groups[g]
+	if !ok {
+		gh = &groupHealth{}
+		h.groups[g] = gh
+	}
+	return gh
+}
+
+// inWindow reports whether t falls inside any fault window.
+func (h *HealthTracker) inWindow(t time.Duration) bool {
+	// Windows are sorted and disjoint; binary-search the candidate.
+	i := sort.Search(len(h.windows), func(i int) bool { return h.windows[i].End > t })
+	return i < len(h.windows) && h.windows[i].Contains(t)
+}
+
+// advanceOnsets moves every onset at or before now into the group's pending
+// set, so the next delivery can close them.
+func (h *HealthTracker) advanceOnsets(gh *groupHealth, now time.Duration) {
+	for gh.nextOnset < len(h.onsets) && h.onsets[gh.nextOnset] <= now {
+		gh.pendingOnsets = append(gh.pendingOnsets, h.onsets[gh.nextOnset])
+		gh.nextOnset++
+	}
+}
+
+// RecordSent notes that some source multicast one data packet to group at
+// time now. Calls must be in nondecreasing time order per group (the
+// simulator guarantees this).
+func (h *HealthTracker) RecordSent(group packet.GroupID, now time.Duration) {
+	gh := h.group(group)
+	h.advanceOnsets(gh, now)
+	if h.inWindow(now) {
+		gh.sentIn++
+	} else {
+		gh.sentOut++
+	}
+}
+
+// RecordDelivered notes that some member of group received a data packet at
+// time now. Calls must be in nondecreasing time order per group.
+func (h *HealthTracker) RecordDelivered(group packet.GroupID, now time.Duration) {
+	gh := h.group(group)
+	h.advanceOnsets(gh, now)
+	if h.inWindow(now) {
+		gh.deliveredIn++
+	} else {
+		gh.deliveredOut++
+	}
+	// Close every pending fault onset: the group hears traffic again, so the
+	// mesh has repaired whatever those faults broke (or they never broke the
+	// delivery tree at all — those show up as near-zero repair latencies,
+	// which is itself a useful signal).
+	for _, onset := range gh.pendingOnsets {
+		if now >= onset {
+			gh.repairs = append(gh.repairs, now-onset)
+		}
+	}
+	gh.pendingOnsets = gh.pendingOnsets[:0]
+
+	if !gh.anyDelivery {
+		gh.anyDelivery = true
+		gh.firstDelivery = now
+	} else if gap := now - gh.lastDelivery; gap > h.GapThreshold {
+		gh.unavailable += gap - h.GapThreshold
+	}
+	gh.lastDelivery = now
+}
+
+// GroupHealth is one group's self-healing summary.
+type GroupHealth struct {
+	Group packet.GroupID
+	// OutagePDR / SteadyPDR are the delivery ratios for packets sent inside
+	// and outside fault windows respectively.
+	OutagePDR, SteadyPDR float64
+	// SentInWindows / SentOutside are the corresponding denominators.
+	SentInWindows, SentOutside uint64
+	// RepairLatencies lists, for each fault onset that occurred while the
+	// group was active, the time until the group's next delivery.
+	RepairLatencies []time.Duration
+	// MeanRepair and MaxRepair summarize RepairLatencies (0 when empty).
+	MeanRepair, MaxRepair time.Duration
+	// Availability is the fraction of the group's active span (first to last
+	// delivery) not spent in delivery gaps longer than GapThreshold.
+	Availability float64
+}
+
+// Health returns per-group summaries sorted by group ID.
+func (h *HealthTracker) Health() []GroupHealth {
+	ids := make([]packet.GroupID, 0, len(h.groups))
+	for g := range h.groups {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	out := make([]GroupHealth, 0, len(ids))
+	for _, g := range ids {
+		gh := h.groups[g]
+		r := GroupHealth{
+			Group:         g,
+			SentInWindows: gh.sentIn,
+			SentOutside:   gh.sentOut,
+			Availability:  1,
+		}
+		if gh.sentIn > 0 {
+			r.OutagePDR = float64(gh.deliveredIn) / float64(gh.sentIn)
+		}
+		if gh.sentOut > 0 {
+			r.SteadyPDR = float64(gh.deliveredOut) / float64(gh.sentOut)
+		}
+		if n := len(gh.repairs); n > 0 {
+			r.RepairLatencies = append([]time.Duration(nil), gh.repairs...)
+			var sum time.Duration
+			for _, d := range gh.repairs {
+				sum += d
+				if d > r.MaxRepair {
+					r.MaxRepair = d
+				}
+			}
+			r.MeanRepair = sum / time.Duration(n)
+		}
+		if span := gh.lastDelivery - gh.firstDelivery; gh.anyDelivery && span > 0 {
+			r.Availability = 1 - float64(gh.unavailable)/float64(span)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// String renders one group's health line, fixed-format for deterministic
+// scenario output.
+func (g GroupHealth) String() string {
+	return fmt.Sprintf(
+		"group %v: steady PDR %.3f, outage PDR %.3f, repairs %d (mean %.3fs, max %.3fs), availability %.4f",
+		g.Group, g.SteadyPDR, g.OutagePDR, len(g.RepairLatencies),
+		g.MeanRepair.Seconds(), g.MaxRepair.Seconds(), g.Availability)
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"meshcast/internal/faults"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestHealthSplitsPDRByWindow(t *testing.T) {
+	windows := []faults.Window{{Start: sec(10), End: sec(20)}}
+	h := NewHealthTracker(nil, windows)
+
+	// 4 sends outside (all delivered), 4 inside (1 delivered).
+	for _, s := range []float64{1, 2, 3, 4} {
+		h.RecordSent(1, sec(s))
+		h.RecordDelivered(1, sec(s)+time.Millisecond)
+	}
+	for _, s := range []float64{11, 12, 13, 14} {
+		h.RecordSent(1, sec(s))
+	}
+	h.RecordDelivered(1, sec(11)+time.Millisecond)
+
+	got := h.Health()
+	if len(got) != 1 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	g := got[0]
+	if g.SteadyPDR != 1 {
+		t.Fatalf("steady PDR = %v", g.SteadyPDR)
+	}
+	if g.OutagePDR != 0.25 {
+		t.Fatalf("outage PDR = %v", g.OutagePDR)
+	}
+	if g.SentInWindows != 4 || g.SentOutside != 4 {
+		t.Fatalf("denominators = %d/%d", g.SentInWindows, g.SentOutside)
+	}
+}
+
+func TestHealthRepairLatency(t *testing.T) {
+	onsets := []time.Duration{sec(10), sec(30)}
+	h := NewHealthTracker(onsets, []faults.Window{
+		{Start: sec(10), End: sec(12)},
+		{Start: sec(30), End: sec(32)},
+	})
+
+	h.RecordDelivered(1, sec(5))
+	// First fault at 10s; delivery resumes at 13s → 3s repair.
+	h.RecordSent(1, sec(11))
+	h.RecordDelivered(1, sec(13))
+	// Second fault at 30s; delivery resumes at 30.5s → 0.5s repair.
+	h.RecordDelivered(1, sec(30.5))
+
+	g := h.Health()[0]
+	if len(g.RepairLatencies) != 2 {
+		t.Fatalf("repairs = %v", g.RepairLatencies)
+	}
+	if g.RepairLatencies[0] != sec(3) || g.RepairLatencies[1] != sec(0.5) {
+		t.Fatalf("repairs = %v", g.RepairLatencies)
+	}
+	if g.MaxRepair != sec(3) {
+		t.Fatalf("max repair = %v", g.MaxRepair)
+	}
+	if want := sec(1.75); g.MeanRepair != want {
+		t.Fatalf("mean repair = %v, want %v", g.MeanRepair, want)
+	}
+}
+
+func TestHealthAvailability(t *testing.T) {
+	h := NewHealthTracker(nil, nil)
+	// Deliveries at 0..10s every 100ms, then a 5s silence, then 15..20s.
+	for ms := 0; ms <= 10_000; ms += 100 {
+		h.RecordDelivered(1, time.Duration(ms)*time.Millisecond)
+	}
+	for ms := 15_000; ms <= 20_000; ms += 100 {
+		h.RecordDelivered(1, time.Duration(ms)*time.Millisecond)
+	}
+	g := h.Health()[0]
+	// Span 20s; one 5s gap exceeds the 1s threshold by 4s → 16/20 available.
+	if want := 0.8; g.Availability < want-1e-9 || g.Availability > want+1e-9 {
+		t.Fatalf("availability = %v, want %v", g.Availability, want)
+	}
+}
+
+func TestHealthGroupsAreIndependent(t *testing.T) {
+	onsets := []time.Duration{sec(10)}
+	h := NewHealthTracker(onsets, []faults.Window{{Start: sec(10), End: sec(15)}})
+	h.RecordDelivered(1, sec(5))
+	h.RecordDelivered(2, sec(5))
+	h.RecordDelivered(1, sec(11)) // group 1 repairs after 1s
+	h.RecordDelivered(2, sec(14)) // group 2 repairs after 4s
+
+	hs := h.Health()
+	if len(hs) != 2 || hs[0].Group != 1 || hs[1].Group != 2 {
+		t.Fatalf("health = %+v", hs)
+	}
+	if hs[0].MeanRepair != sec(1) || hs[1].MeanRepair != sec(4) {
+		t.Fatalf("repairs = %v / %v", hs[0].MeanRepair, hs[1].MeanRepair)
+	}
+}
+
+func TestHealthNoFaultsNoRepairs(t *testing.T) {
+	h := NewHealthTracker(nil, nil)
+	h.RecordSent(1, sec(1))
+	h.RecordDelivered(1, sec(1))
+	g := h.Health()[0]
+	if len(g.RepairLatencies) != 0 || g.MeanRepair != 0 {
+		t.Fatalf("phantom repairs: %+v", g)
+	}
+	if g.Availability != 1 {
+		t.Fatalf("availability = %v", g.Availability)
+	}
+	if g.SteadyPDR != 1 || g.OutagePDR != 0 {
+		t.Fatalf("PDRs = %v/%v", g.SteadyPDR, g.OutagePDR)
+	}
+}

@@ -46,11 +46,13 @@ type CBR struct {
 	// OnSend, when non-nil, observes each data packet's send time.
 	OnSend func(at time.Duration)
 
-	router *odmrp.Router
-	engine *sim.Engine
-	rng    *sim.RNG
-	cfg    CBRConfig
-	ticker *sim.Ticker
+	router  *odmrp.Router
+	engine  *sim.Engine
+	rng     *sim.RNG
+	cfg     CBRConfig
+	ticker  *sim.Ticker
+	paused  bool
+	started bool
 }
 
 // NewCBR creates a CBR source on router; call Start to begin.
@@ -66,9 +68,48 @@ func NewCBR(engine *sim.Engine, router *odmrp.Router, cfg CBRConfig) *CBR {
 // Start registers the router as an ODMRP source and schedules the flow.
 func (c *CBR) Start() {
 	c.engine.Schedule(c.cfg.Start, func() {
-		c.router.StartSource(c.cfg.Group)
-		c.ticker = sim.NewTicker(c.engine, c.cfg.Interval, c.cfg.Jitter, c.rng, c.emit)
+		c.started = true
+		if c.paused {
+			// The source crashed before its start time; Resume will begin
+			// the flow once the node comes back.
+			return
+		}
+		c.begin()
 	})
+}
+
+// begin registers the source flood and the emission ticker. StartSource is
+// idempotent, so resuming a flow whose router kept its source state (a pause
+// without a crash) does not double-register.
+func (c *CBR) begin() {
+	c.router.StartSource(c.cfg.Group)
+	c.ticker = sim.NewTicker(c.engine, c.cfg.Interval, c.cfg.Jitter, c.rng, c.emit)
+}
+
+// Pause suspends emission, as when the source node crashes: no packets are
+// sent (and Sent does not grow) until Resume. Safe to call repeatedly.
+func (c *CBR) Pause() {
+	if c.paused {
+		return
+	}
+	c.paused = true
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+// Resume restarts a paused flow. It re-registers the source with the router —
+// a crash wipes the router's source flood state (odmrp.Router.Reset), so the
+// JOIN QUERY refresh ticker must be rebuilt, not just the emission ticker.
+func (c *CBR) Resume() {
+	if !c.paused {
+		return
+	}
+	c.paused = false
+	if c.started {
+		c.begin()
+	}
 }
 
 func (c *CBR) emit() {

@@ -26,6 +26,7 @@ import (
 	"meshcast/internal/analysis"
 	"meshcast/internal/emu"
 	"meshcast/internal/experiments"
+	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
 	"meshcast/internal/node"
@@ -456,3 +457,33 @@ func PaperScenario(m Metric, seed uint64) (experiments.ScenarioConfig, error) {
 func RunPaperScenario(cfg experiments.ScenarioConfig) (*experiments.RunResult, error) {
 	return experiments.RunScenario(cfg)
 }
+
+// FaultPlan describes fault injection for a scenario: MTBF/MTTR node churn,
+// scripted node outages, link impairment episodes, and network partitions.
+// Assign one to ScenarioConfig.Faults (see PaperScenario) to evaluate a
+// metric's self-healing behavior. The schedule is drawn deterministically
+// from the scenario seed, so every metric run on the same seed faces the
+// same failures.
+type FaultPlan = faults.Plan
+
+// ChurnModel is the MTBF/MTTR crash-restart renewal process of a FaultPlan.
+type ChurnModel = faults.ChurnModel
+
+// NodeOutage is one scripted crash window of a FaultPlan.
+type NodeOutage = faults.Outage
+
+// LinkFault is one scripted link impairment episode of a FaultPlan.
+type LinkFault = faults.LinkFault
+
+// NetPartition is one scripted network partition of a FaultPlan.
+type NetPartition = faults.Partition
+
+// GroupHealth is a multicast group's self-healing summary: repair latency
+// after faults, delivery ratio during outages vs steady state, and
+// availability. Fault-injected runs report one per group in
+// RunResult.Health.
+type GroupHealth = stats.GroupHealth
+
+// LoadFaultPlan reads a JSON fault script (the cmd/meshsim -fault-script
+// format).
+func LoadFaultPlan(path string) (FaultPlan, error) { return faults.LoadPlan(path) }
