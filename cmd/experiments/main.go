@@ -2,23 +2,33 @@
 // evaluation and emits a markdown report comparing paper values with
 // measured values (the contents of EXPERIMENTS.md).
 //
+// Every (metric, seed) cell of the evaluation is an independent simulation,
+// so the matrix executes through the internal/runner job harness: -j sets
+// the worker count (the report is byte-identical for any value), and
+// -cache-dir enables the content-addressed result cache so repeated or
+// resumed sweeps skip completed runs.
+//
 // Usage:
 //
 //	go run ./cmd/experiments            # quick: 3 seeds, 150 s traffic
 //	go run ./cmd/experiments -full      # paper scale: 10 seeds, 400 s
-//	go run ./cmd/experiments -o EXPERIMENTS.md
+//	go run ./cmd/experiments -j 8 -cache-dir .expcache -o EXPERIMENTS.md
 //	go run ./cmd/experiments -skip-ablations
+//	go run ./cmd/experiments -bench-runner BENCH_runner.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"meshcast/internal/experiments"
 	"meshcast/internal/metric"
+	"meshcast/internal/runner"
 )
 
 func main() {
@@ -26,35 +36,59 @@ func main() {
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	skipAblations := flag.Bool("skip-ablations", false, "skip the (slow) ablation sweeps")
 	testbedRuns := flag.Int("testbed-runs", 5, "testbed runs per metric")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation jobs (output is byte-identical for any value)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty disables caching)")
+	benchOut := flag.String("bench-runner", "", "benchmark the job harness (serial vs -j parallel reduced sweep), write JSON here, and exit")
 	flag.Parse()
-	if err := run(*full, *out, *skipAblations, *testbedRuns); err != nil {
+	if *benchOut != "" {
+		if err := benchRunner(*benchOut, *jobs, *cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(*full, *out, *skipAblations, *testbedRuns, *jobs, *cacheDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(full bool, out string, skipAblations bool, testbedRuns int) error {
+func run(full bool, out string, skipAblations bool, testbedRuns, jobs int, cacheDir string) error {
 	start := time.Now()
 	opts := experiments.QuickOptions()
-	// secondary scales down the probing-rate variants and ablations, which
-	// sweep many configurations; the headline Figure 2 column keeps the
-	// full seed count.
-	secondary := opts
 	testbedSeconds := 150
 	if full {
 		opts = experiments.FullOptions()
-		secondary = opts
-		secondary.Seeds = opts.Seeds[:5]
-		secondary.TrafficSeconds = 250
 		testbedSeconds = 400
 	}
 	progress := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "[%7s] ", time.Since(start).Round(time.Second))
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+	opts.Workers = jobs
+	opts.CacheDir = cacheDir
+	// Per-job completion lines under each phase banner: "[12/50] etx seed 3
+	// done (cached)". Callbacks are serialized by the pool.
+	opts.Progress = func(p runner.Progress) {
+		suffix := ""
+		if p.Cached {
+			suffix = " (cached)"
+		}
+		if p.Err != nil {
+			suffix = " FAILED: " + p.Err.Error()
+		}
+		progress("[%d/%d] %s done%s", p.Done, p.Total, p.Label, suffix)
+	}
+	// secondary scales down the probing-rate variants and ablations, which
+	// sweep many configurations; the headline Figure 2 column keeps the
+	// full seed count.
+	secondary := opts
+	if full {
+		secondary.Seeds = opts.Seeds[:5]
+		secondary.TrafficSeconds = 250
+	}
 
 	report := experiments.NewReport(opts, testbedRuns, testbedSeconds)
 
-	progress("figure 2: throughput-simulations (+ delay + table 1)")
+	progress("figure 2: throughput-simulations (+ delay + table 1) [%d workers]", jobs)
 	sims, err := experiments.RunPaperSims(opts)
 	if err != nil {
 		return fmt.Errorf("fig2 simulations: %w", err)
@@ -89,7 +123,7 @@ func run(full bool, out string, skipAblations bool, testbedRuns int) error {
 			"of staler link information.")
 
 	progress("figure 2: throughput-testbed (+ figure 4/5 artifacts)")
-	col, err := experiments.RunTestbedColumn(testbedRuns, testbedSeconds)
+	col, err := experiments.RunTestbedColumn(opts, testbedRuns, testbedSeconds)
 	if err != nil {
 		return fmt.Errorf("testbed column: %w", err)
 	}
@@ -140,4 +174,84 @@ func run(full bool, out string, skipAblations bool, testbedRuns int) error {
 		return nil
 	}
 	return os.WriteFile(out, []byte(report.String()), 0o644)
+}
+
+// benchReport is the BENCH_runner.json schema: the job harness's measured
+// wall-clock on a reduced sweep, serial vs parallel, on this machine.
+type benchReport struct {
+	GeneratedAt     string  `json:"generatedAt"`
+	Cores           int     `json:"cores"`
+	Workers         int     `json:"workers"`
+	Jobs            int     `json:"jobs"`
+	SerialSeconds   float64 `json:"serialSeconds"`
+	ParallelSeconds float64 `json:"parallelSeconds"`
+	Speedup         float64 `json:"speedup"`
+	ByteIdentical   bool    `json:"byteIdentical"`
+	Config          string  `json:"config"`
+}
+
+// benchRunner measures the harness: one reduced SPP-vs-baseline sweep run
+// serially (-j 1) and once with the requested worker count, reporting
+// wall-clock, speedup, and whether the two reports were byte-identical.
+func benchRunner(out string, workers int, cacheDir string) error {
+	o := experiments.QuickOptions()
+	o.Seeds = []uint64{1, 2, 3, 4}
+	o.TrafficSeconds = 40
+	o.WarmupSeconds = 20
+	o.Metrics = []metric.Kind{metric.SPP}
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	render := func(sims *experiments.PaperSims) string {
+		r := experiments.NewReport(o, 0, 0)
+		r.Fig2SimTable("bench", sims, nil, "")
+		r.DelayTable(sims)
+		r.Table1(sims)
+		return r.String()
+	}
+	timeRun := func(j int, dir string) (string, float64, error) {
+		opts := o
+		opts.Workers = j
+		opts.CacheDir = dir
+		start := time.Now()
+		sims, err := experiments.RunPaperSims(opts)
+		if err != nil {
+			return "", 0, err
+		}
+		return render(sims), time.Since(start).Seconds(), nil
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: %d jobs serial...\n", 2*len(o.Seeds))
+	serialReport, serialSec, err := timeRun(1, "")
+	if err != nil {
+		return fmt.Errorf("bench serial: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d jobs with %d workers...\n", 2*len(o.Seeds), workers)
+	parallelReport, parallelSec, err := timeRun(workers, cacheDir)
+	if err != nil {
+		return fmt.Errorf("bench parallel: %w", err)
+	}
+
+	rep := benchReport{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Cores:           runtime.NumCPU(),
+		Workers:         workers,
+		Jobs:            2 * len(o.Seeds),
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parallelSec,
+		Speedup:         serialSec / parallelSec,
+		ByteIdentical:   serialReport == parallelReport,
+		Config:          fmt.Sprintf("%d seeds x %d s traffic (+%d s warmup), baseline+SPP", len(o.Seeds), o.TrafficSeconds, o.WarmupSeconds),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: serial %.2fs, parallel %.2fs (%.2fx on %d cores), byte-identical=%v -> %s\n",
+		serialSec, parallelSec, rep.Speedup, rep.Cores, rep.ByteIdentical, out)
+	return nil
 }

@@ -6,17 +6,22 @@
 // conditions).
 //
 // The fault schedule is derived from the seed alone, so all metrics face
-// exactly the same crashes.
+// exactly the same crashes. The full metric × churn-level matrix executes
+// on the job harness: runs proceed in parallel (-j) and completed runs are
+// reusable across invocations (-cache-dir), while the table is assembled in
+// submission order and therefore identical for any worker count.
 //
 // Run with:
 //
-//	go run ./examples/churn [-seconds 100] [-seed 1] [-mtbf 60s] [-mttr 15s]
+//	go run ./examples/churn [-seconds 100] [-seed 1] [-mtbf 60s] [-mttr 15s] [-j 4] [-cache-dir .meshcache]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"meshcast"
@@ -27,25 +32,21 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed (topology + faults)")
 	mtbf := flag.Duration("mtbf", 60*time.Second, "mean time between failures per churned node")
 	mttr := flag.Duration("mttr", 15*time.Second, "mean time to repair per churned node")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	cacheDir := flag.String("cache-dir", "", "cache completed runs here (reused across invocations)")
 	flag.Parse()
-	if err := run(*seconds, *seed, *mtbf, *mttr); err != nil {
+	if err := run(*seconds, *seed, *mtbf, *mttr, *workers, *cacheDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(seconds int, seed uint64, mtbf, mttr time.Duration) error {
+func run(seconds int, seed uint64, mtbf, mttr time.Duration, workers int, cacheDir string) error {
 	churnLevels := []float64{0, 0.10, 0.25}
+	metrics := meshcast.Metrics()
 
-	fmt.Printf("PDR under churn (seed %d, %ds traffic, MTBF %v, MTTR %v)\n\n", seed, seconds, mtbf, mttr)
-	fmt.Printf("%-8s", "metric")
-	for _, c := range churnLevels {
-		fmt.Printf("  %6.0f%%", 100*c)
-	}
-	fmt.Printf("   %s\n", "mean repair @25% churn")
-
-	for _, m := range meshcast.Metrics() {
-		fmt.Printf("%-8v", m)
-		var lastHealth []meshcast.GroupHealth
+	// Build the metric × churn matrix as one job batch.
+	var jobs []meshcast.ScenarioJob
+	for _, m := range metrics {
 		for _, churn := range churnLevels {
 			cfg, err := meshcast.PaperScenario(m, seed)
 			if err != nil {
@@ -62,12 +63,45 @@ func run(seconds int, seed uint64, mtbf, mttr time.Duration) error {
 					Start: cfg.TrafficStart,
 				}}
 			}
-			res, err := meshcast.RunPaperScenario(cfg)
-			if err != nil {
-				return err
+			jobs = append(jobs, meshcast.ScenarioJob{
+				Label:  fmt.Sprintf("%v churn %.0f%%", m, 100*churn),
+				Config: cfg,
+			})
+		}
+	}
+
+	results, err := meshcast.RunScenarioBatch(jobs, meshcast.BatchOptions{
+		Workers:  workers,
+		CacheDir: cacheDir,
+		Progress: func(p meshcast.BatchProgress) {
+			suffix := ""
+			if p.Cached {
+				suffix = " (cached)"
 			}
-			fmt.Printf("  %6.1f%%", 100*res.Summary.PDR)
-			lastHealth = res.Health
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s done%s\n", p.Done, p.Total, p.Label, suffix)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("PDR under churn (seed %d, %ds traffic, MTBF %v, MTTR %v)\n\n", seed, seconds, mtbf, mttr)
+	fmt.Printf("%-8s", "metric")
+	for _, c := range churnLevels {
+		fmt.Printf("  %6.0f%%", 100*c)
+	}
+	fmt.Printf("   %s\n", "mean repair @25% churn")
+
+	for i, m := range metrics {
+		fmt.Printf("%-8v", m)
+		var lastHealth []meshcast.GroupHealth
+		for j := range churnLevels {
+			r := results[i*len(churnLevels)+j]
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", r.Label, r.Err)
+			}
+			fmt.Printf("  %6.1f%%", 100*r.Value.Summary.PDR)
+			lastHealth = r.Value.Health
 		}
 		fmt.Printf("   %s\n", repairSummary(lastHealth))
 	}

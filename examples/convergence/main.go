@@ -4,15 +4,19 @@
 // and short-window metrics (SPP/ETX) flap back onto them while PP's long
 // EWMA memory keeps avoiding them.
 //
+// The three testbed runs execute concurrently on the job harness; results
+// come back in submission order, so the output is identical for any -j.
+//
 // Run with:
 //
-//	go run ./examples/convergence [-seconds 300]
+//	go run ./examples/convergence [-seconds 300] [-j 3] [-cache-dir .meshcache]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"meshcast"
@@ -20,23 +24,38 @@ import (
 
 func main() {
 	seconds := flag.Int("seconds", 300, "traffic seconds")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel testbed workers")
+	cacheDir := flag.String("cache-dir", "", "cache completed runs here (reused across invocations)")
 	flag.Parse()
-	if err := run(*seconds); err != nil {
+	if err := run(*seconds, *workers, *cacheDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(seconds int) error {
+func run(seconds, workers int, cacheDir string) error {
 	metrics := []meshcast.Metric{meshcast.MinHop, meshcast.SPP, meshcast.PP}
-	series := make(map[meshcast.Metric][]float64)
 
+	jobs := make([]meshcast.TestbedJob, 0, len(metrics))
 	for _, m := range metrics {
 		cfg := meshcast.DefaultTestbedConfig(m, 3)
 		cfg.TrafficSeconds = seconds
-		res, err := meshcast.RunTestbed(cfg)
-		if err != nil {
-			return err
+		jobs = append(jobs, meshcast.TestbedJob{Label: label(m), Config: cfg})
+	}
+	results, err := meshcast.RunTestbedBatch(jobs, meshcast.BatchOptions{
+		Workers:  workers,
+		CacheDir: cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	series := make(map[meshcast.Metric][]float64)
+	for i, m := range metrics {
+		r := results[i]
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Label, r.Err)
 		}
+		res := r.Value
 		var ratios []float64
 		for _, p := range res.Series {
 			if p.Sent == 0 {

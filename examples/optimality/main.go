@@ -1,18 +1,23 @@
 // Optimality grades the protocol against the analytic optimum: it runs
-// ODMRP_SPP on a random mesh, computes each receiver's best achievable
+// ODMRP_SPP on random meshes, computes each receiver's best achievable
 // end-to-end delivery probability (metric-optimal routing on the closed-form
 // Rayleigh link graph, no interference), and reports how much of that
 // ceiling the distributed protocol actually achieves.
 //
+// The per-seed runs execute concurrently on the job harness (-j workers,
+// -cache-dir result reuse); the tables are assembled in submission order,
+// so the output is identical for any worker count.
+//
 // Run with:
 //
-//	go run ./examples/optimality [-nodes 25] [-seconds 120]
+//	go run ./examples/optimality [-nodes 25] [-seconds 120] [-seeds 3] [-j 4] [-cache-dir .meshcache]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"meshcast"
@@ -21,46 +26,66 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 25, "mesh size")
 	seconds := flag.Int("seconds", 120, "traffic seconds")
+	seeds := flag.Int("seeds", 3, "independent topologies to grade")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	cacheDir := flag.String("cache-dir", "", "cache completed runs here (reused across invocations)")
 	flag.Parse()
-	if err := run(*nodes, *seconds); err != nil {
+	if err := run(*nodes, *seconds, *seeds, *workers, *cacheDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nodeCount, seconds int) error {
-	s := meshcast.NewSimulation(meshcast.SimulationConfig{Seed: 11, Metric: meshcast.SPP})
-	ids, err := s.AddRandomNodes(nodeCount, 800)
-	if err != nil {
-		return err
-	}
-	source := ids[0]
-	members := []meshcast.NodeID{ids[nodeCount/3], ids[nodeCount/2], ids[nodeCount-1]}
+func run(nodeCount, seconds, seedCount, workers int, cacheDir string) error {
 	const group meshcast.GroupID = 1
-	for _, m := range members {
-		if err := s.Join(m, group); err != nil {
+	const source = 0
+	members := []int{nodeCount / 3, nodeCount / 2, nodeCount - 1}
+	warmup := 60 * time.Second
+
+	// One job per seed: same group shape on independent random topologies.
+	jobs := make([]meshcast.ScenarioJob, 0, seedCount)
+	for s := 0; s < seedCount; s++ {
+		seed := uint64(11 + s)
+		cfg, err := meshcast.RandomScenario(meshcast.SPP, seed, nodeCount, 800)
+		if err != nil {
 			return err
 		}
+		cfg.Groups = []meshcast.GroupSpec{{Group: group, Sources: []int{source}, Members: members}}
+		cfg.TrafficStart = warmup
+		cfg.Duration = warmup + time.Duration(seconds)*time.Second
+		jobs = append(jobs, meshcast.ScenarioJob{
+			Label:  fmt.Sprintf("spp seed %d", seed),
+			Config: cfg,
+		})
 	}
-	warmup := 60 * time.Second
-	if err := s.AddSource(source, group, warmup); err != nil {
-		return err
-	}
-	s.Run(warmup + time.Duration(seconds)*time.Second)
 
-	ceiling, err := s.OptimalSPP(source)
+	results, err := meshcast.RunScenarioBatch(jobs, meshcast.BatchOptions{
+		Workers:  workers,
+		CacheDir: cacheDir,
+	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("source %v -> %d members, ODMRP_SPP, %ds of traffic\n\n", source, len(members), seconds)
-	fmt.Printf("%-8s %-12s %-12s %s\n", "member", "achieved", "ceiling", "efficiency")
-	for _, pm := range s.PerMember() {
-		best := ceiling[int(pm.Member)]
-		eff := 0.0
-		if best > 0 {
-			eff = pm.PDR / best
+	fmt.Printf("source %v -> %d members, ODMRP_SPP, %ds of traffic, %d topologies\n",
+		meshcast.NodeID(source), len(members), seconds, seedCount)
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Label, r.Err)
 		}
-		fmt.Printf("%-8v %8.1f%%    %8.1f%%    %5.1f%%\n", pm.Member, 100*pm.PDR, 100*best, 100*eff)
+		ceiling, err := meshcast.OptimalSPPCeiling(jobs[i].Config, source)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", r.Label)
+		fmt.Printf("%-8s %-12s %-12s %s\n", "member", "achieved", "ceiling", "efficiency")
+		for _, pm := range r.Value.PerMember {
+			best := ceiling[int(pm.Member)]
+			eff := 0.0
+			if best > 0 {
+				eff = pm.PDR / best
+			}
+			fmt.Printf("%-8v %8.1f%%    %8.1f%%    %5.1f%%\n", pm.Member, 100*pm.PDR, 100*best, 100*eff)
+		}
 	}
 	fmt.Println("\nThe ceiling is the best single-path delivery probability with no")
 	fmt.Println("interference; the protocol pays for collisions, control loss and")

@@ -70,7 +70,10 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn, err := Dial(cfg.ID, cfg.EtherAddr)
+	// Seed the connection's reconnect jitter from the daemon's own seed so
+	// restart/reconnect schedules are reproducible per run (fleet daemons
+	// get distinct seeds, keeping their retries decorrelated).
+	conn, err := DialSeeded(cfg.ID, cfg.EtherAddr, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

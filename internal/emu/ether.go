@@ -232,6 +232,13 @@ type NodeConn struct {
 	mu      sync.Mutex
 	lastAck time.Time
 
+	// rng drives the reconnect backoff jitter. Seeded per connection (not
+	// the global math/rand source) so a daemon's reconnect schedule is
+	// reproducible from its seed; rngMu guards it because timer-driven
+	// goroutines may consult it concurrently with the maintain loop.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	closed       chan struct{}
 	done         chan struct{}
 	maintainDone chan struct{}
@@ -241,8 +248,18 @@ type NodeConn struct {
 // is maintained in the background: the first attempt is sent immediately,
 // then retried with capped exponential backoff until the ether acknowledges
 // it, and refreshed periodically afterwards — so a daemon survives (and
-// recovers from) an ether that starts late or restarts mid-run.
+// recovers from) an ether that starts late or restarts mid-run. Backoff
+// jitter is seeded from the node ID; use DialSeeded to tie it to a run
+// seed.
 func Dial(id packet.NodeID, addr string) (*NodeConn, error) {
+	return DialSeeded(id, addr, uint64(id))
+}
+
+// DialSeeded is Dial with explicit backoff-jitter seeding: two runs with
+// the same seed reconnect on identical schedules (the jitter exists to
+// decorrelate a *fleet* of daemons, so daemons should seed with distinct
+// values, e.g. run-seed ^ node-id).
+func DialSeeded(id packet.NodeID, addr string, seed uint64) (*NodeConn, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("emu: resolve %q: %w", addr, err)
@@ -254,6 +271,7 @@ func Dial(id packet.NodeID, addr string) (*NodeConn, error) {
 	nc := &NodeConn{
 		id:           id,
 		conn:         conn,
+		rng:          rand.New(rand.NewSource(int64(seed) ^ 0x656d752d6a697474)), // "emu-jitt"
 		closed:       make(chan struct{}),
 		done:         make(chan struct{}),
 		maintainDone: make(chan struct{}),
@@ -261,6 +279,14 @@ func Dial(id packet.NodeID, addr string) (*NodeConn, error) {
 	go nc.receive()
 	go nc.maintain()
 	return nc, nil
+}
+
+// jitter draws a uniform duration in [0, max] from the connection's seeded
+// source.
+func (c *NodeConn) jitter(max time.Duration) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(max) + 1))
 }
 
 // register sends one registration datagram. Errors are ignored: the ether
@@ -289,7 +315,7 @@ func (c *NodeConn) maintain() {
 	backoff := regRetryMin
 	for {
 		c.register()
-		wait := backoff + time.Duration(rand.Int63n(int64(backoff/4)+1))
+		wait := backoff + c.jitter(backoff/4)
 		select {
 		case <-c.closed:
 			return

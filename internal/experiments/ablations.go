@@ -20,17 +20,15 @@ type FadingAblation struct {
 // RunFadingAblation runs the SPP-vs-baseline comparison with and without
 // fading.
 func RunFadingAblation(o Options) (*FadingAblation, error) {
-	o.Metrics = []metric.Kind{metric.SPP}
-	with, err := RunPaperSims(o)
+	withOpts := o
+	withOpts.Metrics = []metric.Kind{metric.SPP}
+	withoutOpts := withOpts
+	withoutOpts.Fading = propagation.NoFading{}
+	sims, err := runPaperBatches(o, []Options{withOpts, withoutOpts})
 	if err != nil {
 		return nil, err
 	}
-	o.Fading = propagation.NoFading{}
-	without, err := RunPaperSims(o)
-	if err != nil {
-		return nil, err
-	}
-	return &FadingAblation{WithFading: with, WithoutFading: without}, nil
+	return &FadingAblation{WithFading: sims[0], WithoutFading: sims[1]}, nil
 }
 
 // DeltaAlphaPoint is one (δ, α) configuration's outcome.
@@ -45,7 +43,7 @@ type DeltaAlphaPoint struct {
 // window α for one metric (DESIGN.md decision 3). The paper uses δ = 30 ms,
 // α = 20 ms and reports that much larger values buy an extra 3-4%.
 func RunDeltaAlphaAblation(o Options, k metric.Kind, points []struct{ Delta, Alpha time.Duration }) ([]DeltaAlphaPoint, error) {
-	out := make([]DeltaAlphaPoint, 0, len(points))
+	batches := make([]Options, 0, len(points))
 	for _, pt := range points {
 		params := odmrp.DefaultParams()
 		params.MemberDelta = pt.Delta
@@ -53,14 +51,18 @@ func RunDeltaAlphaAblation(o Options, k metric.Kind, points []struct{ Delta, Alp
 		opts := o
 		opts.Metrics = []metric.Kind{k}
 		opts.ODMRP = &params
-		sims, err := RunPaperSims(opts)
-		if err != nil {
-			return nil, err
-		}
+		batches = append(batches, opts)
+	}
+	sims, err := runPaperBatches(o, batches)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DeltaAlphaPoint, 0, len(points))
+	for i, pt := range points {
 		out = append(out, DeltaAlphaPoint{
 			Delta:         pt.Delta,
 			Alpha:         pt.Alpha,
-			RelThroughput: sims.Rows[0].RelThroughput,
+			RelThroughput: sims[i].Rows[0].RelThroughput,
 		})
 	}
 	return out, nil
@@ -82,36 +84,30 @@ type HistoryPoint struct {
 // episodes — the asymmetry behind the PP-vs-SPP flip between simulation and
 // testbed (§5.3).
 func RunHistoryAblation(o Options) ([]HistoryPoint, error) {
-	var out []HistoryPoint
+	var batches []Options
+	var points []HistoryPoint
 	for _, w := range []int{3, 10, 30} {
 		opts := o
 		opts.Metrics = []metric.Kind{metric.SPP}
 		opts.WindowSize = w
-		sims, err := RunPaperSims(opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, HistoryPoint{
-			Metric:        metric.SPP,
-			WindowSize:    w,
-			RelThroughput: sims.Rows[0].RelThroughput,
-		})
+		batches = append(batches, opts)
+		points = append(points, HistoryPoint{Metric: metric.SPP, WindowSize: w})
 	}
 	for _, hw := range []float64{0.5, 0.9, 0.97} {
 		opts := o
 		opts.Metrics = []metric.Kind{metric.PP}
 		opts.PairHistoryWeight = hw
-		sims, err := RunPaperSims(opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, HistoryPoint{
-			Metric:        metric.PP,
-			HistoryWeight: hw,
-			RelThroughput: sims.Rows[0].RelThroughput,
-		})
+		batches = append(batches, opts)
+		points = append(points, HistoryPoint{Metric: metric.PP, HistoryWeight: hw})
 	}
-	return out, nil
+	sims, err := runPaperBatches(o, batches)
+	if err != nil {
+		return nil, err
+	}
+	for i := range points {
+		points[i].RelThroughput = sims[i].Rows[0].RelThroughput
+	}
+	return points, nil
 }
 
 // MultiSourceComparison contrasts single-source and multi-source groups
@@ -127,15 +123,11 @@ type MultiSourceComparison struct {
 func RunMultiSource(o Options, sourcesPerGroup int) (*MultiSourceComparison, error) {
 	single := o
 	single.SourcesPerGroup = 1
-	s, err := RunPaperSims(single)
-	if err != nil {
-		return nil, err
-	}
 	multi := o
 	multi.SourcesPerGroup = sourcesPerGroup
-	m, err := RunPaperSims(multi)
+	sims, err := runPaperBatches(o, []Options{single, multi})
 	if err != nil {
 		return nil, err
 	}
-	return &MultiSourceComparison{SingleSource: s, MultiSource: m, SourcesPerGroup: sourcesPerGroup}, nil
+	return &MultiSourceComparison{SingleSource: sims[0], MultiSource: sims[1], SourcesPerGroup: sourcesPerGroup}, nil
 }

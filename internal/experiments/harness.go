@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"meshcast/internal/odmrp"
+	"meshcast/internal/packet"
+	"meshcast/internal/runner"
+	"meshcast/internal/stats"
+	"meshcast/internal/testbed"
+)
+
+// ScenarioJob is one labeled simulation run for the job harness.
+type ScenarioJob = runner.Job[ScenarioConfig]
+
+// ScenarioResult is one scenario job's outcome, in submission order.
+type ScenarioResult = runner.Result[*RunResult]
+
+// runScenarioJobs executes scenario jobs through the worker pool configured
+// by the Options (Workers, CacheDir, Progress). Results come back in
+// submission order with per-job errors captured, so aggregation never
+// depends on completion order.
+func (o Options) runScenarioJobs(jobs []ScenarioJob) ([]ScenarioResult, error) {
+	pool := &runner.Pool[ScenarioConfig, *RunResult]{
+		Workers:    o.Workers,
+		Run:        RunScenario,
+		OnProgress: o.Progress,
+	}
+	if o.CacheDir != "" {
+		cache, err := runner.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		pool.Cache = cache
+		pool.Key = ScenarioKey
+		pool.Encode = encodeRunResult
+		pool.Decode = decodeRunResult
+	}
+	return pool.Execute(jobs), nil
+}
+
+// BatchOptions configures a standalone batch run through the harness,
+// independent of a paper sweep's Options.
+type BatchOptions struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir enables the content-addressed result cache when non-empty.
+	CacheDir string
+	// Progress, when set, observes each job completion.
+	Progress func(runner.Progress)
+}
+
+// RunScenarioBatch executes labeled scenario jobs through the worker pool
+// and returns their results in submission order. This is the public entry
+// point for callers (examples, external tools) that build their own
+// metric × seed matrices.
+func RunScenarioBatch(jobs []ScenarioJob, bo BatchOptions) ([]ScenarioResult, error) {
+	o := Options{Workers: bo.Workers, CacheDir: bo.CacheDir, Progress: bo.Progress}
+	return o.runScenarioJobs(jobs)
+}
+
+// RunTestbedBatch executes labeled testbed jobs through the worker pool and
+// returns their results in submission order.
+func RunTestbedBatch(jobs []TestbedJob, bo BatchOptions) ([]TestbedResult, error) {
+	o := Options{Workers: bo.Workers, CacheDir: bo.CacheDir, Progress: bo.Progress}
+	return o.runTestbedJobs(jobs)
+}
+
+// hashWriter appends canonical field encodings to a hash. Floats are hashed
+// by their IEEE-754 bits so that two configs hash equal exactly when every
+// run-affecting value is bit-identical.
+type hashWriter struct{ h hash.Hash }
+
+func (w hashWriter) str(format string, args ...any) { fmt.Fprintf(w.h, format, args...) }
+
+func (w hashWriter) f64(label string, v float64) {
+	w.str("%s=%016x;", label, math.Float64bits(v))
+}
+
+// ScenarioKey returns the content hash that addresses a scenario's cached
+// result, and whether the scenario is cachable at all. Scenarios with
+// attached sinks (trace, capture) have side effects beyond their RunResult
+// and are never cached. Bump the version prefix whenever RunResult or the
+// simulation's behavior changes incompatibly: old entries then simply miss.
+func ScenarioKey(cfg ScenarioConfig) (string, bool) {
+	if cfg.TraceSink != nil || cfg.CapturePath != "" {
+		return "", false
+	}
+	w := hashWriter{sha256.New()}
+	w.str("meshcast/scenario/v1\n")
+	w.str("seed=%d;metric=%s;dur=%d;payload=%d;interval=%d;start=%d;win=%d;",
+		cfg.Seed, cfg.Metric, cfg.Duration, cfg.PayloadBytes, cfg.SendInterval,
+		cfg.TrafficStart, cfg.WindowSize)
+	w.f64("prf", cfg.ProbeRateFactor)
+	w.f64("phw", cfg.PairHistoryWeight)
+
+	// Fading: the concrete type plus its parameters (all known models are
+	// plain value structs). nil means the Rayleigh default.
+	if cfg.Fading == nil {
+		w.str("fading=default;")
+	} else {
+		w.str("fading=%T%+v;", cfg.Fading, cfg.Fading)
+	}
+
+	// Topology: the area and every position, bit-exact.
+	w.str("\ntopo:")
+	if cfg.Topology != nil {
+		a := cfg.Topology.Area
+		w.f64("ax0", a.Min.X)
+		w.f64("ay0", a.Min.Y)
+		w.f64("ax1", a.Max.X)
+		w.f64("ay1", a.Max.Y)
+		for i, p := range cfg.Topology.Positions {
+			w.str("n%d:", i)
+			w.f64("x", p.X)
+			w.f64("y", p.Y)
+		}
+	}
+
+	w.str("\ngroups:")
+	for _, g := range cfg.Groups {
+		w.str("g=%d;src=%v;mem=%v;", g.Group, g.Sources, g.Members)
+	}
+
+	w.str("\nodmrp:")
+	if cfg.ODMRP != nil {
+		w.str("%+v", *cfg.ODMRP)
+	}
+
+	w.str("\nfaults:")
+	if cfg.Faults != nil {
+		p := cfg.Faults
+		if p.Churn != nil {
+			c := *p.Churn
+			w.str("churn:mtbf=%d;mttr=%d;start=%d;end=%d;", c.MTBF, c.MTTR, c.Start, c.End)
+			w.f64("frac", c.Fraction)
+		}
+		w.str("outages=%+v;partitions=%+v;", p.Outages, p.Partitions)
+		for _, lf := range p.LinkFaults {
+			w.str("lf:%d,%d,%d,%d,%v;", lf.From, lf.To, lf.Start, lf.Duration, lf.Symmetric)
+			w.f64("drop", lf.DropProb)
+			w.f64("att", lf.AttenuationDB)
+		}
+	}
+	return hex.EncodeToString(w.h.Sum(nil)), true
+}
+
+// edgeCount is one EdgeUse entry flattened for JSON (struct map keys cannot
+// be JSON object keys).
+type edgeCount struct {
+	From, To packet.NodeID
+	Count    uint64
+}
+
+// cachedRunResult is RunResult's serialized form. Every numeric field
+// round-trips exactly: integers trivially, float64 via encoding/json's
+// shortest-exact formatting — so a cache hit reproduces the byte-identical
+// report a fresh run would have produced.
+type cachedRunResult struct {
+	Summary       stats.Summary
+	PerMember     []stats.MemberPDR
+	ControlBytes  uint64
+	ProbeBytes    uint64
+	MACCollisions uint64
+	DataForwards  uint64
+	EdgeUse       []edgeCount
+	Delay         stats.Percentiles
+	Events        uint64
+	Health        []stats.GroupHealth
+	Faulted       int
+}
+
+func flattenEdges(m map[odmrp.Edge]uint64) []edgeCount {
+	out := make([]edgeCount, 0, len(m))
+	for e, c := range m {
+		out = append(out, edgeCount{From: e.From, To: e.To, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func unflattenEdges(s []edgeCount) map[odmrp.Edge]uint64 {
+	out := make(map[odmrp.Edge]uint64, len(s))
+	for _, e := range s {
+		out[odmrp.Edge{From: e.From, To: e.To}] = e.Count
+	}
+	return out
+}
+
+func encodeRunResult(r *RunResult) ([]byte, error) {
+	return json.Marshal(cachedRunResult{
+		Summary:       r.Summary,
+		PerMember:     r.PerMember,
+		ControlBytes:  r.ControlBytes,
+		ProbeBytes:    r.ProbeBytes,
+		MACCollisions: r.MACCollisions,
+		DataForwards:  r.DataForwards,
+		EdgeUse:       flattenEdges(r.EdgeUse),
+		Delay:         r.Delay,
+		Events:        r.Events,
+		Health:        r.Health,
+		Faulted:       r.Faulted,
+	})
+}
+
+func decodeRunResult(data []byte) (*RunResult, error) {
+	var c cachedRunResult
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Summary:       c.Summary,
+		PerMember:     c.PerMember,
+		ControlBytes:  c.ControlBytes,
+		ProbeBytes:    c.ProbeBytes,
+		MACCollisions: c.MACCollisions,
+		DataForwards:  c.DataForwards,
+		EdgeUse:       unflattenEdges(c.EdgeUse),
+		Delay:         c.Delay,
+		Events:        c.Events,
+		Health:        c.Health,
+		Faulted:       c.Faulted,
+	}, nil
+}
+
+// --- testbed jobs -----------------------------------------------------------
+
+// TestbedJob is one labeled testbed emulation for the job harness.
+type TestbedJob = runner.Job[testbed.Config]
+
+// TestbedResult is one testbed job's outcome.
+type TestbedResult = runner.Result[*testbed.Result]
+
+// TestbedKey content-addresses a testbed run (paper Figure 4 topology; the
+// config fully determines the run).
+func TestbedKey(cfg testbed.Config) (string, bool) {
+	w := hashWriter{sha256.New()}
+	w.str("meshcast/testbed/v1\n")
+	w.str("metric=%s;seed=%d;traffic=%d;warmup=%d;vary=%d;",
+		cfg.Metric, cfg.Seed, cfg.TrafficSeconds, cfg.WarmupSeconds, cfg.VariationInterval)
+	return hex.EncodeToString(w.h.Sum(nil)), true
+}
+
+// cachedTestbedResult flattens testbed.Result's struct-keyed map for JSON.
+type cachedTestbedResult struct {
+	Summary   stats.Summary
+	PerMember []stats.MemberPDR
+	EdgeUse   []edgeCount
+	Sent      map[packet.NodeID]uint64
+	Series    []stats.Point
+	Delay     stats.Percentiles
+}
+
+func encodeTestbedResult(r *testbed.Result) ([]byte, error) {
+	return json.Marshal(cachedTestbedResult{
+		Summary:   r.Summary,
+		PerMember: r.PerMember,
+		EdgeUse:   flattenEdges(r.EdgeUse),
+		Sent:      r.Sent,
+		Series:    r.Series,
+		Delay:     r.Delay,
+	})
+}
+
+func decodeTestbedResult(data []byte) (*testbed.Result, error) {
+	var c cachedTestbedResult
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, err
+	}
+	return &testbed.Result{
+		Summary:   c.Summary,
+		PerMember: c.PerMember,
+		EdgeUse:   unflattenEdges(c.EdgeUse),
+		Sent:      c.Sent,
+		Series:    c.Series,
+		Delay:     c.Delay,
+	}, nil
+}
+
+// runTestbedJobs executes testbed jobs through the pool configured by the
+// Options.
+func (o Options) runTestbedJobs(jobs []TestbedJob) ([]TestbedResult, error) {
+	pool := &runner.Pool[testbed.Config, *testbed.Result]{
+		Workers:    o.Workers,
+		Run:        testbed.Run,
+		OnProgress: o.Progress,
+	}
+	if o.CacheDir != "" {
+		cache, err := runner.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		pool.Cache = cache
+		pool.Key = TestbedKey
+		pool.Encode = encodeTestbedResult
+		pool.Decode = decodeTestbedResult
+	}
+	return pool.Execute(jobs), nil
+}

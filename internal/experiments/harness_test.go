@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
+	"meshcast/internal/packet"
+	"meshcast/internal/runner"
+	"meshcast/internal/stats"
+	"meshcast/internal/testbed"
+	"meshcast/internal/trace"
+)
+
+// tinyOptions is the smallest full-path paper sweep that still delivers
+// packets: 2 seeds, one metric, a few virtual seconds.
+func tinyOptions() Options {
+	return Options{
+		Seeds:           []uint64{1, 2},
+		TrafficSeconds:  8,
+		WarmupSeconds:   4,
+		ProbeRateFactor: 1,
+		SourcesPerGroup: 1,
+		Metrics:         []metric.Kind{metric.ETX},
+	}
+}
+
+// renderSims renders every report section fed by a PaperSims, capturing all
+// float formatting the real report performs.
+func renderSims(o Options, sims *PaperSims) string {
+	r := NewReport(o, 0, 0)
+	r.Fig2SimTable("Figure 2 — test", sims, PaperFig2Simulation, "")
+	r.DelayTable(sims)
+	r.Table1(sims)
+	return r.String()
+}
+
+// TestSerialParallelReportByteIdentical is the regression test behind the
+// harness's core guarantee: a parallel sweep (-j N) must produce a report
+// byte-equal to the serial sweep (-j 1), because aggregation folds results
+// in job order, never completion order.
+func TestSerialParallelReportByteIdentical(t *testing.T) {
+	serial := tinyOptions()
+	serial.Workers = 1
+	serialSims, err := RunPaperSims(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := tinyOptions()
+	parallel.Workers = 4
+	parallelSims, err := RunPaperSims(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := renderSims(serial, serialSims), renderSims(parallel, parallelSims)
+	if a != b {
+		t.Fatalf("serial and parallel reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if !reflect.DeepEqual(serialSims, parallelSims) {
+		t.Fatalf("aggregates differ: %+v vs %+v", serialSims, parallelSims)
+	}
+}
+
+// TestPaperSimsCacheRoundtrip runs the same sweep twice against one cache
+// directory: the second run must be served entirely from cache and still
+// render the byte-identical report.
+func TestPaperSimsCacheRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var total, cached int
+	o := tinyOptions()
+	o.Workers = 2
+	o.CacheDir = dir
+	o.Progress = func(p runner.Progress) {
+		mu.Lock()
+		total++
+		if p.Cached {
+			cached++
+		}
+		mu.Unlock()
+	}
+
+	first, err := RunPaperSims(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != 0 {
+		t.Fatalf("cold cache served %d hits", cached)
+	}
+	firstTotal := total
+
+	second, err := RunPaperSims(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total - firstTotal; cached != got || got == 0 {
+		t.Fatalf("warm sweep: %d/%d jobs cached, want all", cached, got)
+	}
+	if a, b := renderSims(o, first), renderSims(o, second); a != b {
+		t.Fatalf("cached report differs from fresh report:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestScenarioKeyDeterminismAndSensitivity(t *testing.T) {
+	cfg, err := DefaultScenario(metric.SPP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, ok := ScenarioKey(cfg)
+	if !ok || k1 == "" {
+		t.Fatal("scenario not cachable")
+	}
+	k2, _ := ScenarioKey(cfg)
+	if k1 != k2 {
+		t.Fatal("key not deterministic")
+	}
+
+	// Every run-affecting field must change the key.
+	mutate := map[string]func(*ScenarioConfig){
+		"seed":     func(c *ScenarioConfig) { c.Seed++ },
+		"metric":   func(c *ScenarioConfig) { c.Metric = metric.ETX },
+		"duration": func(c *ScenarioConfig) { c.Duration += time.Second },
+		"payload":  func(c *ScenarioConfig) { c.PayloadBytes = 256 },
+		"rate":     func(c *ScenarioConfig) { c.ProbeRateFactor = 2 },
+		"window":   func(c *ScenarioConfig) { c.WindowSize = 5 },
+		"history":  func(c *ScenarioConfig) { c.PairHistoryWeight = 0.5 },
+		"odmrp": func(c *ScenarioConfig) {
+			p := odmrp.DefaultParams()
+			p.ReplyRetries = 2
+			c.ODMRP = &p
+		},
+		"topology": func(c *ScenarioConfig) { c.Topology.Positions[0].X += 1 },
+		"groups":   func(c *ScenarioConfig) { c.Groups[0].Members[0] ^= 1 },
+	}
+	for name, mut := range mutate {
+		cfg2, err := DefaultScenario(metric.SPP, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(&cfg2)
+		k, ok := ScenarioKey(cfg2)
+		if !ok {
+			t.Fatalf("%s: became uncachable", name)
+		}
+		if k == k1 {
+			t.Fatalf("%s: key insensitive to field change", name)
+		}
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) Emit(trace.Event) {}
+
+func TestScenarioKeySinksUncachable(t *testing.T) {
+	cfg, err := DefaultScenario(metric.SPP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TraceSink = discardSink{}
+	if _, ok := ScenarioKey(cfg); ok {
+		t.Fatal("traced scenario must not be cachable")
+	}
+	cfg.TraceSink = nil
+	cfg.CapturePath = "/tmp/x.mcap"
+	if _, ok := ScenarioKey(cfg); ok {
+		t.Fatal("captured scenario must not be cachable")
+	}
+}
+
+// TestRunResultCodecRoundtrip encodes a real run's result and checks the
+// decoded copy is exactly the original (the property that makes cache hits
+// byte-identical).
+func TestRunResultCodecRoundtrip(t *testing.T) {
+	res, err := RunScenario(smallScenario(t, metric.SPP, 7, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := encodeRunResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeRunResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize the one representational difference: an empty map may
+	// round-trip as empty-but-non-nil.
+	if len(res.EdgeUse) == 0 && len(back.EdgeUse) == 0 {
+		back.EdgeUse, res.EdgeUse = nil, nil
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("roundtrip mismatch:\n%+v\nvs\n%+v", res, back)
+	}
+	data2, err := encodeRunResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoding a decoded result changed bytes")
+	}
+}
+
+func TestTestbedCodecRoundtrip(t *testing.T) {
+	res := &testbed.Result{
+		Summary:   stats.Summary{PDR: 0.75, MeanDelaySeconds: 0.012, DataBytesReceived: 4096, PacketsSent: 100, PacketsDelivered: 75, ProbeOverheadPct: 1.5, Fairness: 0.9},
+		PerMember: []stats.MemberPDR{{Group: 1, Source: 2, Member: 3, PDR: 0.8}},
+		EdgeUse:   map[odmrp.Edge]uint64{{From: 2, To: 3}: 41, {From: 4, To: 1}: 7},
+		Sent:      map[packet.NodeID]uint64{2: 100, 4: 100},
+		Series:    []stats.Point{{Start: 0, Sent: 10, Delivered: 8, Ratio: 0.8}},
+		Delay:     stats.Percentiles{P50: time.Millisecond, P90: 2 * time.Millisecond, P99: 3 * time.Millisecond, Max: 4 * time.Millisecond, Count: 75},
+	}
+	data, err := encodeTestbedResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeTestbedResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("roundtrip mismatch:\n%+v\nvs\n%+v", res, back)
+	}
+}

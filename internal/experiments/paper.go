@@ -8,6 +8,7 @@ import (
 	"meshcast/internal/metric"
 	"meshcast/internal/odmrp"
 	"meshcast/internal/propagation"
+	"meshcast/internal/runner"
 )
 
 // Options scales the paper experiments. The full paper configuration is
@@ -34,6 +35,19 @@ type Options struct {
 	// WindowSize / PairHistoryWeight feed the estimator-history ablation.
 	WindowSize        int
 	PairHistoryWeight float64
+
+	// The fields below configure the execution harness only; they never
+	// influence measured results (reports are byte-identical for any
+	// Workers value) and are excluded from cache hashing.
+
+	// Workers bounds the worker pool running the (metric, seed) matrix
+	// concurrently; <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheDir, when non-empty, enables the content-addressed on-disk
+	// result cache: repeated or resumed sweeps skip completed runs.
+	CacheDir string
+	// Progress, when non-nil, receives one callback per completed job.
+	Progress func(runner.Progress)
 }
 
 // FullOptions reproduces the paper's §4.1 configuration: 10 random
@@ -114,25 +128,65 @@ func (o Options) scenarioFor(k metric.Kind, seed uint64) (ScenarioConfig, error)
 	return cfg, nil
 }
 
-// RunPaperSims runs the baseline and every requested metric over all seeds
-// and aggregates the Figure 2 / Table 1 quantities.
-func RunPaperSims(o Options) (*PaperSims, error) {
+// paperPlan is one RunPaperSims invocation's job list: the baseline run for
+// every seed first, then every requested metric's (metric, seed) cells, all
+// fully independent and therefore safe to execute concurrently. Keeping the
+// plan's order fixed is what makes parallel aggregation byte-identical to
+// the serial path: sums fold over jobs[i] in index order, never in
+// completion order.
+type paperPlan struct {
+	opts    Options
+	metrics []metric.Kind
+	jobs    []ScenarioJob
+}
+
+// planPaperSims builds the job list for one paper sweep.
+func planPaperSims(o Options) (*paperPlan, error) {
 	metrics := o.Metrics
 	if metrics == nil {
 		metrics = metric.LinkQuality()
 	}
-	type baseRun struct{ pdr, delay float64 }
-	base := make(map[uint64]baseRun, len(o.Seeds))
-	var basePDRSum, baseDelaySum float64
+	p := &paperPlan{opts: o, metrics: metrics}
 	for _, seed := range o.Seeds {
 		cfg, err := o.scenarioFor(metric.MinHop, seed)
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunScenario(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("baseline seed %d: %w", seed, err)
+		p.jobs = append(p.jobs, ScenarioJob{
+			Label:  fmt.Sprintf("baseline seed %d", seed),
+			Config: cfg,
+		})
+	}
+	for _, k := range metrics {
+		for _, seed := range o.Seeds {
+			cfg, err := o.scenarioFor(k, seed)
+			if err != nil {
+				return nil, err
+			}
+			p.jobs = append(p.jobs, ScenarioJob{
+				Label:  fmt.Sprintf("%v seed %d", k, seed),
+				Config: cfg,
+			})
 		}
+	}
+	return p, nil
+}
+
+// aggregate folds the plan's results — in job order — into the Figure 2 /
+// Table 1 quantities.
+func (p *paperPlan) aggregate(results []ScenarioResult) (*PaperSims, error) {
+	o := p.opts
+	type baseRun struct{ pdr, delay float64 }
+	base := make(map[uint64]baseRun, len(o.Seeds))
+	var basePDRSum, baseDelaySum float64
+	idx := 0
+	for _, seed := range o.Seeds {
+		r := results[idx]
+		idx++
+		if r.Err != nil {
+			return nil, fmt.Errorf("baseline seed %d: %w", seed, r.Err)
+		}
+		res := r.Value
 		if res.Summary.PDR <= 0 {
 			return nil, fmt.Errorf("baseline seed %d delivered nothing", seed)
 		}
@@ -145,18 +199,16 @@ func RunPaperSims(o Options) (*PaperSims, error) {
 		BaselinePDR:          basePDRSum / float64(len(o.Seeds)),
 		BaselineDelaySeconds: baseDelaySum / float64(len(o.Seeds)),
 	}
-	for _, k := range metrics {
+	for _, k := range p.metrics {
 		var rels []float64
 		var relDelaySum, absPDRSum, absDelaySum, ovhSum float64
 		for _, seed := range o.Seeds {
-			cfg, err := o.scenarioFor(k, seed)
-			if err != nil {
-				return nil, err
+			r := results[idx]
+			idx++
+			if r.Err != nil {
+				return nil, fmt.Errorf("%v seed %d: %w", k, seed, r.Err)
 			}
-			res, err := RunScenario(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%v seed %d: %w", k, seed, err)
-			}
+			res := r.Value
 			b := base[seed]
 			rels = append(rels, res.Summary.PDR/b.pdr)
 			if b.delay > 0 {
@@ -177,6 +229,51 @@ func RunPaperSims(o Options) (*PaperSims, error) {
 			AbsDelaySeconds:     absDelaySum / n,
 			OverheadPct:         ovhSum / n,
 		})
+	}
+	return out, nil
+}
+
+// RunPaperSims runs the baseline and every requested metric over all seeds
+// through the job harness and aggregates the Figure 2 / Table 1 quantities.
+func RunPaperSims(o Options) (*PaperSims, error) {
+	sims, err := runPaperBatches(o, []Options{o})
+	if err != nil {
+		return nil, err
+	}
+	return sims[0], nil
+}
+
+// runPaperBatches plans several paper sweeps (variants of one experiment:
+// probing-rate factors, ablation points, fading on/off...), executes every
+// job of every batch through a single pool dispatch — so the whole sweep,
+// not just one variant, saturates the workers — and aggregates each batch
+// from its own slice of the results. The harness configuration (workers,
+// cache, progress) comes from o; each batch's measured configuration comes
+// from its own Options.
+func runPaperBatches(o Options, batches []Options) ([]*PaperSims, error) {
+	plans := make([]*paperPlan, len(batches))
+	var jobs []ScenarioJob
+	for i, b := range batches {
+		p, err := planPaperSims(b)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+		jobs = append(jobs, p.jobs...)
+	}
+	results, err := o.runScenarioJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*PaperSims, len(plans))
+	off := 0
+	for i, p := range plans {
+		sims, err := p.aggregate(results[off : off+len(p.jobs)])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sims
+		off += len(p.jobs)
 	}
 	return out, nil
 }

@@ -19,19 +19,25 @@ type ProbeRatePoint struct {
 // The sweep reruns the throughput comparison for one metric at several rate
 // factors; the optimum sits where the two effects balance.
 func RunProbeRateSweep(o Options, k metric.Kind, factors []float64) ([]ProbeRatePoint, error) {
-	out := make([]ProbeRatePoint, 0, len(factors))
+	batches := make([]Options, 0, len(factors))
 	for _, factor := range factors {
 		opts := o
 		opts.Metrics = []metric.Kind{k}
 		opts.ProbeRateFactor = factor
-		sims, err := RunPaperSims(opts)
-		if err != nil {
-			return nil, err
-		}
+		batches = append(batches, opts)
+	}
+	// One pool dispatch covers every factor: the whole sweep parallelizes,
+	// not just one factor's seeds.
+	sims, err := runPaperBatches(o, batches)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProbeRatePoint, 0, len(factors))
+	for i, factor := range factors {
 		out = append(out, ProbeRatePoint{
 			Factor:        factor,
-			RelThroughput: sims.Rows[0].RelThroughput,
-			OverheadPct:   sims.Rows[0].OverheadPct,
+			RelThroughput: sims[i].Rows[0].RelThroughput,
+			OverheadPct:   sims[i].Rows[0].OverheadPct,
 		})
 	}
 	return out, nil
@@ -48,18 +54,15 @@ type ReliableReplyComparison struct {
 // RunReliableReplyComparison measures the extension's effect for one
 // metric.
 func RunReliableReplyComparison(o Options, k metric.Kind, retries int) (*ReliableReplyComparison, error) {
-	opts := o
-	opts.Metrics = []metric.Kind{k}
-	base, err := RunPaperSims(opts)
-	if err != nil {
-		return nil, err
-	}
+	baseOpts := o
+	baseOpts.Metrics = []metric.Kind{k}
 	params := odmrp.DefaultParams()
 	params.ReplyRetries = retries
-	opts.ODMRP = &params
-	rel, err := RunPaperSims(opts)
+	relOpts := baseOpts
+	relOpts.ODMRP = &params
+	sims, err := runPaperBatches(o, []Options{baseOpts, relOpts})
 	if err != nil {
 		return nil, err
 	}
-	return &ReliableReplyComparison{Baseline: base, Reliable: rel}, nil
+	return &ReliableReplyComparison{Baseline: sims[0], Reliable: sims[1]}, nil
 }

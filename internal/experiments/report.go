@@ -42,28 +42,44 @@ type TestbedColumn struct {
 
 // RunTestbedColumn reproduces Figure 2's "Throughput-testbed" column: the
 // 8-node emulation run `runs` times per metric (the paper uses 5 runs of
-// 400 s each).
-func RunTestbedColumn(runs, trafficSeconds int) (*TestbedColumn, error) {
-	mean := func(k metric.Kind) (pdr, ovh float64, err error) {
+// 400 s each). The (metric, run) matrix executes through the job harness
+// configured by o (Workers, CacheDir, Progress); aggregation folds results
+// in job order, so the column is identical for any worker count.
+func RunTestbedColumn(o Options, runs, trafficSeconds int) (*TestbedColumn, error) {
+	kinds := append([]metric.Kind{metric.MinHop}, metric.LinkQuality()...)
+	var jobs []TestbedJob
+	for _, k := range kinds {
 		for r := 0; r < runs; r++ {
 			cfg := testbed.DefaultConfig(k, uint64(r+1))
 			cfg.TrafficSeconds = trafficSeconds
-			res, err := testbed.Run(cfg)
-			if err != nil {
-				return 0, 0, err
+			jobs = append(jobs, TestbedJob{
+				Label:  fmt.Sprintf("testbed %v run %d", k, r+1),
+				Config: cfg,
+			})
+		}
+	}
+	results, err := o.runTestbedJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	mean := func(block int) (pdr, ovh float64, err error) {
+		for r := 0; r < runs; r++ {
+			res := results[block*runs+r]
+			if res.Err != nil {
+				return 0, 0, res.Err
 			}
-			pdr += res.Summary.PDR
-			ovh += res.Summary.ProbeOverheadPct
+			pdr += res.Value.Summary.PDR
+			ovh += res.Value.Summary.ProbeOverheadPct
 		}
 		return pdr / float64(runs), ovh / float64(runs), nil
 	}
-	base, _, err := mean(metric.MinHop)
+	base, _, err := mean(0)
 	if err != nil {
 		return nil, err
 	}
 	out := &TestbedColumn{BaselinePDR: base}
-	for _, k := range metric.LinkQuality() {
-		pdr, ovh, err := mean(k)
+	for i, k := range metric.LinkQuality() {
+		pdr, ovh, err := mean(i + 1)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +112,9 @@ under reproduction are the *orderings and ratios* the paper reports.
 Configuration: %d seeds × %d s traffic (+%d s probe warmup) for the
 simulation columns; %d × %d s runs for the testbed column. Regenerate with
 `+"`go run ./cmd/experiments -full`"+` or per-figure via
-`+"`go test -bench . -benchmem`"+`.
+`+"`go test -bench . -benchmem`"+`. Runs execute through the parallel job
+harness (`+"`-j N`"+` workers, `+"`-cache-dir`"+` result cache); the report
+is byte-identical for any worker count.
 
 `, len(o.Seeds), o.TrafficSeconds, o.WarmupSeconds, testbedRuns, testbedSeconds)
 	return r

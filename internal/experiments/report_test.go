@@ -181,7 +181,7 @@ func TestRunPaperSimsTiny(t *testing.T) {
 }
 
 func TestRunTestbedColumnTiny(t *testing.T) {
-	col, err := RunTestbedColumn(1, 30)
+	col, err := RunTestbedColumn(Options{}, 1, 30)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Cache is a content-addressed on-disk result cache: one file per entry,
+// named by the entry's key (a hex content hash of the job config). Entries
+// are written atomically (temp file + rename) so concurrent workers — or a
+// sweep killed mid-write — can never leave a torn entry behind; a corrupt
+// or unreadable entry is treated as a miss and rewritten on the next run.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file. Keys are hex digests; reject anything
+// that could escape the cache directory.
+func (c *Cache) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("runner: invalid cache key %q", key)
+	}
+	return filepath.Join(c.dir, key+".json"), nil
+}
+
+// Get returns the entry's bytes, or false on a miss (including an invalid
+// key or unreadable file).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	p, err := c.path(key)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores an entry atomically.
+func (c *Cache) Put(key string, data []byte) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	return nil
+}
+
+// Len counts the cache's entries (test and tooling helper).
+func (c *Cache) Len() int {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}

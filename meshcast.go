@@ -34,6 +34,7 @@ import (
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/propagation"
+	"meshcast/internal/runner"
 	"meshcast/internal/sim"
 	"meshcast/internal/stats"
 	"meshcast/internal/testbed"
@@ -456,6 +457,93 @@ func PaperScenario(m Metric, seed uint64) (experiments.ScenarioConfig, error) {
 // RunPaperScenario executes a paper-scale scenario configuration.
 func RunPaperScenario(cfg experiments.ScenarioConfig) (*experiments.RunResult, error) {
 	return experiments.RunScenario(cfg)
+}
+
+// GroupSpec declares one multicast group of a scenario configuration: its
+// sources and receiver members, by node index.
+type GroupSpec = experiments.GroupSpec
+
+// RandomScenario returns a scenario over a connected random mesh: n nodes
+// placed uniformly in a side × side metre square (250 m radio range,
+// redrawn until connected), with the paper's traffic defaults (CBR 512 B @
+// 20 pkt/s, Rayleigh fading, 100 s probe warmup, 400 s of traffic). Declare
+// groups via cfg.Groups before running; the topology drawn for a seed does
+// not depend on the group shape.
+func RandomScenario(m Metric, seed uint64, n int, side float64) (experiments.ScenarioConfig, error) {
+	topoRNG := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	topo, err := topology.RandomConnected(topoRNG, n, geom.Square(side), 250, 500)
+	if err != nil {
+		return experiments.ScenarioConfig{}, fmt.Errorf("random scenario: %w", err)
+	}
+	return experiments.ScenarioConfig{
+		Seed:            seed,
+		Metric:          m,
+		Topology:        topo,
+		Duration:        500 * time.Second,
+		PayloadBytes:    512,
+		SendInterval:    50 * time.Millisecond,
+		ProbeRateFactor: 1,
+		TrafficStart:    100 * time.Second,
+	}, nil
+}
+
+// OptimalSPPCeiling computes, for every node of a scenario configuration,
+// the best achievable end-to-end delivery probability from source on the
+// scenario's analytic link graph (closed-form reception probabilities, no
+// interference) — the ceiling routing can reach per transmission chain.
+// Compare against a run's PerMember PDRs to grade routing efficiency.
+func OptimalSPPCeiling(cfg experiments.ScenarioConfig, source NodeID) ([]float64, error) {
+	if cfg.Topology == nil || int(source) >= len(cfg.Topology.Positions) {
+		return nil, fmt.Errorf("meshcast: unknown node %v", source)
+	}
+	payload := cfg.PayloadBytes
+	if payload == 0 {
+		payload = 512
+	}
+	fading := cfg.Fading
+	if fading == nil {
+		fading = propagation.Rayleigh{}
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	medium := phy.NewMedium(engine, propagation.NewTwoRay(), fading, phy.DefaultParams())
+	g := analysis.FromPositions(cfg.Topology.Positions, medium, payload, 0.001)
+	return analysis.OptimalSPP(g, int(source))
+}
+
+// ScenarioJob is one labeled scenario run for RunScenarioBatch.
+type ScenarioJob = experiments.ScenarioJob
+
+// ScenarioResult is one batch job's outcome, in submission order: the
+// job's label, its RunResult (or error), and whether it was served from
+// the result cache.
+type ScenarioResult = experiments.ScenarioResult
+
+// BatchOptions configures batch execution: worker-pool size (0 =
+// GOMAXPROCS), an optional content-addressed result cache directory, and an
+// optional per-job progress callback.
+type BatchOptions = experiments.BatchOptions
+
+// BatchProgress is one progress notification from a running batch.
+type BatchProgress = runner.Progress
+
+// RunScenarioBatch executes a metric × seed matrix of scenario runs on a
+// worker pool. Results return in submission order regardless of completion
+// order, so any aggregation over them is deterministic; with
+// BatchOptions.CacheDir set, repeated runs are served from the cache.
+func RunScenarioBatch(jobs []ScenarioJob, opts BatchOptions) ([]ScenarioResult, error) {
+	return experiments.RunScenarioBatch(jobs, opts)
+}
+
+// TestbedJob is one labeled testbed emulation for RunTestbedBatch.
+type TestbedJob = experiments.TestbedJob
+
+// TestbedBatchResult is one testbed batch job's outcome.
+type TestbedBatchResult = experiments.TestbedResult
+
+// RunTestbedBatch executes testbed runs on a worker pool with the same
+// ordering and caching guarantees as RunScenarioBatch.
+func RunTestbedBatch(jobs []TestbedJob, opts BatchOptions) ([]TestbedBatchResult, error) {
+	return experiments.RunTestbedBatch(jobs, opts)
 }
 
 // FaultPlan describes fault injection for a scenario: MTBF/MTTR node churn,
