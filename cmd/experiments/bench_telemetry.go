@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"meshcast/internal/experiments"
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/sim"
+	"meshcast/internal/telemetry"
+	"meshcast/internal/topology"
+)
+
+// telemetryBenchReport is the BENCH_telemetry.json schema: the measured cost
+// of the telemetry instrumentation, at both the instrument level (ns per
+// operation, disabled vs enabled) and the run level (wall-clock of the same
+// scenario bare vs with a recorder attached). The disabled numbers are the
+// acceptance bar: with no registry wired in, every instrument call is a nil
+// check, so a bare run pays nothing for the instrumentation hooks.
+type telemetryBenchReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	Cores       int    `json:"cores"`
+	// Instrument microbenchmarks (testing.Benchmark).
+	DisabledCounterNsPerOp   float64 `json:"disabledCounterNsPerOp"`
+	EnabledCounterNsPerOp    float64 `json:"enabledCounterNsPerOp"`
+	DisabledHistogramNsPerOp float64 `json:"disabledHistogramNsPerOp"`
+	EnabledHistogramNsPerOp  float64 `json:"enabledHistogramNsPerOp"`
+	// Whole-run comparison: the same scenario, bare (telemetry disabled —
+	// the default for every sweep) vs with a recorder attached. Best of
+	// Runs attempts each, which suppresses scheduler noise.
+	BareRunSeconds         float64 `json:"bareRunSeconds"`
+	InstrumentedRunSeconds float64 `json:"instrumentedRunSeconds"`
+	EnabledOverheadPct     float64 `json:"enabledOverheadPct"`
+	Runs                   int     `json:"runs"`
+	Config                 string  `json:"config"`
+}
+
+// benchScenario builds the fixed comparison scenario: 20 nodes, one group,
+// 30 s of traffic after a 10 s warmup.
+func benchScenario(rec *telemetry.Recorder) (experiments.ScenarioConfig, error) {
+	const seed = 42
+	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	topo, err := topology.RandomConnected(rng, 20, geom.Square(700), 250, 500)
+	if err != nil {
+		return experiments.ScenarioConfig{}, err
+	}
+	return experiments.ScenarioConfig{
+		Seed:            seed,
+		Metric:          metric.SPP,
+		Topology:        topo,
+		Duration:        40 * time.Second,
+		Groups:          experiments.DefaultGroups(rng.Split(), 20, 1, 1, 5),
+		PayloadBytes:    512,
+		SendInterval:    50 * time.Millisecond,
+		ProbeRateFactor: 1,
+		TrafficStart:    10 * time.Second,
+		Telemetry:       rec,
+	}, nil
+}
+
+// benchTelemetryOverhead measures the instrumentation's cost and writes the
+// report to out.
+func benchTelemetryOverhead(out string) error {
+	nsPerOp := func(f func(b *testing.B)) float64 {
+		r := testing.Benchmark(f)
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+
+	var nilCounter *telemetry.Counter
+	var nilHist *telemetry.Histogram
+	reg := telemetry.NewRegistry()
+	counter := reg.Counter("bench.counter")
+	hist := reg.Histogram("bench.hist", telemetry.SecondsBuckets)
+
+	rep := telemetryBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Cores:       runtime.NumCPU(),
+		Runs:        3,
+		Config:      "20 nodes, 1 group, 30 s traffic (+10 s warmup), SPP",
+		DisabledCounterNsPerOp: nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nilCounter.Inc()
+			}
+		}),
+		EnabledCounterNsPerOp: nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counter.Inc()
+			}
+		}),
+		DisabledHistogramNsPerOp: nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nilHist.Observe(1)
+			}
+		}),
+		EnabledHistogramNsPerOp: nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hist.Observe(float64(i % 7))
+			}
+		}),
+	}
+
+	tmp, err := os.MkdirTemp("", "meshcast-bench-telemetry-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	timeRun := func(i int, instrumented bool) (float64, error) {
+		var rec *telemetry.Recorder
+		if instrumented {
+			var err error
+			rec, err = telemetry.NewRecorder(filepath.Join(tmp, fmt.Sprintf("run%d", i)), 0)
+			if err != nil {
+				return 0, err
+			}
+		}
+		cfg, err := benchScenario(rec)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := experiments.RunScenario(cfg); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	best := func(instrumented bool) (float64, error) {
+		min := 0.0
+		for i := 0; i < rep.Runs; i++ {
+			s, err := timeRun(i, instrumented)
+			if err != nil {
+				return 0, err
+			}
+			if min == 0 || s < min {
+				min = s
+			}
+		}
+		return min, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: %d bare runs...\n", rep.Runs)
+	if rep.BareRunSeconds, err = best(false); err != nil {
+		return fmt.Errorf("bench bare: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d instrumented runs...\n", rep.Runs)
+	if rep.InstrumentedRunSeconds, err = best(true); err != nil {
+		return fmt.Errorf("bench instrumented: %w", err)
+	}
+	rep.EnabledOverheadPct = 100 * (rep.InstrumentedRunSeconds - rep.BareRunSeconds) / rep.BareRunSeconds
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: disabled counter %.2f ns/op (enabled %.2f), bare %.3fs vs instrumented %.3fs (%+.1f%%) -> %s\n",
+		rep.DisabledCounterNsPerOp, rep.EnabledCounterNsPerOp,
+		rep.BareRunSeconds, rep.InstrumentedRunSeconds, rep.EnabledOverheadPct, out)
+	return nil
+}

@@ -28,7 +28,9 @@ import (
 
 	"meshcast/internal/experiments"
 	"meshcast/internal/metric"
+	"meshcast/internal/prof"
 	"meshcast/internal/runner"
+	"meshcast/internal/telemetry"
 )
 
 func main() {
@@ -39,19 +41,32 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation jobs (output is byte-identical for any value)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty disables caching)")
 	benchOut := flag.String("bench-runner", "", "benchmark the job harness (serial vs -j parallel reduced sweep), write JSON here, and exit")
+	benchTelemetry := flag.String("bench-telemetry", "", "benchmark disabled-instrument overhead, write JSON here, and exit")
+	telemetryDir := flag.String("telemetry", "", "record sweep-harness telemetry (cache hits/misses, job latency) to this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
-	if *benchOut != "" {
-		if err := benchRunner(*benchOut, *jobs, *cacheDir); err != nil {
-			log.Fatal(err)
-		}
-		return
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if err := run(*full, *out, *skipAblations, *testbedRuns, *jobs, *cacheDir); err != nil {
+	switch {
+	case *benchTelemetry != "":
+		err = benchTelemetryOverhead(*benchTelemetry)
+	case *benchOut != "":
+		err = benchRunner(*benchOut, *jobs, *cacheDir)
+	default:
+		err = run(*full, *out, *skipAblations, *testbedRuns, *jobs, *cacheDir, *telemetryDir)
+	}
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(full bool, out string, skipAblations bool, testbedRuns, jobs int, cacheDir string) error {
+func run(full bool, out string, skipAblations bool, testbedRuns, jobs int, cacheDir, telemetryDir string) error {
 	start := time.Now()
 	opts := experiments.QuickOptions()
 	testbedSeconds := 150
@@ -65,6 +80,19 @@ func run(full bool, out string, skipAblations bool, testbedRuns, jobs int, cache
 	}
 	opts.Workers = jobs
 	opts.CacheDir = cacheDir
+	// -telemetry records the sweep harness itself (cache hit/miss counters,
+	// job wall-clock latency histogram); there is no virtual clock to sample,
+	// so the manifest carries the final instrument state and the series stays
+	// empty.
+	var rec *telemetry.Recorder
+	if telemetryDir != "" {
+		var err error
+		rec, err = telemetry.NewRecorder(telemetryDir, 0)
+		if err != nil {
+			return err
+		}
+		opts.PoolMetrics = runner.NewMetrics(rec.Registry())
+	}
 	// Per-job completion lines under each phase banner: "[12/50] etx seed 3
 	// done (cached)". Callbacks are serialized by the pool.
 	opts.Progress = func(p runner.Progress) {
@@ -168,6 +196,13 @@ func run(full bool, out string, skipAblations bool, testbedRuns, jobs int, cache
 	report.Deviations()
 	report.Elapsed(time.Since(start))
 	progress("done")
+
+	if rec != nil {
+		if err := rec.Finalize(telemetry.Manifest{Label: "experiments sweep"}); err != nil {
+			return err
+		}
+		progress("telemetry: wrote %s", rec.Dir())
+	}
 
 	if out == "" {
 		fmt.Print(report.String())

@@ -16,27 +16,52 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"meshcast/internal/capture"
 	"meshcast/internal/packet"
 )
 
+// validKinds lists every payload-kind filter value, as rendered by
+// packet.Type.String, plus the pseudo-kind for payload-less control frames.
+var validKinds = []string{
+	"DATA", "JOIN_QUERY", "JOIN_REPLY", "PROBE", "PAIR_SMALL", "PAIR_LARGE",
+	"(control)",
+}
+
 func main() {
 	node := flag.Int("node", -1, "only show frames transmitted by this node")
-	kind := flag.String("kind", "", "only show this payload kind (DATA, JOIN_QUERY, JOIN_REPLY, PROBE, PAIR_SMALL, PAIR_LARGE)")
+	kind := flag.String("kind", "", "only show this payload kind ("+strings.Join(validKinds, ", ")+")")
 	stats := flag.Bool("stats", false, "print per-kind counts instead of individual frames")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: meshdump [-node N] [-kind K] [-stats] capture-file")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *node, *kind, *stats); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *node, *kind, *stats); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(path string, node int, kind string, stats bool) error {
+// checkKind validates a -kind filter value before any capture is read, so a
+// typo fails fast with the valid list instead of silently matching nothing.
+func checkKind(kind string) error {
+	if kind == "" {
+		return nil
+	}
+	for _, k := range validKinds {
+		if strings.EqualFold(kind, k) {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -kind %q (valid: %s)", kind, strings.Join(validKinds, ", "))
+}
+
+func run(w io.Writer, path string, node int, kind string, stats bool) error {
+	if err := checkKind(kind); err != nil {
+		return err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -72,12 +97,17 @@ func run(path string, node int, kind string, stats bool) error {
 			counts[payloadKind]++
 			continue
 		}
-		fmt.Println(rec)
+		fmt.Fprintln(w, rec)
 	}
 	if stats {
-		fmt.Printf("%d frames\n", total)
-		for k, n := range counts {
-			fmt.Printf("  %-12s %d\n", k, n)
+		fmt.Fprintf(w, "%d frames\n", total)
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "  %-12s %d\n", k, counts[k])
 		}
 	}
 	return nil

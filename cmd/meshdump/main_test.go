@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,32 +31,89 @@ func writeCapture(t *testing.T) string {
 		Kind: packet.FrameData, Src: 2, Dst: packet.Broadcast,
 		Payload: &packet.Packet{Kind: packet.TypeJoinQuery, Src: 2, Group: 1, Seq: 1},
 	})
+	w.Capture(3*time.Second, &packet.Frame{
+		Kind: packet.FrameData, Src: 1, Dst: packet.Broadcast,
+		Payload: &packet.Packet{Kind: packet.TypeData, Src: 1, Seq: 2, PayloadBytes: 64},
+	})
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
-func TestRunFiltersAndStats(t *testing.T) {
+func capDump(t *testing.T, path string, node int, kind string, stats bool) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(&sb, path, node, kind, stats); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRunPrintsAllFrames(t *testing.T) {
+	out := capDump(t, writeCapture(t), -1, "", false)
+	if n := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); n != 3 {
+		t.Fatalf("printed %d lines, want 3:\n%s", n, out)
+	}
+}
+
+func TestRunNodeFilter(t *testing.T) {
 	path := writeCapture(t)
-	// All modes must succeed; output formatting is covered by the capture
-	// package's Record.String tests.
-	if err := run(path, -1, "", false); err != nil {
-		t.Fatal(err)
+	out := capDump(t, path, 1, "", false)
+	if n := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); n != 2 {
+		t.Fatalf("node 1 filter printed %d lines, want 2:\n%s", n, out)
 	}
-	if err := run(path, 1, "", false); err != nil {
-		t.Fatal(err)
+	if out := capDump(t, path, 9, "", false); out != "" {
+		t.Fatalf("node 9 filter printed %q, want nothing", out)
 	}
-	if err := run(path, -1, "JOIN_QUERY", false); err != nil {
-		t.Fatal(err)
+}
+
+func TestRunKindFilter(t *testing.T) {
+	path := writeCapture(t)
+	out := capDump(t, path, -1, "JOIN_QUERY", false)
+	if lines := strings.Split(strings.TrimRight(out, "\n"), "\n"); len(lines) != 1 || !strings.Contains(lines[0], "JOIN_QUERY") {
+		t.Fatalf("kind filter output:\n%s", out)
 	}
-	if err := run(path, -1, "", true); err != nil {
-		t.Fatal(err)
+	// Case-insensitive.
+	if got := capDump(t, path, -1, "join_query", false); got != out {
+		t.Fatalf("case-insensitive filter differs:\n%s\n%s", got, out)
+	}
+	// Combined with -node: node 2 sent the only query.
+	if out := capDump(t, path, 1, "JOIN_QUERY", false); out != "" {
+		t.Fatalf("node 1 + JOIN_QUERY printed %q, want nothing", out)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	out := capDump(t, writeCapture(t), -1, "", true)
+	for _, want := range []string{"3 frames", "DATA", "2", "JOIN_QUERY", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	// Kinds are sorted, so the output is deterministic.
+	if strings.Index(out, "DATA") > strings.Index(out, "JOIN_QUERY") {
+		t.Fatalf("stats kinds not sorted:\n%s", out)
+	}
+}
+
+func TestRunUnknownKindFailsFast(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, filepath.Join(t.TempDir(), "never-opened"), -1, "BOGUS", false)
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Fails before touching the capture file, and names the valid kinds.
+	for _, want := range []string{"BOGUS", "DATA", "JOIN_QUERY", "JOIN_REPLY", "PROBE", "PAIR_SMALL", "PAIR_LARGE"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing"), -1, "", false); err == nil {
+	var sb strings.Builder
+	if err := run(&sb, filepath.Join(t.TempDir(), "missing"), -1, "", false); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -65,7 +123,8 @@ func TestRunRejectsNonCapture(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a capture"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, -1, "", false); err == nil {
+	var sb strings.Builder
+	if err := run(&sb, path, -1, "", false); err == nil {
 		t.Fatal("junk file accepted")
 	}
 }

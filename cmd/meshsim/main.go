@@ -9,6 +9,7 @@
 //	go run ./cmd/meshsim -metric pp -probe-rate 5 -v
 //	go run ./cmd/meshsim -metric spp -churn 0.25 -seconds 200
 //	go run ./cmd/meshsim -metric ett -fault-script faults.json
+//	go run ./cmd/meshsim -metric spp -telemetry out/ -cpuprofile cpu.pprof
 package main
 
 import (
@@ -23,8 +24,10 @@ import (
 	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
+	"meshcast/internal/prof"
 	"meshcast/internal/propagation"
 	"meshcast/internal/sim"
+	"meshcast/internal/telemetry"
 	"meshcast/internal/topology"
 	"meshcast/internal/trace"
 )
@@ -54,6 +57,15 @@ type options struct {
 	// FaultScript loads a JSON fault plan (outages, link faults,
 	// partitions, churn) from a file; combinable with Churn.
 	FaultScript string
+
+	// Telemetry, when non-empty, writes the run's series.jsonl and
+	// manifest.json to this directory (see cmd/meshstat);
+	// TelemetryInterval is the virtual-time sampling interval.
+	Telemetry         string
+	TelemetryInterval time.Duration
+	// CPUProfile / MemProfile write runtime/pprof profiles.
+	CPUProfile string
+	MemProfile string
 }
 
 // defaultOptions mirrors the flag defaults, for tests that call run directly.
@@ -71,6 +83,8 @@ func defaultOptions() options {
 		ProbeRate: 1,
 		ChurnMTBF: 60 * time.Second,
 		ChurnMTTR: 15 * time.Second,
+
+		TelemetryInterval: telemetry.DefaultSampleInterval,
 	}
 }
 
@@ -95,21 +109,39 @@ func main() {
 	flag.DurationVar(&opt.ChurnMTBF, "churn-mtbf", def.ChurnMTBF, "mean time between failures per churned node")
 	flag.DurationVar(&opt.ChurnMTTR, "churn-mttr", def.ChurnMTTR, "mean time to repair per churned node")
 	flag.StringVar(&opt.FaultScript, "fault-script", def.FaultScript, "JSON fault plan (outages, link faults, partitions, churn)")
+	flag.StringVar(&opt.Telemetry, "telemetry", def.Telemetry, "write telemetry artifacts (series.jsonl, manifest.json) to this directory (see cmd/meshstat)")
+	flag.DurationVar(&opt.TelemetryInterval, "telemetry-interval", def.TelemetryInterval, "virtual-time sampling interval for -telemetry")
+	flag.StringVar(&opt.CPUProfile, "cpuprofile", def.CPUProfile, "write a CPU profile to this file")
+	flag.StringVar(&opt.MemProfile, "memprofile", def.MemProfile, "write a heap profile to this file on exit")
 	scenario := flag.String("scenario", "", "run a JSON scenario spec instead of the flag-built one")
 	flag.Parse()
-	if *scenario != "" {
-		if err := runSpec(*scenario, opt.Verbose, opt.Capture); err != nil {
-			log.Fatal(err)
-		}
-		return
+	stop, err := prof.Start(opt.CPUProfile, opt.MemProfile)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if err := run(opt); err != nil {
+	if *scenario != "" {
+		err = runSpec(*scenario, opt)
+	} else {
+		err = run(opt)
+	}
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
+// newRecorder builds the run's telemetry recorder when -telemetry is set.
+func newRecorder(opt options) (*telemetry.Recorder, error) {
+	if opt.Telemetry == "" {
+		return nil, nil
+	}
+	return telemetry.NewRecorder(opt.Telemetry, opt.TelemetryInterval)
+}
+
 // runSpec executes a declarative JSON scenario.
-func runSpec(path string, verbose bool, capturePath string) error {
+func runSpec(path string, opt options) error {
 	spec, err := experiments.LoadSpec(path)
 	if err != nil {
 		return err
@@ -118,13 +150,26 @@ func runSpec(path string, verbose bool, capturePath string) error {
 	if err != nil {
 		return err
 	}
-	cfg.CapturePath = capturePath
+	cfg.CapturePath = opt.Capture
+	if cfg.Telemetry, err = newRecorder(opt); err != nil {
+		return err
+	}
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
 		return err
 	}
-	printResult(res, verbose)
+	printResult(res, opt.Verbose)
+	noteTelemetry(cfg.Telemetry)
 	return nil
+}
+
+// noteTelemetry points the user at the artifacts on stderr (stdout stays
+// byte-identical with and without -telemetry).
+func noteTelemetry(rec *telemetry.Recorder) {
+	if rec != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: wrote %s and %s under %s (try: go run ./cmd/meshstat %s)\n",
+			telemetry.SeriesFile, telemetry.ManifestFile, rec.Dir(), rec.Dir())
+	}
 }
 
 // parseTraceCats maps flag names to trace categories.
@@ -217,6 +262,9 @@ func run(opt options) error {
 		cfg.TraceCats = cats
 	}
 	cfg.CapturePath = opt.Capture
+	if cfg.Telemetry, err = newRecorder(opt); err != nil {
+		return err
+	}
 
 	start := time.Now()
 	res, err := experiments.RunScenario(cfg)
@@ -231,6 +279,7 @@ func run(opt options) error {
 	fmt.Fprintf(os.Stderr, "simulated %ds traffic (+%ds warmup) in %s (%d events)\n",
 		opt.Seconds, opt.Warmup, time.Since(start).Round(time.Millisecond), res.Events)
 	printResult(res, opt.Verbose)
+	noteTelemetry(cfg.Telemetry)
 	return nil
 }
 

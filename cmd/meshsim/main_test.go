@@ -3,7 +3,9 @@ package main
 import (
 	"os"
 	"testing"
+	"time"
 
+	"meshcast/internal/telemetry"
 	"meshcast/internal/trace"
 )
 
@@ -121,6 +123,36 @@ func TestRunTinySimulation(t *testing.T) {
 	}
 	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
 		t.Fatalf("capture not written: %v", err)
+	}
+}
+
+func TestRunWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation")
+	}
+	dir := t.TempDir()
+	opt := tinyOptions()
+	opt.Telemetry = dir
+	opt.TelemetryInterval = time.Second
+	if err := run(opt); err != nil {
+		t.Fatal(err)
+	}
+	m, err := telemetry.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["phy.frames_sent"] == 0 {
+		t.Fatal("no frames counted")
+	}
+	if m.Metric != "spp" || m.Samples == 0 {
+		t.Fatalf("manifest = metric %q, %d samples", m.Metric, m.Samples)
+	}
+	series, err := telemetry.LoadSeries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != m.Samples {
+		t.Fatalf("series has %d samples, manifest says %d", len(series), m.Samples)
 	}
 }
 

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshcast/internal/telemetry"
+)
+
+// writeRun materializes a synthetic telemetry directory with known values.
+func writeRun(t *testing.T, label string, frames uint64) string {
+	t.Helper()
+	dir := t.TempDir()
+	manifest := `{
+  "schema": "meshcast/telemetry/v1",
+  "seed": 7,
+  "label": "` + label + `",
+  "metric": "spp",
+  "build": {"goVersion": "go1.24.0"},
+  "durationSeconds": 20,
+  "intervalSeconds": 10,
+  "samples": 2,
+  "counters": {"phy.frames_sent": ` + uitoa(frames) + `, "mac.retries": 3},
+  "gauges": {"odmrp.fg_size": 4},
+  "histograms": {"mac.queue_depth": {"bounds": [1, 2], "counts": [5, 1, 0], "sum": 7, "count": 6}},
+  "derived": {"pdr": 0.9}
+}`
+	if err := os.WriteFile(filepath.Join(dir, telemetry.ManifestFile), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	series := `{"t":10,"counters":{"phy.frames_sent":` + uitoa(frames/2) + `},"gauges":{"odmrp.fg_size":2}}
+{"t":20,"counters":{"phy.frames_sent":` + uitoa(frames) + `},"gauges":{"odmrp.fg_size":4}}
+`
+	if err := os.WriteFile(filepath.Join(dir, telemetry.SeriesFile), []byte(series), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{'0' + byte(v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestSummaryRendersLayersAndTop(t *testing.T) {
+	dir := writeRun(t, "run a", 100)
+	var sb strings.Builder
+	if err := runSummary(&sb, dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"run: run a",
+		"metric spp, seed 7",
+		"[phy]", "[mac]", "[odmrp]",
+		"frames_sent", "100",
+		"fg_size",
+		"queue_depth", "mean 1.167",
+		"pdr", "0.9",
+		"top 2 counters:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Top-2 must exclude the third-ranked counter section ordering: only two
+	// rows under the header.
+	topIdx := strings.Index(out, "top 2 counters:")
+	rows := strings.Count(strings.TrimRight(out[topIdx:], "\n"), "\n")
+	if rows != 2 {
+		t.Errorf("top table has %d rows, want 2:\n%s", rows, out[topIdx:])
+	}
+	// The sparkline for an increasing counter must be present (non-ASCII
+	// blocks in the phy section).
+	if !strings.Contains(out, "▁") && !strings.Contains(out, "█") {
+		t.Errorf("no sparkline rendered:\n%s", out)
+	}
+}
+
+func TestSummaryWorksWithoutSeries(t *testing.T) {
+	dir := writeRun(t, "no series", 10)
+	if err := os.Remove(filepath.Join(dir, telemetry.SeriesFile)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := runSummary(&sb, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "frames_sent") {
+		t.Fatalf("manifest-only summary broken:\n%s", sb.String())
+	}
+}
+
+func TestSummaryMissingDir(t *testing.T) {
+	var sb strings.Builder
+	if err := runSummary(&sb, filepath.Join(t.TempDir(), "nope"), 5); err == nil {
+		t.Fatal("missing run accepted")
+	}
+}
+
+func TestDiffShowsDeltas(t *testing.T) {
+	a := writeRun(t, "run a", 100)
+	b := writeRun(t, "run b", 150)
+	var sb strings.Builder
+	if err := runDiff(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"(run a)", "(run b)",
+		"phy.frames_sent",
+		"+50", "+50.0%",
+		"mac.retries",
+		"pdr",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLayerGrouping(t *testing.T) {
+	layers, byLayer := layersOf([]string{"mac.b", "mac.a", "phy.x", "plain"})
+	if len(layers) != 3 || layers[0] != "mac" || layers[1] != "phy" || layers[2] != "plain" {
+		t.Fatalf("layers = %v", layers)
+	}
+	if got := byLayer["mac"]; len(got) != 2 || got[0] != "mac.a" {
+		t.Fatalf("mac group = %v", got)
+	}
+}
+
+func TestCounterDeltas(t *testing.T) {
+	series := []telemetry.SeriesSample{
+		{T: 10, Counters: map[string]uint64{"c": 5}},
+		{T: 20, Counters: map[string]uint64{"c": 12}},
+		{T: 30, Counters: map[string]uint64{"c": 12}},
+	}
+	got := counterDeltas(series, "c")
+	want := []float64{5, 7, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deltas = %v, want %v", got, want)
+		}
+	}
+}

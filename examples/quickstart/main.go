@@ -1,5 +1,5 @@
 // Quickstart: build a small random mesh, run ODMRP with the SPP metric, and
-// print the delivery statistics.
+// print the delivery statistics plus a three-line telemetry summary.
 //
 // Run with:
 //
@@ -26,6 +26,9 @@ func run() error {
 		Seed:   2026,
 		Metric: meshcast.SPP,
 	})
+	// Instrument every layer before nodes are created; the counters cost a
+	// few nanoseconds each and nothing when telemetry stays disabled.
+	simulation.EnableTelemetry()
 	ids, err := simulation.AddRandomNodes(20, 700)
 	if err != nil {
 		return err
@@ -59,5 +62,24 @@ func run() error {
 		}
 	}
 	fmt.Printf("forwarding group size: %d of %d nodes\n", forwarders, simulation.NodeCount())
+
+	// Three-line telemetry summary straight from the cross-layer registry.
+	if snap, ok := simulation.Telemetry(); ok {
+		probePct := 0.0
+		if summary.DataBytesReceived > 0 {
+			probePct = 100 * float64(snap.Counters["linkquality.probe_bytes_sent"]) /
+				float64(summary.DataBytesReceived)
+		}
+		enqueued := snap.Counters["mac.enqueued"]
+		drops := snap.Counters["mac.queue_drops"] + snap.Counters["mac.retry_drops"]
+		dropPct := 0.0
+		if enqueued > 0 {
+			dropPct = 100 * float64(drops) / float64(enqueued)
+		}
+		fmt.Printf("telemetry: probe overhead %.2f%% of delivered data bytes\n", probePct)
+		fmt.Printf("telemetry: forwarding group size %d\n", int(snap.Gauges["odmrp.fg_size"]))
+		fmt.Printf("telemetry: MAC drop rate %.2f%% (%d of %d enqueued frames)\n",
+			dropPct, drops, enqueued)
+	}
 	return nil
 }

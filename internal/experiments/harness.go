@@ -31,6 +31,7 @@ func (o Options) runScenarioJobs(jobs []ScenarioJob) ([]ScenarioResult, error) {
 		Workers:    o.Workers,
 		Run:        RunScenario,
 		OnProgress: o.Progress,
+		Metrics:    o.PoolMetrics,
 	}
 	if o.CacheDir != "" {
 		cache, err := runner.OpenCache(o.CacheDir)
@@ -54,6 +55,8 @@ type BatchOptions struct {
 	CacheDir string
 	// Progress, when set, observes each job completion.
 	Progress func(runner.Progress)
+	// PoolMetrics, when non-nil, instruments the worker pool.
+	PoolMetrics *runner.Metrics
 }
 
 // RunScenarioBatch executes labeled scenario jobs through the worker pool
@@ -61,14 +64,14 @@ type BatchOptions struct {
 // point for callers (examples, external tools) that build their own
 // metric × seed matrices.
 func RunScenarioBatch(jobs []ScenarioJob, bo BatchOptions) ([]ScenarioResult, error) {
-	o := Options{Workers: bo.Workers, CacheDir: bo.CacheDir, Progress: bo.Progress}
+	o := Options{Workers: bo.Workers, CacheDir: bo.CacheDir, Progress: bo.Progress, PoolMetrics: bo.PoolMetrics}
 	return o.runScenarioJobs(jobs)
 }
 
 // RunTestbedBatch executes labeled testbed jobs through the worker pool and
 // returns their results in submission order.
 func RunTestbedBatch(jobs []TestbedJob, bo BatchOptions) ([]TestbedResult, error) {
-	o := Options{Workers: bo.Workers, CacheDir: bo.CacheDir, Progress: bo.Progress}
+	o := Options{Workers: bo.Workers, CacheDir: bo.CacheDir, Progress: bo.Progress, PoolMetrics: bo.PoolMetrics}
 	return o.runTestbedJobs(jobs)
 }
 
@@ -89,7 +92,7 @@ func (w hashWriter) f64(label string, v float64) {
 // and are never cached. Bump the version prefix whenever RunResult or the
 // simulation's behavior changes incompatibly: old entries then simply miss.
 func ScenarioKey(cfg ScenarioConfig) (string, bool) {
-	if cfg.TraceSink != nil || cfg.CapturePath != "" {
+	if cfg.TraceSink != nil || cfg.CapturePath != "" || cfg.Telemetry != nil {
 		return "", false
 	}
 	w := hashWriter{sha256.New()}
@@ -295,6 +298,7 @@ func (o Options) runTestbedJobs(jobs []TestbedJob) ([]TestbedResult, error) {
 		Workers:    o.Workers,
 		Run:        testbed.Run,
 		OnProgress: o.Progress,
+		Metrics:    o.PoolMetrics,
 	}
 	if o.CacheDir != "" {
 		cache, err := runner.OpenCache(o.CacheDir)

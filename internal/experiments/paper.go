@@ -48,6 +48,9 @@ type Options struct {
 	CacheDir string
 	// Progress, when non-nil, receives one callback per completed job.
 	Progress func(runner.Progress)
+	// PoolMetrics, when non-nil, instruments the worker pool (cache
+	// hits/misses, job latency) into a telemetry registry.
+	PoolMetrics *runner.Metrics
 }
 
 // FullOptions reproduces the paper's §4.1 configuration: 10 random

@@ -24,6 +24,7 @@ import (
 	"meshcast/internal/propagation"
 	"meshcast/internal/sim"
 	"meshcast/internal/stats"
+	"meshcast/internal/telemetry"
 	"meshcast/internal/topology"
 	"meshcast/internal/trace"
 	"meshcast/internal/traffic"
@@ -82,6 +83,13 @@ type ScenarioConfig struct {
 	// only, so every metric evaluated on the same seed faces the same
 	// failures.
 	Faults *faults.Plan
+	// Telemetry, when non-nil, instruments the run with this recorder:
+	// every layer's counters register in the recorder's registry, the
+	// sampler streams snapshots to series.jsonl on the recorder's interval,
+	// and RunScenario finalizes manifest.json before returning. A run with
+	// telemetry attached is never served from the result cache (the
+	// artifacts are a side effect the cache cannot reproduce).
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultScenario returns the paper's §4.1 setup for the given metric and
@@ -229,6 +237,11 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	if cfg.TraceSink != nil {
 		nodeCfg.Tracer = trace.New(cfg.TraceSink, engine.Now, cfg.TraceCats...)
 	}
+	var reg *telemetry.Registry
+	if cfg.Telemetry != nil {
+		reg = cfg.Telemetry.Registry()
+		nodeCfg.Telemetry = reg
+	}
 
 	nodes := make([]*node.Node, cfg.Topology.NodeCount())
 	for i := range nodes {
@@ -241,6 +254,48 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 		}
 		nodes[i] = n
 		n.Start()
+	}
+
+	// Scenario-level instruments. All of these are nil-safe no-ops when no
+	// recorder is attached (reg == nil hands out nil instruments).
+	dataBytesReceived := reg.Counter("stats.data_bytes_received")
+	probeWarmupGauge := reg.Gauge("linkquality.probe_bytes_warmup")
+	if reg != nil {
+		reg.GaugeFunc("odmrp.fg_size", func() float64 {
+			n := 0
+			for _, spec := range cfg.Groups {
+				for _, nd := range nodes {
+					if nd.Router.IsForwarder(spec.Group) {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("odmrp.rounds", func() float64 {
+			n := 0
+			for _, nd := range nodes {
+				n += nd.Router.RoundCount()
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("odmrp.dup_windows", func() float64 {
+			n := 0
+			for _, nd := range nodes {
+				n += nd.Router.DupWindowCount()
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("linkquality.table_entries", func() float64 {
+			n := 0
+			for _, nd := range nodes {
+				n += nd.Table.Len()
+			}
+			return float64(n)
+		})
+		if buf, ok := cfg.TraceSink.(*trace.Buffer); ok {
+			reg.GaugeFunc("trace.dropped", func() float64 { return float64(buf.Dropped()) })
+		}
 	}
 
 	collector := stats.NewCollector()
@@ -261,6 +316,7 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 			r.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
 				delay := engine.Now() - p.SentAt
 				collector.RecordDelivered(r.ID(), p.Group, p.Src, p.PayloadBytes, delay)
+				dataBytesReceived.Add(uint64(p.PayloadBytes))
 				delays.Observe(delay)
 				if health != nil {
 					health.RecordDelivered(p.Group, engine.Now())
@@ -308,8 +364,19 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 			return nil, fmt.Errorf("experiments: fault plan: %w", err)
 		}
 		medium.SetImpairment(sched.Impairment)
-		health = stats.NewHealthTracker(sched.Onsets(), sched.Windows())
+		fw := sched.Windows()
+		windows := make([]stats.Window, len(fw))
+		for i, w := range fw {
+			windows[i] = stats.Window{Start: w.Start, End: w.End}
+		}
+		health = stats.NewHealthTracker(sched.Onsets(), windows)
 		sched.Start()
+		if reg != nil {
+			s := sched
+			reg.GaugeFunc("faults.active", func() float64 {
+				return float64(s.ActiveFaults(engine.Now()))
+			})
+		}
 	}
 
 	// Snapshot probe bytes when traffic starts so that the reported probing
@@ -320,7 +387,15 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 			for _, n := range nodes {
 				probeBytesAtStart += n.Prober.Stats.BytesSent
 			}
+			// Recorded so the manifest alone can reproduce the paper-table
+			// probe-overhead figure: 100 * (probe_bytes_sent - warmup) /
+			// data_bytes_received.
+			probeWarmupGauge.Set(float64(probeBytesAtStart))
 		})
+	}
+
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Sampler().Attach(engine, cfg.Duration)
 	}
 
 	engine.Run(cfg.Duration)
@@ -356,6 +431,32 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	if health != nil {
 		res.Health = health.Health()
 		res.Faulted = sched.DownCount()
+	}
+	if cfg.Telemetry != nil {
+		// Hash the config as the cache would see it without sinks attached,
+		// so a manifest's ConfigHash matches the runner cache key of the same
+		// scenario run uninstrumented.
+		hashCfg := cfg
+		hashCfg.Telemetry = nil
+		hashCfg.TraceSink = nil
+		hashCfg.TraceCats = nil
+		hashCfg.CapturePath = ""
+		hash, _ := ScenarioKey(hashCfg)
+		if err := cfg.Telemetry.Finalize(telemetry.Manifest{
+			ConfigHash:      hash,
+			Seed:            cfg.Seed,
+			Label:           fmt.Sprintf("%s seed %d", cfg.Metric, cfg.Seed),
+			Metric:          cfg.Metric.String(),
+			DurationSeconds: cfg.Duration.Seconds(),
+			Derived: map[string]float64{
+				"pdr":                res.Summary.PDR,
+				"probe_overhead_pct": res.Summary.ProbeOverheadPct,
+				"mean_delay_seconds": res.Summary.MeanDelaySeconds,
+				"fairness":           res.Summary.Fairness,
+			},
+		}); err != nil {
+			return nil, fmt.Errorf("experiments: finalize telemetry: %w", err)
+		}
 	}
 	return res, nil
 }

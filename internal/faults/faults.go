@@ -367,12 +367,35 @@ func (s *Scheduler) Windows() []Window {
 // DownCount returns how many node crash episodes the schedule contains.
 func (s *Scheduler) DownCount() int { return len(s.outages) }
 
+// ActiveFaults returns how many fault episodes (node outages, link faults,
+// partitions) are active at time now — the value behind the "faults.active"
+// telemetry gauge.
+func (s *Scheduler) ActiveFaults(now time.Duration) int {
+	n := 0
+	for _, o := range s.outages {
+		if now >= o.Start && now < o.Start+o.Duration {
+			n++
+		}
+	}
+	for _, lf := range s.linkFaults {
+		if now >= lf.Start && now < lf.Start+lf.Duration {
+			n++
+		}
+	}
+	for _, p := range s.partitions {
+		if now >= p.Start && now < p.Start+p.Duration {
+			n++
+		}
+	}
+	return n
+}
+
 // Impairment implements phy.ImpairFunc: the combined extra loss and
 // attenuation for a (tx, rx) pair at time now, across all active link faults
 // and partitions. Install with medium.SetImpairment(sched.Impairment).
 func (s *Scheduler) Impairment(tx, rx packet.NodeID, now time.Duration) phy.Impairment {
-	keep := 1.0    // probability the packet survives all injected loss
-	atten := 1.0   // linear power factor
+	keep := 1.0  // probability the packet survives all injected loss
+	atten := 1.0 // linear power factor
 	impaired := false
 	for _, lf := range s.linkFaults {
 		if now < lf.Start || now >= lf.Start+lf.Duration {

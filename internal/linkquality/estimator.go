@@ -152,10 +152,11 @@ func (p *PairEstimator) ObserveSmall(seq uint32, now time.Duration) {
 
 // ObserveLarge records reception of the large half of pair seq at time now;
 // sizeBytes is the large probe's on-air payload size used for the bandwidth
-// estimate.
-func (p *PairEstimator) ObserveLarge(seq uint32, now time.Duration, sizeBytes int) {
+// estimate. It reports whether a complete pair refreshed the EWMA.
+func (p *PairEstimator) ObserveLarge(seq uint32, now time.Duration, sizeBytes int) bool {
 	p.accountGap(seq)
 	if p.pendingSmallOK && p.pendingSmall == seq {
+		updated := false
 		delay := (now - p.pendingAt).Seconds()
 		if delay > 0 {
 			if p.ewmaSeconds == 0 {
@@ -164,13 +165,15 @@ func (p *PairEstimator) ObserveLarge(seq uint32, now time.Duration, sizeBytes in
 				p.ewmaSeconds = p.HistoryWeight*p.ewmaSeconds + (1-p.HistoryWeight)*delay
 			}
 			p.bandwidthBps = float64(sizeBytes*8) / delay
+			updated = true
 		}
 		p.pendingSmallOK = false
-		return
+		return updated
 	}
 	// Large half arrived without its small half: the small was lost.
 	p.penalize()
 	p.pendingSmallOK = false
+	return false
 }
 
 // DelaySeconds returns the current penalized EWMA (0 until the first
@@ -207,6 +210,8 @@ type Table struct {
 	// estimators when non-zero (history-length ablation); the default is
 	// the paper's 0.9.
 	PairHistoryWeight float64
+	// Telem holds the run-wide telemetry instruments (zero value disabled).
+	Telem Telemetry
 
 	entries map[uint16]*Entry
 	static  map[uint16]metric.LinkEstimate
@@ -265,6 +270,7 @@ func (t *Table) ObserveProbe(neighbor uint16, seq uint32, now time.Duration) {
 	e := t.entry(neighbor)
 	e.Loss.Observe(seq)
 	e.UpdatedAt = now
+	t.Telem.ProbesReceived.Inc()
 }
 
 // ObservePairSmall records the small half of a probe pair from neighbor.
@@ -272,13 +278,17 @@ func (t *Table) ObservePairSmall(neighbor uint16, seq uint32, now time.Duration)
 	e := t.entry(neighbor)
 	e.Pair.ObserveSmall(seq, now)
 	e.UpdatedAt = now
+	t.Telem.ProbesReceived.Inc()
 }
 
 // ObservePairLarge records the large half of a probe pair from neighbor.
 func (t *Table) ObservePairLarge(neighbor uint16, seq uint32, now time.Duration, sizeBytes int) {
 	e := t.entry(neighbor)
-	e.Pair.ObserveLarge(seq, now, sizeBytes)
+	if e.Pair.ObserveLarge(seq, now, sizeBytes) {
+		t.Telem.EWMAUpdates.Inc()
+	}
 	e.UpdatedAt = now
+	t.Telem.ProbesReceived.Inc()
 }
 
 // Estimate returns the current link estimate for the link neighbor → this

@@ -100,6 +100,8 @@ type Prober struct {
 	Send func(p *packet.Packet) bool
 	// Stats accumulates counters.
 	Stats Stats
+	// Telem holds the run-wide telemetry instruments (zero value disabled).
+	Telem Telemetry
 
 	id     packet.NodeID
 	engine *sim.Engine
@@ -169,6 +171,8 @@ func (p *Prober) emit(pkt *packet.Packet) {
 	if p.Send != nil && p.Send(pkt) {
 		p.Stats.ProbesSent++
 		p.Stats.BytesSent += uint64(pkt.SizeBytes())
+		p.Telem.ProbesSent.Inc()
+		p.Telem.ProbeBytesSent.Add(uint64(pkt.SizeBytes()))
 	}
 }
 

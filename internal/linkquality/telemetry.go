@@ -1,0 +1,30 @@
+package linkquality
+
+import "meshcast/internal/telemetry"
+
+// Telemetry holds the probing subsystem's run-wide instruments, shared by
+// every prober and neighbor table on the run. The zero value is fully
+// disabled.
+type Telemetry struct {
+	// ProbesSent and ProbeBytesSent count probe transmissions (network
+	// layer); ProbesReceived counts probe receptions fed into neighbor
+	// tables.
+	ProbesSent, ProbeBytesSent, ProbesReceived *telemetry.Counter
+	// EWMAUpdates counts packet-pair EWMA refreshes from complete pairs.
+	EWMAUpdates *telemetry.Counter
+}
+
+// NewTelemetry returns probing instruments registered under the
+// "linkquality." prefix. A nil registry yields the disabled zero value.
+func NewTelemetry(reg *telemetry.Registry) Telemetry {
+	return Telemetry{
+		ProbesSent:     reg.Counter("linkquality.probes_sent"),
+		ProbeBytesSent: reg.Counter("linkquality.probe_bytes_sent"),
+		ProbesReceived: reg.Counter("linkquality.probes_received"),
+		EWMAUpdates:    reg.Counter("linkquality.ewma_updates"),
+	}
+}
+
+// Len returns the number of neighbor entries held (live or stale), for
+// table-size gauges.
+func (t *Table) Len() int { return len(t.entries) }

@@ -104,6 +104,8 @@ type MAC struct {
 	Deliver func(p *packet.Packet, transmitter packet.NodeID)
 	// Stats accumulates counters.
 	Stats Stats
+	// Telem holds the run-wide telemetry instruments (zero value disabled).
+	Telem Telemetry
 
 	engine *sim.Engine
 	radio  *phy.Radio
@@ -176,10 +178,13 @@ func (m *MAC) SendUnicast(p *packet.Packet, dst packet.NodeID) bool {
 func (m *MAC) enqueue(o outgoing) bool {
 	if len(m.queue) >= m.params.QueueCap {
 		m.Stats.QueueDrops++
+		m.Telem.QueueDrops.Inc()
 		return false
 	}
 	m.Stats.Enqueued++
+	m.Telem.Enqueued.Inc()
 	m.queue = append(m.queue, o)
+	m.Telem.QueueDepth.Observe(float64(len(m.queue)))
 	if m.state == stateIdle {
 		m.startContention()
 	}
@@ -202,6 +207,7 @@ func (m *MAC) startContention() {
 	}
 	if m.backoffSlots == 0 {
 		m.backoffSlots = 1 + m.rng.Intn(m.cw)
+		m.Telem.Backoffs.Inc()
 	}
 	if m.channelBusy() {
 		m.state = stateDeferring
@@ -305,7 +311,9 @@ func (m *MAC) transmitBroadcast(o outgoing) {
 	f := &packet.Frame{Kind: packet.FrameData, Src: m.radio.ID, Dst: packet.Broadcast, Payload: o.pkt}
 	airtime := m.radio.Transmit(f)
 	m.Stats.BroadcastsSent++
+	m.Telem.BroadcastsSent.Inc()
 	m.Stats.BytesSent += uint64(f.SizeBytes())
+	m.Telem.BytesSent.Add(uint64(f.SizeBytes()))
 	m.engine.Schedule(airtime, func() {
 		// One shot: done regardless of reception anywhere.
 		m.dequeueHead()
@@ -332,11 +340,13 @@ func (m *MAC) transmitUnicast(o outgoing) {
 		rts := &packet.Frame{Kind: packet.FrameRTS, Src: m.radio.ID, Dst: o.dst, DurationNAV: nav}
 		at := m.radio.Transmit(rts)
 		m.Stats.BytesSent += uint64(rts.SizeBytes())
+		m.Telem.BytesSent.Add(uint64(rts.SizeBytes()))
 		timeout := at + m.params.SIFS + m.airtime(packet.CTSBytes) + 2*m.params.SlotTime
 		m.timerEvent = m.engine.Schedule(timeout, func() {
 			m.timerEvent = nil
 			if m.state == stateWaitCTS {
 				m.Stats.CTSTimeouts++
+				m.Telem.CTSTimeouts.Inc()
 				m.retryHead()
 			}
 		})
@@ -350,12 +360,15 @@ func (m *MAC) sendUnicastData(o outgoing) {
 	f := &packet.Frame{Kind: packet.FrameData, Src: m.radio.ID, Dst: o.dst, Payload: o.pkt}
 	at := m.radio.Transmit(f)
 	m.Stats.UnicastsSent++
+	m.Telem.UnicastsSent.Inc()
 	m.Stats.BytesSent += uint64(f.SizeBytes())
+	m.Telem.BytesSent.Add(uint64(f.SizeBytes()))
 	timeout := at + m.params.SIFS + m.airtime(packet.ACKBytes) + 2*m.params.SlotTime
 	m.timerEvent = m.engine.Schedule(timeout, func() {
 		m.timerEvent = nil
 		if m.state == stateWaitACK {
 			m.Stats.AckTimeouts++
+			m.Telem.AckTimeouts.Inc()
 			m.retryHead()
 		}
 	})
@@ -365,8 +378,10 @@ func (m *MAC) sendUnicastData(o outgoing) {
 // frame, dropping it once the retry limit is reached.
 func (m *MAC) retryHead() {
 	m.retries++
+	m.Telem.Retries.Inc()
 	if m.retries > m.params.RetryLimit {
 		m.Stats.RetryDrops++
+		m.Telem.RetryDrops.Inc()
 		m.dequeueHead()
 		return
 	}
@@ -407,6 +422,7 @@ func (m *MAC) onData(f *packet.Frame) {
 			ack := &packet.Frame{Kind: packet.FrameACK, Src: m.radio.ID, Dst: f.Src}
 			m.radio.Transmit(ack)
 			m.Stats.BytesSent += uint64(ack.SizeBytes())
+			m.Telem.BytesSent.Add(uint64(ack.SizeBytes()))
 		})
 	}
 	if m.Deliver != nil && f.Payload != nil {
@@ -427,6 +443,7 @@ func (m *MAC) onRTS(f *packet.Frame) {
 		cts := &packet.Frame{Kind: packet.FrameCTS, Src: m.radio.ID, Dst: f.Src, DurationNAV: nav}
 		m.radio.Transmit(cts)
 		m.Stats.BytesSent += uint64(cts.SizeBytes())
+		m.Telem.BytesSent.Add(uint64(cts.SizeBytes()))
 	})
 }
 

@@ -1,0 +1,40 @@
+package mac
+
+import "meshcast/internal/telemetry"
+
+// Telemetry holds the MAC layer's run-wide instruments, shared by every MAC
+// on the run. The zero value is fully disabled.
+type Telemetry struct {
+	// Backoffs counts fresh backoff draws; Retries counts unicast
+	// retransmission attempts.
+	Backoffs, Retries *telemetry.Counter
+	// CTSTimeouts and AckTimeouts count missing control responses;
+	// RetryDrops counts frames abandoned at the retry limit.
+	CTSTimeouts, AckTimeouts, RetryDrops *telemetry.Counter
+	// Enqueued and QueueDrops count interface-queue admissions and
+	// rejections.
+	Enqueued, QueueDrops *telemetry.Counter
+	// BroadcastsSent and UnicastsSent count data transmissions; BytesSent
+	// counts all bytes put on the air including control frames.
+	BroadcastsSent, UnicastsSent, BytesSent *telemetry.Counter
+	// QueueDepth observes the queue length after every successful enqueue.
+	QueueDepth *telemetry.Histogram
+}
+
+// NewTelemetry returns MAC instruments registered under the "mac." prefix.
+// A nil registry yields the disabled zero value.
+func NewTelemetry(reg *telemetry.Registry) Telemetry {
+	return Telemetry{
+		Backoffs:       reg.Counter("mac.backoffs"),
+		Retries:        reg.Counter("mac.retries"),
+		CTSTimeouts:    reg.Counter("mac.cts_timeouts"),
+		AckTimeouts:    reg.Counter("mac.ack_timeouts"),
+		RetryDrops:     reg.Counter("mac.retry_drops"),
+		Enqueued:       reg.Counter("mac.enqueued"),
+		QueueDrops:     reg.Counter("mac.queue_drops"),
+		BroadcastsSent: reg.Counter("mac.broadcasts_sent"),
+		UnicastsSent:   reg.Counter("mac.unicasts_sent"),
+		BytesSent:      reg.Counter("mac.bytes_sent"),
+		QueueDepth:     reg.Histogram("mac.queue_depth", telemetry.DepthBuckets),
+	}
+}

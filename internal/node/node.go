@@ -15,6 +15,7 @@ import (
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/sim"
+	"meshcast/internal/telemetry"
 	"meshcast/internal/trace"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	WindowSize int
 	// Tracer, when non-nil, receives this node's protocol events.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, wires every layer's instruments to this
+	// registry. All nodes built against the same registry share the same
+	// run-wide counters.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's configuration for a given metric.
@@ -97,6 +102,17 @@ func New(engine *sim.Engine, medium *phy.Medium, id packet.NodeID, pos geom.Poin
 	router.Send = m.SendBroadcast
 	router.Tracer = cfg.Tracer
 	m.Deliver = n.dispatch
+	if reg := cfg.Telemetry; reg != nil {
+		// Get-or-create semantics make these idempotent: every node on the
+		// run shares one set of counters per layer, and re-assigning the
+		// medium's instruments on each node is harmless.
+		medium.Telem = phy.NewTelemetry(reg)
+		m.Telem = mac.NewTelemetry(reg)
+		lq := linkquality.NewTelemetry(reg)
+		table.Telem = lq
+		prober.Telem = lq
+		router.Telem = odmrp.NewTelemetry(reg)
+	}
 	return n, nil
 }
 

@@ -200,6 +200,8 @@ type Router struct {
 	Tracer *trace.Tracer
 	// Stats accumulates protocol counters.
 	Stats Stats
+	// Telem holds the run-wide telemetry instruments (zero value disabled).
+	Telem Telemetry
 
 	id     packet.NodeID
 	engine *sim.Engine
@@ -333,6 +335,7 @@ func (r *Router) floodQuery(group packet.GroupID) {
 	}
 	if r.send(q) {
 		r.Stats.QueriesOriginated++
+		r.Telem.QueriesOriginated.Inc()
 		r.Tracer.Emit(r.id, trace.CatQuery, "originate grp=%v seq=%d", group, seq)
 	}
 }
@@ -357,6 +360,7 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 	r.dupFor(groupSource{group, r.id}).seen(seq)
 	if r.Send != nil && r.Send(p) {
 		r.Stats.DataOriginated++
+		r.Telem.DataOriginated.Inc()
 		r.Tracer.Emit(r.id, trace.CatData, "originate grp=%v seq=%d", group, seq)
 	}
 }
@@ -379,6 +383,7 @@ func (r *Router) send(p *packet.Packet) bool {
 		return false
 	}
 	r.Stats.ControlBytesSent += uint64(p.SizeBytes())
+	r.Telem.ControlBytes.Add(uint64(p.SizeBytes()))
 	return true
 }
 
@@ -469,6 +474,7 @@ func (r *Router) onQuery(p *packet.Packet, from packet.NodeID) {
 		r.pm.Better(newCost, round.bestForwarded) {
 		forward = true
 		r.Stats.DupQueriesForwarded++
+		r.Telem.DupQueriesForwarded.Inc()
 	}
 	if !forward {
 		return
@@ -485,6 +491,7 @@ func (r *Router) onQuery(p *packet.Packet, from packet.NodeID) {
 	r.jitterSend(fwd, r.params.QueryJitter, func() {
 		if wasFirst {
 			r.Stats.QueriesForwarded++
+			r.Telem.QueriesForwarded.Inc()
 			r.Tracer.Emit(r.id, trace.CatQuery, "forward grp=%v src=%v seq=%d cost=%.4g",
 				fwd.Group, fwd.Src, fwd.Seq, fwd.Cost)
 		} else {
@@ -511,6 +518,7 @@ func (r *Router) sendReply(group packet.GroupID, src packet.NodeID, seq uint32, 
 	}
 	r.jitterSend(reply, r.params.ReplyJitter, func() {
 		r.Stats.RepliesSent++
+		r.Telem.RepliesSent.Inc()
 		r.Tracer.Emit(r.id, trace.CatReply, "reply grp=%v src=%v seq=%d nexthop=%v", group, src, seq, nextHop)
 		r.armReplyAck(group, src, seq, nextHop, reply)
 	})
@@ -557,7 +565,9 @@ func (r *Router) replyAckTimeout(key groupSource, p *pendingReply) {
 	p.attempts++
 	if r.Send != nil && r.Send(p.pkt.Clone()) {
 		r.Stats.ReplyRetransmits++
+		r.Telem.ReplyRetransmits.Inc()
 		r.Stats.ControlBytesSent += uint64(p.pkt.SizeBytes())
+		r.Telem.ControlBytes.Add(uint64(p.pkt.SizeBytes()))
 		r.Tracer.Emit(r.id, trace.CatReply, "reply-retx grp=%v src=%v seq=%d attempt=%d",
 			key.group, key.src, p.seq, p.attempts)
 	}
@@ -628,11 +638,13 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 	key := groupSource{p.Group, p.Src}
 	if r.dupFor(key).seen(p.Seq) {
 		r.Stats.DataDuplicates++
+		r.Telem.DupSuppressed.Inc()
 		return
 	}
 	carried := false
 	if r.members[p.Group] {
 		r.Stats.DataDelivered++
+		r.Telem.DataDelivered.Inc()
 		carried = true
 		r.Tracer.Emit(r.id, trace.CatData, "deliver grp=%v src=%v seq=%d from=%v", p.Group, p.Src, p.Seq, from)
 		if r.OnDeliver != nil {
@@ -646,6 +658,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 		carried = true
 		r.jitterSend(fwd, r.params.DataJitter, func() {
 			r.Stats.DataForwarded++
+			r.Telem.DataForwarded.Inc()
 			r.Tracer.Emit(r.id, trace.CatData, "forward grp=%v src=%v seq=%d", fwd.Group, fwd.Src, fwd.Seq)
 		})
 	}

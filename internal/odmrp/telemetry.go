@@ -1,0 +1,44 @@
+package odmrp
+
+import "meshcast/internal/telemetry"
+
+// Telemetry holds the ODMRP layer's run-wide instruments, shared by every
+// router on the run. The zero value is fully disabled.
+type Telemetry struct {
+	// QueriesOriginated, QueriesForwarded, and DupQueriesForwarded count
+	// JOIN QUERY activity; RepliesSent and ReplyRetransmits count JOIN
+	// REPLY activity.
+	QueriesOriginated, QueriesForwarded, DupQueriesForwarded *telemetry.Counter
+	RepliesSent, ReplyRetransmits                            *telemetry.Counter
+	// DataOriginated, DataForwarded, and DataDelivered count data-plane
+	// activity; DupSuppressed counts data copies dropped by the duplicate
+	// window.
+	DataOriginated, DataForwarded, DataDelivered, DupSuppressed *telemetry.Counter
+	// ControlBytes counts ODMRP control bytes handed to the MAC.
+	ControlBytes *telemetry.Counter
+}
+
+// NewTelemetry returns ODMRP instruments registered under the "odmrp."
+// prefix. A nil registry yields the disabled zero value.
+func NewTelemetry(reg *telemetry.Registry) Telemetry {
+	return Telemetry{
+		QueriesOriginated:   reg.Counter("odmrp.queries_originated"),
+		QueriesForwarded:    reg.Counter("odmrp.queries_forwarded"),
+		DupQueriesForwarded: reg.Counter("odmrp.dup_queries_forwarded"),
+		RepliesSent:         reg.Counter("odmrp.replies_sent"),
+		ReplyRetransmits:    reg.Counter("odmrp.reply_retransmits"),
+		DataOriginated:      reg.Counter("odmrp.data_originated"),
+		DataForwarded:       reg.Counter("odmrp.data_forwarded"),
+		DataDelivered:       reg.Counter("odmrp.data_delivered"),
+		DupSuppressed:       reg.Counter("odmrp.dup_suppressed"),
+		ControlBytes:        reg.Counter("odmrp.control_bytes"),
+	}
+}
+
+// RoundCount returns the number of live query-round entries — the router's
+// main soft-state table, exposed for table-size gauges.
+func (r *Router) RoundCount() int { return len(r.rounds) }
+
+// DupWindowCount returns the number of per-(group, source) duplicate
+// windows held.
+func (r *Router) DupWindowCount() int { return len(r.dups) }

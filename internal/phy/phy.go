@@ -89,6 +89,10 @@ type Medium struct {
 	// OnTransmit, when set, observes every frame as it is put on the air
 	// (packet capture, statistics).
 	OnTransmit func(at time.Duration, f *packet.Frame)
+
+	// Telem holds the medium-wide telemetry instruments, shared by every
+	// attached radio. The zero value is disabled.
+	Telem Telemetry
 }
 
 // LinkFunc computes the instantaneous received power in watts for one
@@ -285,15 +289,18 @@ func (r *Radio) Down() bool { return r.down }
 // powered-off radio silently discards the frame (zero airtime).
 func (r *Radio) Transmit(f *packet.Frame) time.Duration {
 	if r.down {
+		r.medium.Telem.RadioDownDrops.Inc()
 		return 0
 	}
 	airtime := r.medium.params.AirTime(f.SizeBytes())
 	r.Stats.FramesSent++
+	r.medium.Telem.FramesSent.Inc()
 	r.transmitting = true
 	// Half duplex: anything currently being received is lost.
 	if r.locked != nil {
 		r.locked.corrupted = true
 		r.Stats.HalfDuplexLoss++
+		r.medium.Telem.HalfDuplexLoss.Inc()
 		r.locked = nil
 	}
 	r.medium.transmit(r, f, airtime)
@@ -334,22 +341,29 @@ func (r *Radio) beginArrival(a *arrival) {
 		// in arrivals/sensedPower so endArrival stays symmetric, but a dead
 		// radio reports no carrier and decodes nothing.
 		a.corrupted = true
+		r.medium.Telem.RadioDownDrops.Inc()
 	case r.transmitting:
 		// Receiver deaf while transmitting.
 		a.corrupted = true
 		r.Stats.HalfDuplexLoss++
+		r.medium.Telem.HalfDuplexLoss.Inc()
 	case a.power < r.medium.params.RxThresholdW:
 		// Too weak to decode; still contributes interference and carrier
 		// sense.
 		a.corrupted = true
 		r.Stats.BelowThreshold++
+		r.medium.Telem.BelowThreshold.Inc()
 	case r.locked == nil:
 		// Try to lock. Existing interference may already drown the frame.
 		interference := r.sensedPower - a.power
 		if interference > 0 && a.power < r.medium.params.CaptureRatio*interference {
 			a.corrupted = true
 			r.Stats.Collisions++
+			r.medium.Telem.Collisions.Inc()
 		} else {
+			if interference > 0 {
+				r.medium.Telem.CaptureWins.Inc()
+			}
 			r.locked = a
 		}
 	default:
@@ -361,6 +375,9 @@ func (r *Radio) beginArrival(a *arrival) {
 			r.locked.corrupted = true
 			r.locked = nil
 			r.Stats.Collisions++
+			r.medium.Telem.Collisions.Inc()
+		} else {
+			r.medium.Telem.CaptureWins.Inc()
 		}
 	}
 
@@ -382,6 +399,7 @@ func (r *Radio) endArrival(a *arrival) {
 		r.locked = nil
 		if !a.corrupted {
 			r.Stats.FramesDelivered++
+			r.medium.Telem.FramesDelivered.Inc()
 			if r.ReceiveFrame != nil {
 				r.ReceiveFrame(a.frame)
 			}

@@ -1,0 +1,35 @@
+package phy
+
+import "meshcast/internal/telemetry"
+
+// Telemetry holds the PHY layer's run-wide instruments. The zero value is
+// fully disabled (every instrument nil); NewTelemetry wires the instruments
+// to a registry. All radios on a medium share the same counters.
+type Telemetry struct {
+	// FramesSent counts transmissions started; FramesDelivered counts frames
+	// decoded and handed up.
+	FramesSent, FramesDelivered *telemetry.Counter
+	// Collisions counts locked frames lost to interference; CaptureWins
+	// counts decodes that survived overlapping interference via capture.
+	Collisions, CaptureWins *telemetry.Counter
+	// BelowThreshold counts arrivals too weak to decode; HalfDuplexLoss
+	// counts frames lost because the receiver was transmitting.
+	BelowThreshold, HalfDuplexLoss *telemetry.Counter
+	// RadioDownDrops counts frames discarded (tx or rx) at a powered-off
+	// radio.
+	RadioDownDrops *telemetry.Counter
+}
+
+// NewTelemetry returns PHY instruments registered under the "phy." prefix.
+// A nil registry yields the disabled zero value.
+func NewTelemetry(reg *telemetry.Registry) Telemetry {
+	return Telemetry{
+		FramesSent:      reg.Counter("phy.frames_sent"),
+		FramesDelivered: reg.Counter("phy.frames_delivered"),
+		Collisions:      reg.Counter("phy.collisions"),
+		CaptureWins:     reg.Counter("phy.capture_wins"),
+		BelowThreshold:  reg.Counter("phy.below_threshold"),
+		HalfDuplexLoss:  reg.Counter("phy.half_duplex_loss"),
+		RadioDownDrops:  reg.Counter("phy.radio_down_drops"),
+	}
+}

@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"sync"
+
+	"meshcast/internal/telemetry"
+)
+
+// Metrics instruments a pool's cache behavior and job latency. Unlike the
+// simulation layers, the pool runs jobs on many goroutines, so Metrics
+// serializes instrument updates with its own mutex — the registry's
+// single-goroutine contract is preserved as long as nothing else touches
+// these instruments while a batch is executing. A nil *Metrics is fully
+// disabled.
+type Metrics struct {
+	mu         sync.Mutex
+	cacheHits  *telemetry.Counter
+	cacheMiss  *telemetry.Counter
+	jobSeconds *telemetry.Histogram
+}
+
+// NewMetrics returns pool instruments registered under the "runner." prefix
+// on reg. A nil registry yields metrics that discard updates.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		cacheHits:  reg.Counter("runner.cache_hits"),
+		cacheMiss:  reg.Counter("runner.cache_misses"),
+		jobSeconds: reg.Histogram("runner.job_seconds", telemetry.SecondsBuckets),
+	}
+}
+
+func (m *Metrics) hit() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cacheHits.Inc()
+	m.mu.Unlock()
+}
+
+func (m *Metrics) miss(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cacheMiss.Inc()
+	m.jobSeconds.Observe(seconds)
+	m.mu.Unlock()
+}

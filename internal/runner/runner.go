@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Job is one unit of work: an opaque config plus a display label for
@@ -81,6 +82,9 @@ type Pool[C, R any] struct {
 	// are serialized (never concurrent) but their order follows completion,
 	// not submission.
 	OnProgress func(Progress)
+	// Metrics, when non-nil, records cache hits/misses and job wall-clock
+	// latency into a telemetry registry (see NewMetrics).
+	Metrics *Metrics
 }
 
 // Execute runs every job and returns the results in submission order:
@@ -158,13 +162,16 @@ func (p *Pool[C, R]) one(job Job[C]) (res Result[R]) {
 		if data, ok := p.Cache.Get(key); ok {
 			if v, err := p.Decode(data); err == nil {
 				res.Value, res.Cached = v, true
+				p.Metrics.hit()
 				return res
 			}
 			// Corrupt entry: fall through to a fresh run, which rewrites it.
 		}
 	}
 
+	start := time.Now()
 	v, err := p.Run(job.Config)
+	p.Metrics.miss(time.Since(start).Seconds())
 	if err != nil {
 		res.Err = err
 		return res

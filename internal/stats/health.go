@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"meshcast/internal/faults"
 	"meshcast/internal/packet"
 )
 
@@ -19,6 +18,15 @@ import (
 // send/delivery timestamps fed by the scenario runner. All accounting is
 // per-group rather than per-flow: the paper's self-healing question is "when
 // does the *group* hear from its sources again", not any one receiver.
+// Window is a half-open [Start, End) interval of virtual time during which
+// some fault is active (the structural twin of faults.Window).
+type Window struct {
+	Start, End time.Duration
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
+
 type HealthTracker struct {
 	// GapThreshold is the delivery silence that counts as an outage for the
 	// availability metric: if a group that has started receiving goes longer
@@ -28,7 +36,7 @@ type HealthTracker struct {
 	GapThreshold time.Duration
 
 	onsets  []time.Duration
-	windows []faults.Window
+	windows []Window
 
 	groups map[packet.GroupID]*groupHealth
 }
@@ -53,7 +61,11 @@ type groupHealth struct {
 
 // NewHealthTracker builds a tracker for the given fault schedule. Both slices
 // come straight from faults.Scheduler: Onsets() and Windows().
-func NewHealthTracker(onsets []time.Duration, windows []faults.Window) *HealthTracker {
+//
+// Window mirrors faults.Window structurally (stats cannot import faults —
+// that would close an import cycle through the telemetry layer); the
+// scenario runner converts between them.
+func NewHealthTracker(onsets []time.Duration, windows []Window) *HealthTracker {
 	return &HealthTracker{
 		GapThreshold: time.Second,
 		onsets:       onsets,

@@ -3,14 +3,12 @@ package stats
 import (
 	"testing"
 	"time"
-
-	"meshcast/internal/faults"
 )
 
 func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
 func TestHealthSplitsPDRByWindow(t *testing.T) {
-	windows := []faults.Window{{Start: sec(10), End: sec(20)}}
+	windows := []Window{{Start: sec(10), End: sec(20)}}
 	h := NewHealthTracker(nil, windows)
 
 	// 4 sends outside (all delivered), 4 inside (1 delivered).
@@ -41,7 +39,7 @@ func TestHealthSplitsPDRByWindow(t *testing.T) {
 
 func TestHealthRepairLatency(t *testing.T) {
 	onsets := []time.Duration{sec(10), sec(30)}
-	h := NewHealthTracker(onsets, []faults.Window{
+	h := NewHealthTracker(onsets, []Window{
 		{Start: sec(10), End: sec(12)},
 		{Start: sec(30), End: sec(32)},
 	})
@@ -86,7 +84,7 @@ func TestHealthAvailability(t *testing.T) {
 
 func TestHealthGroupsAreIndependent(t *testing.T) {
 	onsets := []time.Duration{sec(10)}
-	h := NewHealthTracker(onsets, []faults.Window{{Start: sec(10), End: sec(15)}})
+	h := NewHealthTracker(onsets, []Window{{Start: sec(10), End: sec(15)}})
 	h.RecordDelivered(1, sec(5))
 	h.RecordDelivered(2, sec(5))
 	h.RecordDelivered(1, sec(11)) // group 1 repairs after 1s

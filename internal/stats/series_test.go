@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(10 * time.Second)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if pts := s.Points(); pts != nil {
+		t.Fatalf("Points = %v, want nil", pts)
+	}
+	if vals := s.Values(); len(vals) != 0 {
+		t.Fatalf("Values = %v, want empty", vals)
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last reported a value on an empty series")
+	}
+}
+
+func TestSeriesDefaultInterval(t *testing.T) {
+	if got := NewSeries(0).Interval(); got != 10*time.Second {
+		t.Fatalf("default interval = %v", got)
+	}
+	if got := NewSeries(-time.Second).Interval(); got != 10*time.Second {
+		t.Fatalf("negative interval = %v", got)
+	}
+}
+
+func TestSeriesNonAlignedSamples(t *testing.T) {
+	// Samples at arbitrary (non-multiple) times land in the covering bucket.
+	s := NewSeries(10 * time.Second)
+	s.Record(3*time.Second, 1)  // bucket 0
+	s.Record(7*time.Second, 3)  // bucket 0
+	s.Record(13*time.Second, 9) // bucket 1
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(pts))
+	}
+	if pts[0].Count != 2 || pts[0].Mean != 2 || pts[0].Last != 3 {
+		t.Fatalf("bucket 0 = %+v", pts[0])
+	}
+	if pts[1].Count != 1 || pts[1].Last != 9 {
+		t.Fatalf("bucket 1 = %+v", pts[1])
+	}
+}
+
+func TestSeriesLeftOpenBoundary(t *testing.T) {
+	// A sample at exactly k*interval closes bucket k-1 (so an
+	// interval-aligned sampler fills buckets 0..n-1), except at t=0.
+	s := NewSeries(10 * time.Second)
+	s.Record(0, 5)
+	s.Record(10*time.Second, 7)
+	s.Record(20*time.Second, 11)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(pts))
+	}
+	if pts[0].Count != 2 || pts[0].Last != 7 {
+		t.Fatalf("bucket 0 = %+v", pts[0])
+	}
+	if pts[1].Count != 1 || pts[1].Last != 11 {
+		t.Fatalf("bucket 1 = %+v", pts[1])
+	}
+}
+
+func TestSeriesFinalPartialWindow(t *testing.T) {
+	// A run ending off the interval leaves a final bucket narrower than the
+	// interval; its Width must report the actually covered span.
+	s := NewSeries(10 * time.Second)
+	s.Record(10*time.Second, 1)
+	s.Record(20*time.Second, 2)
+	s.Record(23*time.Second, 3)
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(pts))
+	}
+	for i := 0; i < 2; i++ {
+		if pts[i].Width != 10*time.Second {
+			t.Fatalf("bucket %d width = %v", i, pts[i].Width)
+		}
+	}
+	last := pts[2]
+	if last.Start != 20*time.Second || last.Width != 3*time.Second {
+		t.Fatalf("final bucket = %+v, want start 20s width 3s", last)
+	}
+	if last.Count != 1 || last.Last != 3 {
+		t.Fatalf("final bucket samples = %+v", last)
+	}
+}
+
+func TestSeriesEmptyInteriorBucketsCarryLast(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Record(500*time.Millisecond, 4)
+	s.Record(3500*time.Millisecond, 8) // buckets 1 and 2 are empty
+	pts := s.Points()
+	if len(pts) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(pts))
+	}
+	for _, i := range []int{1, 2} {
+		if pts[i].Count != 0 || pts[i].Last != 4 || pts[i].Mean != 4 {
+			t.Fatalf("interior bucket %d = %+v, want carried 4", i, pts[i])
+		}
+	}
+	if vals := s.Values(); len(vals) != 4 || vals[1] != 4 || vals[3] != 8 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestSeriesNegativeTimeClamps(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Record(-5*time.Second, 2)
+	pts := s.Points()
+	if len(pts) != 1 || pts[0].Start != 0 || pts[0].Count != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestSeriesLast(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Record(time.Second, 1)
+	s.Record(2*time.Second, 6)
+	if v, ok := s.Last(); !ok || v != 6 {
+		t.Fatalf("Last = %v, %v", v, ok)
+	}
+}

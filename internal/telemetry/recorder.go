@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+)
+
+// Artifact file names inside a telemetry directory.
+const (
+	// SeriesFile is the JSONL time-series stream: one sampleLine per
+	// snapshot, in time order.
+	SeriesFile = "series.jsonl"
+	// ManifestFile is the run manifest.
+	ManifestFile = "manifest.json"
+)
+
+// ManifestSchema versions the manifest layout for analyzers.
+const ManifestSchema = "meshcast/telemetry/v1"
+
+// BuildInfo identifies the binary that produced a run — the git-describe
+// analog for module builds, read from the build metadata stamped by the go
+// tool.
+type BuildInfo struct {
+	GoVersion string `json:"goVersion,omitempty"`
+	Module    string `json:"module,omitempty"`
+	// Revision is the VCS commit; Dirty marks uncommitted changes. Both are
+	// empty for non-VCS builds (go run from a tarball, tests).
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+}
+
+// CurrentBuild reads the running binary's build metadata.
+func CurrentBuild() BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfo{}
+	}
+	out := BuildInfo{GoVersion: bi.GoVersion, Module: bi.Main.Path}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// Manifest is a run's machine-readable identity and final instrument state:
+// enough to reproduce the run (config hash + seed + build) and to analyze it
+// without replaying anything (final counters, gauges, histograms, and any
+// derived summary values the producer added).
+type Manifest struct {
+	Schema string `json:"schema"`
+	// ConfigHash is the run configuration's content hash — the same value
+	// that keys the runner's result cache, so a manifest can be matched to
+	// cached sweep results.
+	ConfigHash string `json:"configHash,omitempty"`
+	Seed       uint64 `json:"seed"`
+	// Label names the run for humans ("spp seed 3", "etx -telemetry run").
+	Label string `json:"label,omitempty"`
+	// Metric is the routing metric's name, when the run has one.
+	Metric string    `json:"metric,omitempty"`
+	Build  BuildInfo `json:"build"`
+	// DurationSeconds is the simulated (virtual) duration;
+	// IntervalSeconds and Samples describe the series stream.
+	DurationSeconds float64 `json:"durationSeconds,omitempty"`
+	IntervalSeconds float64 `json:"intervalSeconds,omitempty"`
+	Samples         int     `json:"samples"`
+	// Final instrument values.
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Derived carries producer-computed summary values (pdr,
+	// probe_overhead_pct, ...) so analyzers need not know every formula.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// sampleLine is one JSONL record of the series stream.
+type sampleLine struct {
+	// T is the virtual time in seconds.
+	T        float64            `json:"t"`
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Recorder owns one run's telemetry artifacts: it couples a Registry and a
+// Sampler to a directory, streaming snapshots to series.jsonl as the run
+// executes and writing manifest.json when the run finishes.
+type Recorder struct {
+	reg      *Registry
+	sampler  *Sampler
+	dir      string
+	f        *os.File
+	w        *bufio.Writer
+	writeErr error
+}
+
+// NewRecorder creates (or reuses) dir and opens the series stream. The
+// sample interval defaults to DefaultSampleInterval when <= 0.
+func NewRecorder(dir string, interval time.Duration) (*Recorder, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("telemetry: empty recorder dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, SeriesFile))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	rec := &Recorder{
+		reg: NewRegistry(),
+		dir: dir,
+		f:   f,
+		w:   bufio.NewWriter(f),
+	}
+	rec.sampler = NewSampler(rec.reg, interval)
+	rec.sampler.OnSample = rec.writeSample
+	return rec, nil
+}
+
+// Registry returns the recorder's instrument registry.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Sampler returns the recorder's sampler (to Attach it to an engine).
+func (r *Recorder) Sampler() *Sampler { return r.sampler }
+
+// Dir returns the artifact directory.
+func (r *Recorder) Dir() string { return r.dir }
+
+func (r *Recorder) writeSample(at time.Duration, snap Snapshot) {
+	line := sampleLine{T: at.Seconds(), Counters: snap.Counters, Gauges: snap.Gauges}
+	data, err := json.Marshal(line)
+	if err == nil {
+		_, err = r.w.Write(append(data, '\n'))
+	}
+	if err != nil && r.writeErr == nil {
+		r.writeErr = err
+	}
+}
+
+// Finalize takes a last snapshot into the manifest, stamps schema, build,
+// and series metadata, writes manifest.json, and closes the series stream.
+// The caller fills the identity fields (ConfigHash, Seed, Metric, Label,
+// DurationSeconds) and any Derived values before passing m in.
+func (r *Recorder) Finalize(m Manifest) error {
+	snap := r.reg.Snapshot()
+	m.Schema = ManifestSchema
+	m.Build = CurrentBuild()
+	m.IntervalSeconds = r.sampler.Interval().Seconds()
+	m.Samples = r.sampler.Samples()
+	m.Counters = snap.Counters
+	m.Gauges = snap.Gauges
+	m.Histograms = snap.Histograms
+
+	flushErr := r.w.Flush()
+	closeErr := r.f.Close()
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(r.dir, ManifestFile), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	for _, err := range []error{r.writeErr, flushErr, closeErr} {
+		if err != nil {
+			return fmt.Errorf("telemetry: series stream: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadManifest reads a manifest from path, which may name the manifest file
+// itself or a telemetry directory containing one.
+func LoadManifest(path string) (*Manifest, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	if st.IsDir() {
+		path = filepath.Join(path, ManifestFile)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("telemetry: parse %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// SeriesSample is one decoded record of a series.jsonl stream.
+type SeriesSample struct {
+	T        float64
+	Counters map[string]uint64
+	Gauges   map[string]float64
+}
+
+// LoadSeries reads a series.jsonl stream from path, which may name the file
+// itself or a telemetry directory containing one. A missing file yields an
+// empty series (manifest-only analysis still works).
+func LoadSeries(path string) ([]SeriesSample, error) {
+	st, err := os.Stat(path)
+	if err == nil && st.IsDir() {
+		path = filepath.Join(path, SeriesFile)
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	var out []SeriesSample
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line sampleLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("telemetry: parse %s: %w", path, err)
+		}
+		out = append(out, SeriesSample{T: line.T, Counters: line.Counters, Gauges: line.Gauges})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: read %s: %w", path, err)
+	}
+	return out, nil
+}

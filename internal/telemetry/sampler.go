@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"time"
+
+	"meshcast/internal/sim"
+	"meshcast/internal/stats"
+)
+
+// DefaultSampleInterval is the sampler's default sim-clock period. Ten
+// seconds matches the delivery TimeSeries bucket and gives 50 points on the
+// paper's 500 s runs.
+const DefaultSampleInterval = 10 * time.Second
+
+// Sampler snapshots a registry on a fixed virtual-time interval,
+// accumulating every counter and gauge into a stats.Series. Counters are
+// recorded as raw cumulative values; consumers difference adjacent samples
+// to recover per-interval rates (meshstat's sparklines do).
+type Sampler struct {
+	// OnSample, when set, observes every snapshot as it is taken (the
+	// recorder streams them to JSONL). Histograms are included in the
+	// snapshot but not retained in series form — their bucket vectors are
+	// too wide for one series each and land in the final manifest instead.
+	OnSample func(at time.Duration, s Snapshot)
+
+	reg      *Registry
+	interval time.Duration
+	series   map[string]*stats.Series
+	samples  int
+}
+
+// NewSampler creates a sampler over reg. interval <= 0 selects
+// DefaultSampleInterval.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		series:   make(map[string]*stats.Series),
+	}
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Samples returns the number of snapshots taken so far.
+func (s *Sampler) Samples() int { return s.samples }
+
+// Attach schedules sampling on the engine: one snapshot per interval
+// starting at interval (t=0 would sample nothing but zeros), plus a final
+// snapshot at exactly end so the last partial window is captured even when
+// end is not interval-aligned.
+func (s *Sampler) Attach(engine *sim.Engine, end time.Duration) {
+	var tick func()
+	next := s.interval
+	tick = func() {
+		s.Sample(engine.Now())
+		next += s.interval
+		if next < end {
+			engine.At(next, tick)
+		}
+	}
+	if next < end {
+		engine.At(next, tick)
+	}
+	if end > 0 {
+		engine.At(end, func() { s.Sample(end) })
+	}
+}
+
+// Sample takes one snapshot at virtual time at, feeding every counter and
+// gauge value into its series.
+func (s *Sampler) Sample(at time.Duration) {
+	snap := s.reg.Snapshot()
+	for name, v := range snap.Counters {
+		s.seriesFor(name).Record(at, float64(v))
+	}
+	for name, v := range snap.Gauges {
+		s.seriesFor(name).Record(at, v)
+	}
+	s.samples++
+	if s.OnSample != nil {
+		s.OnSample(at, snap)
+	}
+}
+
+func (s *Sampler) seriesFor(name string) *stats.Series {
+	sr, ok := s.series[name]
+	if !ok {
+		sr = stats.NewSeries(s.interval)
+		s.series[name] = sr
+	}
+	return sr
+}
+
+// Series returns the accumulated series keyed by instrument name (shared
+// maps; callers must not modify).
+func (s *Sampler) Series() map[string]*stats.Series { return s.series }

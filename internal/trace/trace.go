@@ -8,7 +8,6 @@ package trace
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"meshcast/internal/packet"
@@ -127,14 +126,17 @@ func (w Writer) Emit(e Event) {
 }
 
 // Buffer is a Sink that retains events in memory (bounded), for tests and
-// post-run analysis.
+// post-run analysis. Like every Sink it runs on the single simulation
+// goroutine, so it carries no locking; readers (Events, Dropped) are meant
+// for after the run, or between events from that same goroutine. The drop
+// count is exported through the telemetry registry as the "trace.dropped"
+// gauge when a run records telemetry.
 type Buffer struct {
 	// Cap bounds retained events; 0 means unbounded.
 	Cap int
 
-	mu     sync.Mutex
 	events []Event
-	// Dropped counts events discarded because the buffer was full.
+	// dropped counts events discarded because the buffer was full.
 	dropped uint64
 }
 
@@ -142,8 +144,6 @@ var _ Sink = (*Buffer)(nil)
 
 // Emit implements Sink.
 func (b *Buffer) Emit(e Event) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.Cap > 0 && len(b.events) >= b.Cap {
 		b.dropped++
 		return
@@ -153,52 +153,19 @@ func (b *Buffer) Emit(e Event) {
 
 // Events returns a snapshot of the retained events.
 func (b *Buffer) Events() []Event {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := make([]Event, len(b.events))
 	copy(out, b.events)
 	return out
 }
 
 // Dropped returns the number of discarded events.
-func (b *Buffer) Dropped() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
-}
+func (b *Buffer) Dropped() uint64 { return b.dropped }
 
 // CountByCategory tallies retained events per category.
 func (b *Buffer) CountByCategory() map[Category]int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := make(map[Category]int)
 	for _, e := range b.events {
 		out[e.Cat]++
 	}
 	return out
-}
-
-// Counter is a Sink that only counts events, for cheap always-on tracing.
-type Counter struct {
-	mu sync.Mutex
-	n  map[Category]uint64
-}
-
-var _ Sink = (*Counter)(nil)
-
-// Emit implements Sink.
-func (c *Counter) Emit(e Event) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.n == nil {
-		c.n = make(map[Category]uint64)
-	}
-	c.n[e.Cat]++
-}
-
-// Count returns the tally for a category.
-func (c *Counter) Count(cat Category) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n[cat]
 }

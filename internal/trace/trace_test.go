@@ -91,20 +91,6 @@ func TestBufferCountByCategory(t *testing.T) {
 	}
 }
 
-func TestCounterSink(t *testing.T) {
-	var c Counter
-	tr := New(&c, fixedNow(0))
-	for i := 0; i < 7; i++ {
-		tr.Emit(1, CatProbe, "p")
-	}
-	if c.Count(CatProbe) != 7 {
-		t.Fatalf("count = %d", c.Count(CatProbe))
-	}
-	if c.Count(CatMAC) != 0 {
-		t.Fatal("untraced category counted")
-	}
-}
-
 func TestCategoryStrings(t *testing.T) {
 	if CatQuery.String() != "QUERY" || Category(99).String() != "CAT(99)" {
 		t.Fatal("category strings wrong")

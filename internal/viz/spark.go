@@ -1,0 +1,41 @@
+package viz
+
+import "strings"
+
+// sparkLevels are the eight block characters a sparkline is built from.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode bar chart, scaling the full
+// value range onto eight block heights. A constant series renders at the
+// lowest level; an empty series renders as the empty string. NaN values (and
+// anything else that does not compare) render as the lowest level too.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	min, max := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	span := max - min
+	for _, v := range values {
+		level := 0
+		if span > 0 {
+			level = int((v - min) / span * float64(len(sparkLevels)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkLevels) {
+			level = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}

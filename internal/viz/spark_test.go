@@ -1,0 +1,47 @@
+package viz
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSparklineEmpty(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Fatalf("empty input rendered %q", s)
+	}
+}
+
+func TestSparklineRamp(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	want := "▁▂▃▄▅▆▇█"
+	if got != want {
+		t.Fatalf("ramp = %q, want %q", got, want)
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Fatalf("constant = %q", got)
+	}
+}
+
+func TestSparklineExtremes(t *testing.T) {
+	got := Sparkline([]float64{0, 100})
+	if got != "▁█" {
+		t.Fatalf("extremes = %q", got)
+	}
+}
+
+func TestSparklineNegative(t *testing.T) {
+	got := Sparkline([]float64{-10, 0, 10})
+	if [](rune)(got)[0] != '▁' || [](rune)(got)[2] != '█' {
+		t.Fatalf("negative range = %q", got)
+	}
+}
+
+func TestSparklineNaN(t *testing.T) {
+	got := Sparkline([]float64{math.NaN(), 1, 2})
+	if len([]rune(got)) != 3 {
+		t.Fatalf("NaN input = %q", got)
+	}
+}

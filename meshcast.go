@@ -37,6 +37,7 @@ import (
 	"meshcast/internal/runner"
 	"meshcast/internal/sim"
 	"meshcast/internal/stats"
+	"meshcast/internal/telemetry"
 	"meshcast/internal/testbed"
 	"meshcast/internal/topology"
 	"meshcast/internal/traffic"
@@ -109,6 +110,11 @@ type Percentiles = stats.Percentiles
 // Edge is a directed data-plane link (for tree analysis).
 type Edge = odmrp.Edge
 
+// TelemetrySnapshot is an instantaneous view of every telemetry
+// instrument: cumulative counters, current gauges and histogram state,
+// keyed by dotted layer-first names such as "mac.retries".
+type TelemetrySnapshot = telemetry.Snapshot
+
 // SimulationConfig configures a Simulation.
 type SimulationConfig struct {
 	// Seed drives all randomness; identical seeds give identical runs.
@@ -136,6 +142,8 @@ type Simulation struct {
 	flowKeys  []flowKey
 	cfg       SimulationConfig
 	started   bool
+	telem     *telemetry.Registry
+	groups    map[GroupID]struct{}
 }
 
 type flowKey struct {
@@ -181,7 +189,42 @@ func (s *Simulation) AddNode(x, y float64) (NodeID, error) {
 func (s *Simulation) nodeConfig() node.Config {
 	cfg := node.DefaultConfig(s.cfg.Metric)
 	cfg.DataPacketBytes = s.cfg.PayloadBytes
+	cfg.Telemetry = s.telem
 	return cfg
+}
+
+// EnableTelemetry attaches a cross-layer metrics registry to the
+// simulation. Call it before adding nodes: each node wires its PHY, MAC,
+// link-quality and routing instruments at creation, so nodes added earlier
+// stay uninstrumented. Safe to call more than once.
+func (s *Simulation) EnableTelemetry() {
+	if s.telem != nil {
+		return
+	}
+	s.telem = telemetry.NewRegistry()
+	s.groups = make(map[GroupID]struct{})
+	// Forwarding-group size across every group with members or sources,
+	// evaluated lazily at snapshot time.
+	s.telem.GaugeFunc("odmrp.fg_size", func() float64 {
+		n := 0
+		for _, nd := range s.nodes {
+			for g := range s.groups {
+				if nd.Router.IsForwarder(g) {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	})
+}
+
+// Telemetry returns a snapshot of every registered instrument. ok is false
+// when EnableTelemetry was never called.
+func (s *Simulation) Telemetry() (snap TelemetrySnapshot, ok bool) {
+	if s.telem == nil {
+		return TelemetrySnapshot{}, false
+	}
+	return s.telem.Snapshot(), true
 }
 
 // AddRandomNodes places n nodes uniformly in a side × side square, redrawing
@@ -212,6 +255,9 @@ func (s *Simulation) Join(id NodeID, group GroupID) error {
 		return err
 	}
 	n.Router.JoinGroup(group)
+	if s.groups != nil {
+		s.groups[group] = struct{}{}
+	}
 	r := n.Router
 	r.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
 		delay := s.engine.Now() - p.SentAt
@@ -243,6 +289,9 @@ func (s *Simulation) AddSource(id NodeID, group GroupID, start time.Duration) er
 	})
 	s.flows = append(s.flows, cbr)
 	s.flowKeys = append(s.flowKeys, flowKey{group, id})
+	if s.groups != nil {
+		s.groups[group] = struct{}{}
+	}
 	// Existing members of the group subscribe to the new source.
 	for _, m := range s.nodes {
 		if m.Router.IsMember(group) && m.ID != id {

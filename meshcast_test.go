@@ -235,3 +235,75 @@ func TestSimulationGroupSummary(t *testing.T) {
 		t.Fatalf("unknown group = %+v", other)
 	}
 }
+
+func TestSimulationTelemetry(t *testing.T) {
+	s := NewSimulation(SimulationConfig{Seed: 42, Metric: SPP, DisableFading: true})
+	if _, ok := s.Telemetry(); ok {
+		t.Fatal("Telemetry reported a snapshot before EnableTelemetry")
+	}
+	s.EnableTelemetry()
+	s.EnableTelemetry() // idempotent
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		id, err := s.AddNode(float64(i)*200, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Join(ids[3], 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSource(ids[0], 1, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60 * time.Second)
+
+	snap, ok := s.Telemetry()
+	if !ok {
+		t.Fatal("Telemetry disabled after EnableTelemetry")
+	}
+	for _, name := range []string{
+		"phy.frames_sent", "mac.enqueued", "odmrp.data_delivered",
+		"linkquality.probes_sent",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0", name)
+		}
+	}
+	// The fg_size gauge must agree with the public IsForwarder view.
+	want := 0
+	for _, id := range ids {
+		if s.IsForwarder(id, 1) {
+			want++
+		}
+	}
+	if got := int(snap.Gauges["odmrp.fg_size"]); got != want || want == 0 {
+		t.Fatalf("odmrp.fg_size = %d, want %d (nonzero)", got, want)
+	}
+}
+
+func TestSimulationTelemetryDoesNotPerturb(t *testing.T) {
+	runOnce := func(enable bool) Summary {
+		s := NewSimulation(SimulationConfig{Seed: 7, Metric: ETX, DisableFading: true})
+		if enable {
+			s.EnableTelemetry()
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := s.AddNode(float64(i)*200, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Join(3, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddSource(0, 1, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(60 * time.Second)
+		return s.Summary()
+	}
+	if bare, instrumented := runOnce(false), runOnce(true); bare != instrumented {
+		t.Fatalf("telemetry perturbed the run:\nbare = %+v\ninst = %+v", bare, instrumented)
+	}
+}
