@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"meshcast/internal/experiments"
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+)
+
+// simcoreBenchReport is the BENCH_simcore.json schema: the simulation core's
+// measured throughput on the paper's 50-node scenario with the static link
+// cache on vs off, plus a transmit fan-out microbenchmark (allocations and
+// time per Medium.transmit fan-out). ByteIdentical is the cache's
+// determinism contract, re-checked on this machine: the cached and uncached
+// runs must produce the same statistics.
+type simcoreBenchReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	Cores       int    `json:"cores"`
+	// Whole-run comparison on the fixed-seed 50-node paper scenario.
+	CachedEventsPerSec   float64 `json:"cachedEventsPerSec"`
+	UncachedEventsPerSec float64 `json:"uncachedEventsPerSec"`
+	EventRateSpeedup     float64 `json:"eventRateSpeedup"`
+	CachedRunSeconds     float64 `json:"cachedRunSeconds"`
+	UncachedRunSeconds   float64 `json:"uncachedRunSeconds"`
+	ByteIdentical        bool    `json:"byteIdentical"`
+	// Transmit fan-out microbenchmark: one broadcast frame fanned out to a
+	// 50-node topology and fully drained (testing.Benchmark).
+	CachedTransmitNsPerOp       float64 `json:"cachedTransmitNsPerOp"`
+	UncachedTransmitNsPerOp     float64 `json:"uncachedTransmitNsPerOp"`
+	CachedTransmitAllocsPerOp   float64 `json:"cachedTransmitAllocsPerOp"`
+	UncachedTransmitAllocsPerOp float64 `json:"uncachedTransmitAllocsPerOp"`
+	AllocReductionPct           float64 `json:"allocReductionPct"`
+	Runs                        int     `json:"runs"`
+	Config                      string  `json:"config"`
+}
+
+// simcoreScenario is the fixed comparison run: the paper's 50-node §4.1
+// scenario (SPP, seed 1) with a reduced traffic window.
+func simcoreScenario() (experiments.ScenarioConfig, error) {
+	cfg, err := experiments.DefaultScenario(metric.SPP, 1)
+	if err != nil {
+		return experiments.ScenarioConfig{}, err
+	}
+	cfg.TrafficStart = 10 * time.Second
+	cfg.Duration = 40 * time.Second
+	return cfg, nil
+}
+
+// benchSimcore measures the simulation core and writes BENCH_simcore.json.
+func benchSimcore(out string) error {
+	rep := simcoreBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Cores:       runtime.NumCPU(),
+		Runs:        3,
+		Config:      "50 nodes, 2 groups, 30 s traffic (+10 s warmup), SPP, seed 1",
+	}
+
+	// Whole-run events/sec, best of Runs attempts per mode. The cache
+	// toggle rides the environment variable because RunScenario owns its
+	// Medium.
+	type runOutcome struct {
+		seconds float64
+		events  uint64
+		stats   string
+	}
+	timeRun := func(cached bool) (runOutcome, error) {
+		if cached {
+			os.Unsetenv("MESHCAST_NO_LINK_CACHE")
+		} else {
+			os.Setenv("MESHCAST_NO_LINK_CACHE", "1")
+		}
+		defer os.Unsetenv("MESHCAST_NO_LINK_CACHE")
+		cfg, err := simcoreScenario()
+		if err != nil {
+			return runOutcome{}, err
+		}
+		start := time.Now()
+		res, err := experiments.RunScenario(cfg)
+		if err != nil {
+			return runOutcome{}, err
+		}
+		return runOutcome{
+			seconds: time.Since(start).Seconds(),
+			events:  res.Events,
+			stats:   fmt.Sprintf("%+v|%+v|%d", res.Summary, res.Delay, res.MACCollisions),
+		}, nil
+	}
+	best := func(cached bool) (runOutcome, error) {
+		var bestRun runOutcome
+		for i := 0; i < rep.Runs; i++ {
+			r, err := timeRun(cached)
+			if err != nil {
+				return runOutcome{}, err
+			}
+			if bestRun.seconds == 0 || r.seconds < bestRun.seconds {
+				bestRun = r
+			}
+		}
+		return bestRun, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: %d cached scenario runs...\n", rep.Runs)
+	cached, err := best(true)
+	if err != nil {
+		return fmt.Errorf("bench cached: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d uncached scenario runs...\n", rep.Runs)
+	uncached, err := best(false)
+	if err != nil {
+		return fmt.Errorf("bench uncached: %w", err)
+	}
+	rep.CachedRunSeconds = cached.seconds
+	rep.UncachedRunSeconds = uncached.seconds
+	rep.CachedEventsPerSec = float64(cached.events) / cached.seconds
+	rep.UncachedEventsPerSec = float64(uncached.events) / uncached.seconds
+	rep.EventRateSpeedup = rep.CachedEventsPerSec / rep.UncachedEventsPerSec
+	rep.ByteIdentical = cached.events == uncached.events && cached.stats == uncached.stats
+
+	fmt.Fprintln(os.Stderr, "bench: transmit fan-out microbenchmark...")
+	cachedTx := benchTransmitFanout(true)
+	uncachedTx := benchTransmitFanout(false)
+	rep.CachedTransmitNsPerOp = float64(cachedTx.T.Nanoseconds()) / float64(cachedTx.N)
+	rep.UncachedTransmitNsPerOp = float64(uncachedTx.T.Nanoseconds()) / float64(uncachedTx.N)
+	rep.CachedTransmitAllocsPerOp = float64(cachedTx.AllocsPerOp())
+	rep.UncachedTransmitAllocsPerOp = float64(uncachedTx.AllocsPerOp())
+	if rep.UncachedTransmitAllocsPerOp > 0 {
+		rep.AllocReductionPct = 100 * (rep.UncachedTransmitAllocsPerOp - rep.CachedTransmitAllocsPerOp) / rep.UncachedTransmitAllocsPerOp
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: %.0f events/s cached vs %.0f uncached (%.2fx), transmit %.0f -> %.0f allocs/op (-%.0f%%), byte-identical=%v -> %s\n",
+		rep.CachedEventsPerSec, rep.UncachedEventsPerSec, rep.EventRateSpeedup,
+		rep.UncachedTransmitAllocsPerOp, rep.CachedTransmitAllocsPerOp, rep.AllocReductionPct,
+		rep.ByteIdentical, out)
+	return nil
+}
+
+// benchTransmitFanout measures one broadcast fan-out across a 50-node
+// topology, fully drained: the two arrival events per in-range receiver plus
+// their begin/end processing. This is the per-frame cost every simulated
+// transmission pays.
+func benchTransmitFanout(cachedLinks bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		rng := sim.NewRNG(7)
+		topo, err := topology.RandomConnected(rng, 50, geom.Square(1000), 250, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := sim.NewEngine(7)
+		medium := phy.NewMedium(engine, propagation.NewTwoRay(), propagation.Rayleigh{}, phy.DefaultParams())
+		medium.SetLinkCache(cachedLinks)
+		radios := make([]*phy.Radio, topo.NodeCount())
+		for i, pos := range topo.Positions {
+			radios[i] = medium.AttachRadio(packet.NodeID(i), pos)
+		}
+		frame := &packet.Frame{
+			Kind:    packet.FrameData,
+			Src:     0,
+			Dst:     packet.Broadcast,
+			Payload: &packet.Packet{Kind: packet.TypeData, Src: 0, PayloadBytes: 512},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := radios[i%len(radios)]
+			frame.Src = src.ID
+			src.Transmit(frame)
+			engine.RunAll()
+		}
+	})
+}

@@ -42,6 +42,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty disables caching)")
 	benchOut := flag.String("bench-runner", "", "benchmark the job harness (serial vs -j parallel reduced sweep), write JSON here, and exit")
 	benchTelemetry := flag.String("bench-telemetry", "", "benchmark disabled-instrument overhead, write JSON here, and exit")
+	benchSim := flag.String("bench-simcore", "", "benchmark the simulation core (link cache on/off, transmit fan-out allocations), write JSON here, and exit")
 	telemetryDir := flag.String("telemetry", "", "record sweep-harness telemetry (cache hits/misses, job latency) to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -51,6 +52,8 @@ func main() {
 		log.Fatal(err)
 	}
 	switch {
+	case *benchSim != "":
+		err = benchSimcore(*benchSim)
 	case *benchTelemetry != "":
 		err = benchTelemetryOverhead(*benchTelemetry)
 	case *benchOut != "":

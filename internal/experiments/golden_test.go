@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"meshcast/internal/metric"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// goldenScenario is a shortened fixed-seed instance of the paper's 50-node
+// §4.1 scenario: full topology and group structure, reduced traffic window
+// so the regression test stays fast.
+func goldenScenario(t *testing.T) ScenarioConfig {
+	t.Helper()
+	cfg, err := DefaultScenario(metric.SPP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TrafficStart = 10 * time.Second
+	cfg.Duration = 25 * time.Second
+	return cfg
+}
+
+// formatRunResult renders every deterministic quantity of a run, in a fixed
+// order, so any behavioral drift in the simulation core shows up as a diff.
+func formatRunResult(res *RunResult) string {
+	var b strings.Builder
+	s := res.Summary
+	fmt.Fprintf(&b, "pdr=%.9f\n", s.PDR)
+	fmt.Fprintf(&b, "mean_delay_seconds=%.9f\n", s.MeanDelaySeconds)
+	fmt.Fprintf(&b, "packets_sent=%d\n", s.PacketsSent)
+	fmt.Fprintf(&b, "packets_delivered=%d\n", s.PacketsDelivered)
+	fmt.Fprintf(&b, "data_bytes_received=%d\n", s.DataBytesReceived)
+	fmt.Fprintf(&b, "probe_overhead_pct=%.9f\n", s.ProbeOverheadPct)
+	fmt.Fprintf(&b, "fairness=%.9f\n", s.Fairness)
+	fmt.Fprintf(&b, "probe_bytes=%d\n", res.ProbeBytes)
+	fmt.Fprintf(&b, "control_bytes=%d\n", res.ControlBytes)
+	fmt.Fprintf(&b, "mac_collisions=%d\n", res.MACCollisions)
+	fmt.Fprintf(&b, "data_forwards=%d\n", res.DataForwards)
+	fmt.Fprintf(&b, "delay_p50=%v delay_p90=%v delay_p99=%v delay_max=%v count=%d\n",
+		res.Delay.P50, res.Delay.P90, res.Delay.P99, res.Delay.Max, res.Delay.Count)
+	fmt.Fprintf(&b, "events=%d\n", res.Events)
+	for _, m := range res.PerMember {
+		fmt.Fprintf(&b, "member %v\n", m)
+	}
+	return b.String()
+}
+
+// TestGoldenSimcoreOutput pins the fixed-seed 50-node paper scenario's
+// complete stats output against testdata/golden_simcore.txt. Any change to
+// the event engine, PHY, MAC, routing, or RNG draw order shows up here.
+// Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenSimcoreOutput -update
+func TestGoldenSimcoreOutput(t *testing.T) {
+	res, err := RunScenario(goldenScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatRunResult(res)
+	path := filepath.Join("testdata", "golden_simcore.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("stats output drifted from golden file (rerun with -update if intentional):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenSimcoreOutputUncached runs the same scenario with the static
+// link cache disabled and requires the identical golden output — the cache's
+// determinism contract (see docs/PERFORMANCE.md): same candidate order, same
+// skip set, same RNG draw sequence, byte-identical results.
+func TestGoldenSimcoreOutputUncached(t *testing.T) {
+	t.Setenv("MESHCAST_NO_LINK_CACHE", "1")
+	res, err := RunScenario(goldenScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatRunResult(res)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_simcore.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("uncached run diverged from the cached golden output:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

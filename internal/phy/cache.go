@@ -1,0 +1,122 @@
+package phy
+
+import (
+	"time"
+
+	"meshcast/internal/packet"
+	"meshcast/internal/propagation"
+)
+
+// The static link cache.
+//
+// Mesh nodes are static (Radio.Pos never changes after AttachRadio), so the
+// per-(tx, rx) geometry — distance, mean received power under the path-loss
+// model, and propagation delay — is invariant for the whole run. The seed
+// implementation recomputed all of it for every receiver of every frame,
+// which dominated the transmit fan-out on the paper's 50-node topologies.
+// Instead, the medium lazily precomputes one candidate-receiver list per
+// transmitter the first time that transmitter is heard, and reuses it for
+// every subsequent frame.
+//
+// Determinism contract: the cached fan-out must draw from the medium's RNG
+// in exactly the order the uncached loop does, so that fixed-seed runs are
+// byte-identical with the cache on or off (the golden regression test in
+// internal/experiments asserts this). The list therefore keeps radios in
+// attach order and bakes in the same skip set: under the physics models,
+// pairs whose mean power is below ignoreBelowW are dropped up front — the
+// uncached loop skips them before any fading draw — and under a LinkFunc
+// every other radio is a candidate, because the oracle is consulted per
+// frame. Radio power state (SetDown) is deliberately not part of the cache;
+// a down radio still receives arrivals and discards them at delivery, same
+// as the uncached path.
+//
+// The cache is invalidated by AttachRadio (every transmitter gains a
+// candidate) and by SetLinkFunc (the skip set changes shape).
+
+// link is one precomputed (tx, rx) entry: the receiver, its mean (pre-fading)
+// received power — zero and unused when a LinkFunc is active — and the
+// propagation delay to it.
+type link struct {
+	rx        *Radio
+	meanPower float64
+	propDelay time.Duration
+}
+
+// linksFrom returns src's candidate-receiver list, building it on first use.
+func (m *Medium) linksFrom(src *Radio) []link {
+	if m.links == nil {
+		m.links = make([][]link, len(m.radios))
+	}
+	ls := m.links[src.index]
+	if ls == nil {
+		ls = m.buildLinks(src)
+		m.links[src.index] = ls
+	}
+	return ls
+}
+
+// buildLinks computes src's candidate list in radio-attach order.
+func (m *Medium) buildLinks(src *Radio) []link {
+	ls := make([]link, 0, len(m.radios)-1)
+	for _, rx := range m.radios {
+		if rx == src {
+			continue
+		}
+		d := src.Pos.Distance(rx.Pos)
+		var mean float64
+		if m.linkFunc == nil {
+			mean = m.pathLoss.ReceivedPower(m.params.TxPowerW, d)
+			if mean < m.ignoreBelowW {
+				continue
+			}
+		}
+		ls = append(ls, link{rx: rx, meanPower: mean, propDelay: propagation.Delay(d)})
+	}
+	return ls
+}
+
+// invalidateLinks discards every cached candidate list.
+func (m *Medium) invalidateLinks() { m.links = nil }
+
+// SetLinkCache enables or disables the static link cache (enabled by
+// default; setting the MESHCAST_NO_LINK_CACHE environment variable disables
+// it at construction). Both paths produce byte-identical simulations; the
+// uncached path exists so benchmarks and the determinism regression tests
+// can compare against the recompute-everything fan-out.
+func (m *Medium) SetLinkCache(enabled bool) {
+	m.cacheOff = !enabled
+	m.invalidateLinks()
+}
+
+// newArrival takes an arrival from the pool (or allocates one) and
+// initializes it for one (frame, receiver) delivery.
+func (m *Medium) newArrival(rx *Radio, f *packet.Frame, power float64) *arrival {
+	var a *arrival
+	if n := len(m.arrivalPool); n > 0 {
+		a = m.arrivalPool[n-1]
+		m.arrivalPool[n-1] = nil
+		m.arrivalPool = m.arrivalPool[:n-1]
+	} else {
+		a = new(arrival)
+	}
+	a.rx, a.frame, a.power = rx, f, power
+	return a
+}
+
+// freeArrival returns a finished arrival to the pool. Arrivals allocated by
+// the uncached path are not pooled (the pool would only ever grow); they are
+// left to the garbage collector, matching the seed implementation.
+func (m *Medium) freeArrival(a *arrival) {
+	if m.cacheOff {
+		return
+	}
+	a.rx, a.frame, a.power, a.corrupted = nil, nil, 0, false
+	m.arrivalPool = append(m.arrivalPool, a)
+}
+
+// Static event callbacks for sim.Engine.ScheduleArg: scheduling through
+// these instead of fresh closures removes two allocations per (frame,
+// receiver) pair from the transmit fan-out.
+func beginArrivalThunk(x any) { a := x.(*arrival); a.rx.beginArrival(a) }
+func endArrivalThunk(x any)   { a := x.(*arrival); a.rx.endArrival(a) }
+func txEndThunk(x any)        { r := x.(*Radio); r.notifyBusy(r.CarrierBusy()) }

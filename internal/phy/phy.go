@@ -8,9 +8,15 @@
 // fading draw; a receiver locks onto the first decodable arrival and loses it
 // if a sufficiently strong overlapping arrival appears (no capture) or if the
 // receiver itself transmits (half duplex).
+//
+// Because node positions are static, the fan-out runs off a precomputed
+// per-transmitter link cache (distance, mean power, propagation delay — see
+// cache.go and docs/PERFORMANCE.md); the cached and uncached paths are
+// byte-identical by construction.
 package phy
 
 import (
+	"os"
 	"time"
 
 	"meshcast/internal/geom"
@@ -86,6 +92,16 @@ type Medium struct {
 	// model (see ImpairFunc).
 	impair ImpairFunc
 
+	// links is the static link cache (see cache.go): per transmitter index,
+	// the precomputed candidate receivers in attach order. nil means not
+	// built; cacheOff forces the recompute-everything fan-out.
+	links    [][]link
+	cacheOff bool
+
+	// arrivalPool recycles arrival objects between frames (cached path
+	// only); arrivals live from transmit until their endArrival event.
+	arrivalPool []*arrival
+
 	// OnTransmit, when set, observes every frame as it is put on the air
 	// (packet capture, statistics).
 	OnTransmit func(at time.Duration, f *packet.Frame)
@@ -101,8 +117,13 @@ type Medium struct {
 type LinkFunc func(tx, rx packet.NodeID, now time.Duration, rng *sim.RNG) float64
 
 // SetLinkFunc installs a link oracle; pass nil to restore the physics
-// models.
-func (m *Medium) SetLinkFunc(f LinkFunc) { m.linkFunc = f }
+// models. Switching models invalidates the static link cache (the physics
+// candidate lists skip sub-ignoreBelowW pairs; an oracle is consulted for
+// every pair).
+func (m *Medium) SetLinkFunc(f LinkFunc) {
+	m.linkFunc = f
+	m.invalidateLinks()
+}
 
 // Impairment is an externally injected degradation of one (tx, rx) pair at
 // one instant: an extra drop probability (burst loss, jamming) and a linear
@@ -135,6 +156,7 @@ func NewMedium(engine *sim.Engine, pathLoss propagation.PathLoss, fading propaga
 		rng:          engine.RNG().Split(),
 		params:       params,
 		ignoreBelowW: params.CSThresholdW / 200,
+		cacheOff:     os.Getenv("MESHCAST_NO_LINK_CACHE") != "",
 	}
 }
 
@@ -142,13 +164,17 @@ func NewMedium(engine *sim.Engine, pathLoss propagation.PathLoss, fading propaga
 func (m *Medium) Params() Params { return m.params }
 
 // AttachRadio creates a radio for node id at position pos and registers it.
+// Positions are fixed for the radio's lifetime (mesh nodes are static); the
+// static link cache depends on it.
 func (m *Medium) AttachRadio(id packet.NodeID, pos geom.Point) *Radio {
 	r := &Radio{
 		ID:     id,
 		Pos:    pos,
 		medium: m,
+		index:  len(m.radios),
 	}
 	m.radios = append(m.radios, r)
+	m.invalidateLinks()
 	return r
 }
 
@@ -175,11 +201,52 @@ func (m *Medium) DeliveryProbability(a, b geom.Point) float64 {
 	return propagation.ReceptionProbability(mean, m.params.RxThresholdW)
 }
 
-// transmit distributes a frame from radio src across the medium.
+// transmit distributes a frame from radio src across the medium. The cached
+// fan-out iterates src's precomputed candidate list; per candidate it only
+// draws the fading (or oracle) power, consults the impairment hook, and
+// schedules the pooled arrival's begin/end events through static callbacks.
+// The RNG draw order is identical to transmitUncached's by construction —
+// see the determinism contract in cache.go.
 func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration) {
 	if m.OnTransmit != nil {
 		m.OnTransmit(m.engine.Now(), frame)
 	}
+	if m.cacheOff {
+		m.transmitUncached(src, frame, airtime)
+		return
+	}
+	now := m.engine.Now()
+	links := m.linksFrom(src)
+	for i := range links {
+		l := &links[i]
+		var power float64
+		if m.linkFunc != nil {
+			power = m.linkFunc(src.ID, l.rx.ID, now, m.rng)
+		} else {
+			power = m.fading.Apply(l.meanPower, m.rng)
+		}
+		if m.impair != nil {
+			imp := m.impair(src.ID, l.rx.ID, now)
+			if imp.DropProb >= 1 || (imp.DropProb > 0 && m.rng.Float64() < imp.DropProb) {
+				continue
+			}
+			if imp.Attenuation > 0 {
+				power *= imp.Attenuation
+			}
+		}
+		if power < m.ignoreBelowW {
+			continue
+		}
+		a := m.newArrival(l.rx, frame, power)
+		m.engine.ScheduleArg(l.propDelay, beginArrivalThunk, a)
+		m.engine.ScheduleArg(l.propDelay+airtime, endArrivalThunk, a)
+	}
+}
+
+// transmitUncached is the recompute-everything fan-out the link cache
+// replaced, kept as the reference path for determinism tests and benchmarks
+// (SetLinkCache(false), MESHCAST_NO_LINK_CACHE).
+func (m *Medium) transmitUncached(src *Radio, frame *packet.Frame, airtime time.Duration) {
 	for _, rx := range m.radios {
 		if rx == src {
 			continue
@@ -206,10 +273,9 @@ func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration
 		if power < m.ignoreBelowW {
 			continue
 		}
-		d := src.Pos.Distance(rx.Pos)
-		propDelay := time.Duration(d / propagation.SpeedOfLight * float64(time.Second))
+		propDelay := propagation.Delay(src.Pos.Distance(rx.Pos))
 		rx := rx
-		a := &arrival{frame: frame, power: power}
+		a := &arrival{rx: rx, frame: frame, power: power}
 		m.engine.Schedule(propDelay, func() { rx.beginArrival(a) })
 		m.engine.Schedule(propDelay+airtime, func() { rx.endArrival(a) })
 	}
@@ -217,9 +283,11 @@ func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration
 
 // arrival is one frame's signal as seen by one receiver.
 type arrival struct {
+	rx        *Radio
 	frame     *packet.Frame
 	power     float64
 	corrupted bool
+	index     int // position in rx.arrivals while in flight
 }
 
 // RadioStats counts PHY-level outcomes at one radio.
@@ -253,14 +321,23 @@ type Radio struct {
 	// Stats accumulates PHY outcome counters.
 	Stats RadioStats
 
-	medium       *Medium
-	down         bool
-	transmitting bool
-	locked       *arrival
-	arrivals     []*arrival
-	sensedPower  float64 // sum of in-flight arrival powers
-	lastBusy     bool    // last state reported through BusyChanged
+	medium *Medium
+	index  int // position in medium.radios (cache key)
+	down   bool
+	// txUntil is the virtual time the radio's last transmission leaves the
+	// air. Tracking the end time instead of a boolean keeps the radio deaf
+	// for the union of overlapping transmissions: a second Transmit before
+	// the first ends extends the window rather than being cut short by the
+	// first frame's end event.
+	txUntil     time.Duration
+	locked      *arrival
+	arrivals    []*arrival
+	sensedPower float64 // sum of in-flight arrival powers
+	lastBusy    bool    // last state reported through BusyChanged
 }
+
+// transmitting reports whether the radio still has a frame on the air.
+func (r *Radio) transmitting() bool { return r.medium.engine.Now() < r.txUntil }
 
 // AirTime returns the on-air duration of a frame of the given size under
 // the medium's parameters.
@@ -295,7 +372,9 @@ func (r *Radio) Transmit(f *packet.Frame) time.Duration {
 	airtime := r.medium.params.AirTime(f.SizeBytes())
 	r.Stats.FramesSent++
 	r.medium.Telem.FramesSent.Inc()
-	r.transmitting = true
+	if end := r.medium.engine.Now() + airtime; end > r.txUntil {
+		r.txUntil = end
+	}
 	// Half duplex: anything currently being received is lost.
 	if r.locked != nil {
 		r.locked.corrupted = true
@@ -304,10 +383,10 @@ func (r *Radio) Transmit(f *packet.Frame) time.Duration {
 		r.locked = nil
 	}
 	r.medium.transmit(r, f, airtime)
-	r.medium.engine.Schedule(airtime, func() {
-		r.transmitting = false
-		r.notifyBusy(r.CarrierBusy())
-	})
+	// Re-derive carrier sense when this frame leaves the air; with an
+	// earlier overlapping transmission still out, CarrierBusy stays true
+	// (txUntil covers it) and the notification is a no-op.
+	r.medium.engine.ScheduleArg(airtime, txEndThunk, r)
 	r.notifyBusy(true)
 	return airtime
 }
@@ -318,7 +397,7 @@ func (r *Radio) CarrierBusy() bool {
 	if r.down {
 		return false
 	}
-	return r.transmitting || r.sensedPower >= r.medium.params.CSThresholdW
+	return r.transmitting() || r.sensedPower >= r.medium.params.CSThresholdW
 }
 
 func (r *Radio) notifyBusy(busy bool) {
@@ -332,6 +411,7 @@ func (r *Radio) notifyBusy(busy bool) {
 }
 
 func (r *Radio) beginArrival(a *arrival) {
+	a.index = len(r.arrivals)
 	r.arrivals = append(r.arrivals, a)
 	r.sensedPower += a.power
 
@@ -339,10 +419,14 @@ func (r *Radio) beginArrival(a *arrival) {
 	case r.down:
 		// Powered off: the signal passes through undetected. It still sits
 		// in arrivals/sensedPower so endArrival stays symmetric, but a dead
-		// radio reports no carrier and decodes nothing.
+		// radio reports no carrier and decodes nothing. Only decodable
+		// arrivals count as drops: a sub-threshold signal would have been
+		// lost with the radio up too (see docs/OBSERVABILITY.md).
 		a.corrupted = true
-		r.medium.Telem.RadioDownDrops.Inc()
-	case r.transmitting:
+		if a.power >= r.medium.params.RxThresholdW {
+			r.medium.Telem.RadioDownDrops.Inc()
+		}
+	case r.transmitting():
 		// Receiver deaf while transmitting.
 		a.corrupted = true
 		r.Stats.HalfDuplexLoss++
@@ -385,12 +469,14 @@ func (r *Radio) beginArrival(a *arrival) {
 }
 
 func (r *Radio) endArrival(a *arrival) {
-	for i, x := range r.arrivals {
-		if x == a {
-			r.arrivals = append(r.arrivals[:i], r.arrivals[i+1:]...)
-			break
-		}
-	}
+	// Swap-remove by the index recorded in beginArrival; arrival order in
+	// the slice carries no meaning (sensedPower is a sum, locking is
+	// tracked separately), so O(1) bookkeeping replaces the linear scan.
+	i, last := a.index, len(r.arrivals)-1
+	r.arrivals[i] = r.arrivals[last]
+	r.arrivals[i].index = i
+	r.arrivals[last] = nil
+	r.arrivals = r.arrivals[:last]
 	r.sensedPower -= a.power
 	if r.sensedPower < 0 {
 		r.sensedPower = 0 // guard against float drift
@@ -406,4 +492,5 @@ func (r *Radio) endArrival(a *arrival) {
 		}
 	}
 	r.notifyBusy(r.CarrierBusy())
+	r.medium.freeArrival(a)
 }

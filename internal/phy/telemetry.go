@@ -15,8 +15,12 @@ type Telemetry struct {
 	// BelowThreshold counts arrivals too weak to decode; HalfDuplexLoss
 	// counts frames lost because the receiver was transmitting.
 	BelowThreshold, HalfDuplexLoss *telemetry.Counter
-	// RadioDownDrops counts frames discarded (tx or rx) at a powered-off
-	// radio.
+	// RadioDownDrops counts frames a powered-off radio would otherwise have
+	// handled: transmissions it discarded, plus arrivals at or above the
+	// receive threshold that passed through undecoded. Sub-threshold
+	// arrivals at a down radio are not counted — they would have been lost
+	// regardless of power state (those count as BelowThreshold when the
+	// radio is up).
 	RadioDownDrops *telemetry.Counter
 }
 

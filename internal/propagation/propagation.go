@@ -10,6 +10,7 @@ package propagation
 
 import (
 	"math"
+	"time"
 
 	"meshcast/internal/sim"
 )
@@ -17,6 +18,11 @@ import (
 // Speed of light in m/s, used for the Friis crossover distance and
 // propagation delay.
 const SpeedOfLight = 299792458.0
+
+// Delay returns the free-space propagation delay across distanceM metres.
+func Delay(distanceM float64) time.Duration {
+	return time.Duration(distanceM / SpeedOfLight * float64(time.Second))
+}
 
 // Default radio constants (GloMoSim / ns-2 WaveLAN at 914 MHz). With the
 // two-ray model these give a 250 m receive range and a 550 m carrier-sense

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"meshcast/internal/sim"
 )
@@ -221,5 +222,20 @@ func TestCompositeAppliesAll(t *testing.T) {
 	}
 	if got := (Composite{}).Apply(7, rng); got != 7 {
 		t.Fatalf("empty composite = %v", got)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	if got := Delay(SpeedOfLight); got != time.Second {
+		t.Fatalf("Delay(c) = %v, want 1s", got)
+	}
+	// The PHY schedules arrivals with this helper; it must match the
+	// direct expression bit-for-bit (the link cache's determinism contract
+	// includes event timestamps).
+	for _, d := range []float64{0, 1, 37.5, 250, 550, 1414.21} {
+		want := time.Duration(d / SpeedOfLight * float64(time.Second))
+		if got := Delay(d); got != want {
+			t.Fatalf("Delay(%v) = %v, want %v", d, got, want)
+		}
 	}
 }

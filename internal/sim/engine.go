@@ -16,12 +16,26 @@ import (
 // Event is a scheduled callback. The zero Event is invalid; events are
 // created through Engine.Schedule / Engine.At.
 type Event struct {
-	at      time.Duration
-	seq     uint64
-	fn      func()
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// argFn/arg are the ScheduleArg form: a static callback plus its
+	// argument, so hot paths can schedule without allocating a closure.
+	// Exactly one of fn and argFn is set.
+	argFn   func(any)
+	arg     any
 	engine  *Engine
 	index   int // heap index; -1 once popped or canceled
 	stopped bool
+}
+
+// call invokes the event's callback in whichever form it was scheduled.
+func (e *Event) call() {
+	if e.argFn != nil {
+		e.argFn(e.arg)
+		return
+	}
+	e.fn()
 }
 
 // Stop cancels the event if it has not fired yet, removing it from the
@@ -126,8 +140,26 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	return ev
 }
 
+// ScheduleArg is Schedule for hot paths: instead of capturing state in a
+// fresh closure, the event carries a static callback and the argument to
+// pass it at fire time. The PHY fan-out schedules two events per (frame,
+// receiver) pair through this form, saving one closure allocation per event.
+// fn must be non-nil. A negative delay is treated as zero.
+func (e *Engine) ScheduleArg(d time.Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := &Event{at: e.now + d, seq: e.seq, argFn: fn, arg: arg, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
 // Run executes events until the queue empties or the clock passes until.
-// It returns the virtual time at which it stopped.
+// It returns the virtual time at which it stopped. The clock only advances
+// to until when the loop drained: after a Halt it stays at the last executed
+// event, so pending earlier events cannot move it backwards on a subsequent
+// Run or RunAll.
 func (e *Engine) Run(until time.Duration) time.Duration {
 	for len(e.queue) > 0 && !e.halted {
 		next := e.queue[0]
@@ -137,9 +169,9 @@ func (e *Engine) Run(until time.Duration) time.Duration {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		e.Processed++
-		next.fn()
+		next.call()
 	}
-	if e.now < until {
+	if !e.halted && e.now < until {
 		e.now = until
 	}
 	return e.now
@@ -152,7 +184,7 @@ func (e *Engine) RunAll() time.Duration {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		e.Processed++
-		next.fn()
+		next.call()
 	}
 	return e.now
 }

@@ -198,6 +198,121 @@ func TestEngineHalt(t *testing.T) {
 	}
 }
 
+func TestRunAfterHaltKeepsClockMonotonic(t *testing.T) {
+	// Regression: Run used to clamp the clock to until even when halted
+	// with earlier events still pending; the next Run/RunAll then moved
+	// Now() backwards to the pending event's time.
+	e := NewEngine(1)
+	var fireTimes []time.Duration
+	e.Schedule(1*time.Second, func() {
+		fireTimes = append(fireTimes, e.Now())
+		e.Halt()
+	})
+	e.Schedule(2*time.Second, func() { fireTimes = append(fireTimes, e.Now()) })
+	if end := e.Run(10 * time.Second); end != 1*time.Second {
+		t.Fatalf("halted Run returned %v, want 1s (clock must not jump past pending events)", end)
+	}
+	if e.Now() != 1*time.Second {
+		t.Fatalf("Now() after halted Run = %v, want 1s", e.Now())
+	}
+	e.Resume()
+	last := e.Now()
+	if end := e.Run(10 * time.Second); end != 10*time.Second {
+		t.Fatalf("resumed Run returned %v, want 10s", end)
+	}
+	if e.Now() < last {
+		t.Fatalf("clock moved backwards: %v after %v", e.Now(), last)
+	}
+	want := []time.Duration{1 * time.Second, 2 * time.Second}
+	if len(fireTimes) != len(want) {
+		t.Fatalf("fired at %v, want %v", fireTimes, want)
+	}
+	for i := range want {
+		if fireTimes[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fireTimes, want)
+		}
+	}
+}
+
+func TestRunAllAfterHaltKeepsClockMonotonic(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(3*time.Second, func() { e.Halt() })
+	e.Schedule(5*time.Second, func() {})
+	e.Run(time.Minute)
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now() after halt = %v, want 3s", e.Now())
+	}
+	e.Resume()
+	var seen []time.Duration
+	prev := e.Now()
+	e.Schedule(time.Second, func() { seen = append(seen, e.Now()) })
+	e.RunAll()
+	for _, at := range seen {
+		if at < prev {
+			t.Fatalf("event ran at %v, before resume point %v", at, prev)
+		}
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("final Now() = %v, want 5s", e.Now())
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	record := func(x any) { got = append(got, x.(int)) }
+	e.ScheduleArg(2*time.Second, record, 2)
+	e.ScheduleArg(time.Second, record, 1)
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.ScheduleArg(-time.Second, record, 0) // negative delay fires first
+	e.RunAll()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleArgStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.ScheduleArg(time.Second, func(any) { fired = true }, nil)
+	if !ev.Stop() {
+		t.Fatal("Stop on pending arg event returned false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("stopped arg event fired")
+	}
+}
+
+func TestEventStopDuringExecution(t *testing.T) {
+	// An event stopping itself from its own callback: at that point it is
+	// already popped (index -1), so Stop must report false and must not
+	// touch the heap.
+	e := NewEngine(1)
+	var ev *Event
+	ran := false
+	ev = e.Schedule(time.Second, func() {
+		ran = true
+		if ev.Stop() {
+			t.Error("Stop from inside the event's own callback returned true")
+		}
+	})
+	e.Schedule(2*time.Second, func() {})
+	e.RunAll()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after RunAll", e.Pending())
+	}
+}
+
 func TestEventsScheduledFromEvents(t *testing.T) {
 	e := NewEngine(1)
 	count := 0
