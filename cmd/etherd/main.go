@@ -1,14 +1,25 @@
 // Command etherd runs the emulated wireless broadcast medium that odmrpd
 // daemons attach to: every frame a daemon sends is fanned out to all other
-// registered daemons subject to per-link delivery probabilities.
+// registered daemons subject to per-link delivery probabilities, optional
+// delay/jitter/duplication shaping, and an optional scripted fault
+// schedule.
 //
 // Usage:
 //
 //	go run ./cmd/etherd -addr 127.0.0.1:7777
 //	go run ./cmd/etherd -addr 127.0.0.1:7777 -links testbed.links
+//	go run ./cmd/etherd -paper-testbed -delay 2ms -jitter 5ms -dup 0.01
+//	go run ./cmd/etherd -paper-testbed -fault-script chaos.json -time-scale 0.1
 //
 // The links file holds one directed link per line: "from to df", e.g.
 // "2 5 0.5". Pairs without an entry use -default-df.
+//
+// -fault-script replays the same JSON fault scripts the simulator and the
+// live fleet consume (internal/faults): link faults and partitions become
+// extra frame drops, scripted node outages take that node's radio off the
+// air (etherd cannot kill an external daemon, so its frames stop being
+// carried instead), and ether_restarts bounce the medium itself. Script
+// node indices address the -nodes list (defaulted by -paper-testbed).
 package main
 
 import (
@@ -18,12 +29,15 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"meshcast/internal/emu"
+	"meshcast/internal/faults"
 	"meshcast/internal/packet"
 	"meshcast/internal/testbed"
 )
@@ -34,13 +48,66 @@ func main() {
 	linksFile := flag.String("links", "", "per-link delivery probability file (from to df)")
 	paperTestbed := flag.Bool("paper-testbed", false, "preload the paper's Figure 4 topology (8 nodes, lossy links at df 0.5, others 0.95; unknown pairs disconnected)")
 	seed := flag.Int64("seed", 1, "loss randomness seed")
+	delay := flag.Duration("delay", 0, "fixed one-way latency added to every delivered frame")
+	jitter := flag.Duration("jitter", 0, "uniform extra latency in [0, jitter) per frame (reorders frames)")
+	dup := flag.Float64("dup", 0, "probability a delivered frame arrives twice")
+	faultScript := flag.String("fault-script", "", "JSON fault script to replay against the medium (internal/faults format)")
+	timeScale := flag.Float64("time-scale", 1, "wall-clock seconds per fault-script virtual second")
+	nodesFlag := flag.String("nodes", "", "comma-separated node IDs the fault script's indices address (default: paper testbed nodes with -paper-testbed)")
 	flag.Parse()
-	if err := run(*addr, *defaultDF, *linksFile, *paperTestbed, *seed); err != nil {
+	if err := run(*addr, *defaultDF, *linksFile, *paperTestbed, *seed,
+		*delay, *jitter, *dup, *faultScript, *timeScale, *nodesFlag); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, seed int64) error {
+// medium owns the ether across scripted restarts.
+type medium struct {
+	mu     sync.Mutex
+	ether  *emu.Ether
+	addr   string
+	links  *emu.LinkTable
+	seed   int64
+	gen    int64
+	impair emu.ImpairFunc
+}
+
+func (m *medium) get() *emu.Ether {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ether
+}
+
+func (m *medium) stop() {
+	m.mu.Lock()
+	ether := m.ether
+	m.ether = nil
+	m.mu.Unlock()
+	if ether != nil {
+		ether.Close()
+	}
+}
+
+func (m *medium) start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ether != nil {
+		return nil
+	}
+	m.gen++
+	ether, err := emu.NewEther(m.addr, m.links, m.seed+m.gen)
+	if err != nil {
+		return err
+	}
+	if m.impair != nil {
+		ether.SetImpairment(m.impair)
+	}
+	m.ether = ether
+	return nil
+}
+
+func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, seed int64,
+	delay, jitter time.Duration, dup float64, faultScript string, timeScale float64, nodesFlag string) error {
 	if paperTestbed {
 		// Non-adjacent pairs in the testbed cannot communicate at all.
 		defaultDF = 0
@@ -60,30 +127,132 @@ func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, se
 			return err
 		}
 	}
-	ether, err := emu.NewEther(addr, links, seed)
-	if err != nil {
+	if delay > 0 || jitter > 0 || dup > 0 {
+		links.ShapeAll(delay, jitter, dup)
+		fmt.Printf("etherd shaping: delay=%v jitter=%v dup=%.3f\n", delay, jitter, dup)
+	}
+
+	var chaos *emu.Chaos
+	if faultScript != "" {
+		nodes, err := scriptNodes(nodesFlag, paperTestbed)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.LoadPlan(faultScript)
+		if err != nil {
+			return err
+		}
+		chaos, err = emu.NewChaos(emu.ChaosConfig{
+			Plan: plan, Seed: uint64(seed), TimeScale: timeScale,
+		}, nodes)
+		if err != nil {
+			return err
+		}
+	}
+
+	m := &medium{addr: addr, links: links, seed: seed}
+	if chaos != nil {
+		// Down nodes go dark (drop everything to and from them); link
+		// faults and partitions add their scripted drop probability.
+		m.impair = func(from, to packet.NodeID) float64 {
+			if chaos.NodeDown(from) || chaos.NodeDown(to) {
+				return 1
+			}
+			return chaos.DropProb(from, to)
+		}
+	}
+	if err := m.start(); err != nil {
 		return err
 	}
-	defer ether.Close()
-	fmt.Printf("etherd listening on %s (default df %.2f)\n", ether.Addr(), defaultDF)
+	defer m.stop()
+	fmt.Printf("etherd listening on %s (default df %.2f)\n", m.get().Addr(), defaultDF)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(10 * time.Second)
+
+	var schedule []emu.ChaosEvent
+	if chaos != nil {
+		chaos.Begin(time.Now())
+		schedule = chaos.Events()
+		fmt.Printf("etherd fault schedule: %d events over %v (time scale %.3g)\n",
+			len(schedule), scheduleSpan(schedule), timeScale)
+	}
+	start := time.Now()
+	next := 0
+
+	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	lastStatus := time.Now()
 	for {
 		select {
 		case <-stop:
-			s := ether.Stats()
-			fmt.Printf("etherd shutting down: %d frames in, %d out, %d dropped\n",
-				s.FramesIn, s.FramesOut, s.FramesDropped)
+			var s emu.EtherStats
+			if e := m.get(); e != nil {
+				s = e.Stats()
+			}
+			fmt.Printf("etherd shutting down: %d frames in, %d out, %d dropped, %d dup\n",
+				s.FramesIn, s.FramesOut, s.FramesDropped, s.FramesDup)
 			return nil
 		case <-ticker.C:
-			s := ether.Stats()
-			fmt.Printf("clients=%d frames in=%d out=%d dropped=%d\n",
-				len(ether.Clients()), s.FramesIn, s.FramesOut, s.FramesDropped)
+			now := time.Since(start)
+			for next < len(schedule) && schedule[next].At <= now {
+				ev := schedule[next]
+				next++
+				switch ev.Kind {
+				case faults.EventEtherDown:
+					fmt.Printf("[%v] ether down (scripted)\n", now.Round(time.Millisecond))
+					m.stop()
+				case faults.EventEtherUp:
+					if err := m.start(); err != nil {
+						fmt.Printf("[%v] ether restart failed: %v (will retry)\n", now.Round(time.Millisecond), err)
+						next-- // retry on the next tick
+						break
+					}
+					fmt.Printf("[%v] ether up (scripted)\n", now.Round(time.Millisecond))
+				default:
+					fmt.Printf("[%v] %s node=%d\n", now.Round(time.Millisecond), ev.Kind, ev.Node)
+				}
+			}
+			if time.Since(lastStatus) >= 10*time.Second {
+				lastStatus = time.Now()
+				if e := m.get(); e != nil {
+					s := e.Stats()
+					fmt.Printf("clients=%d frames in=%d out=%d dropped=%d dup=%d\n",
+						len(e.Clients()), s.FramesIn, s.FramesOut, s.FramesDropped, s.FramesDup)
+				} else {
+					fmt.Println("ether down")
+				}
+			}
 		}
 	}
+}
+
+// scriptNodes resolves the node-ID list fault-script indices address.
+func scriptNodes(nodesFlag string, paperTestbed bool) ([]packet.NodeID, error) {
+	if nodesFlag == "" {
+		if paperTestbed {
+			ids := append([]packet.NodeID(nil), testbed.NodeIDs...)
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids, nil
+		}
+		return nil, fmt.Errorf("-fault-script needs -nodes (or -paper-testbed) to map script node indices to IDs")
+	}
+	var ids []packet.NodeID
+	for _, part := range strings.Split(nodesFlag, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("-nodes: bad ID %q: %w", part, err)
+		}
+		ids = append(ids, packet.NodeID(v))
+	}
+	return ids, nil
+}
+
+func scheduleSpan(events []emu.ChaosEvent) time.Duration {
+	if len(events) == 0 {
+		return 0
+	}
+	return events[len(events)-1].At
 }
 
 // loadLinks parses "from to df" lines; "#" starts a comment.

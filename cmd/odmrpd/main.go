@@ -40,14 +40,15 @@ func main() {
 		payload    = flag.Int("payload", 512, "CBR payload bytes")
 		seconds    = flag.Int("seconds", 0, "exit after this many seconds (0 = run until interrupted)")
 		seed       = flag.Uint64("seed", 0, "protocol randomness seed (0 = derive from id)")
+		watchdog   = flag.Duration("watchdog", 0, "exit nonzero if the daemon is unregistered or inactive for this long (0 = disabled); lets a process supervisor restart wedged daemons")
 	)
 	flag.Parse()
-	if err := run(*id, *ether, *metricName, *join, *source, *rate, *payload, *seconds, *seed); err != nil {
+	if err := run(*id, *ether, *metricName, *join, *source, *rate, *payload, *seconds, *seed, *watchdog); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(id uint, ether, metricName, join, source string, rate, payload, seconds int, seed uint64) error {
+func run(id uint, ether, metricName, join, source string, rate, payload, seconds int, seed uint64, watchdog time.Duration) error {
 	kind, err := metric.ParseKind(metricName)
 	if err != nil {
 		return err
@@ -98,6 +99,39 @@ func run(id uint, ether, metricName, join, source string, rate, payload, seconds
 		}
 	}()
 
+	// Liveness watchdog: the daemon must register with the ether and show
+	// protocol activity within every watchdog period, or the process exits
+	// nonzero so an external supervisor (systemd, the chaos harness) can
+	// restart it.
+	watchFail := make(chan error, 1)
+	if watchdog > 0 {
+		go func() {
+			ticker := time.NewTicker(watchdog / 4)
+			defer ticker.Stop()
+			var deadSince time.Time
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if daemon.Alive(watchdog) {
+						deadSince = time.Time{}
+						continue
+					}
+					if deadSince.IsZero() {
+						deadSince = time.Now()
+						continue
+					}
+					if time.Since(deadSince) >= watchdog {
+						watchFail <- fmt.Errorf("odmrpd id=%d: watchdog: unregistered or inactive for %v", id, watchdog)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	fmt.Printf("odmrpd id=%d metric=%s ether=%s join=%v source=%v\n",
 		id, kind, ether, joinGroups, sourceGroups)
 	done := make(chan struct{})
@@ -116,6 +150,12 @@ func run(id uint, ether, metricName, join, source string, rate, payload, seconds
 	}()
 	daemon.Run(ctx)
 	<-done
+	select {
+	case err := <-watchFail:
+		fmt.Println("final:", daemon.Summary())
+		return err
+	default:
+	}
 
 	fmt.Println("final:", daemon.Summary())
 	if len(joinGroups) > 0 {

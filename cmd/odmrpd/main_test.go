@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"meshcast/internal/packet"
 )
@@ -43,13 +44,26 @@ func TestParseGroups(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(1, "127.0.0.1:1", "bogus", "", "", 20, 512, 1, 0); err == nil {
+	if err := run(1, "127.0.0.1:1", "bogus", "", "", 20, 512, 1, 0, 0); err == nil {
 		t.Fatal("bad metric accepted")
 	}
-	if err := run(1, "127.0.0.1:1", "spp", "zz", "", 20, 512, 1, 0); err == nil {
+	if err := run(1, "127.0.0.1:1", "spp", "zz", "", 20, 512, 1, 0, 0); err == nil {
 		t.Fatal("bad join groups accepted")
 	}
-	if err := run(1, "127.0.0.1:1", "spp", "", "", 0, 512, 1, 0); err == nil {
+	if err := run(1, "127.0.0.1:1", "spp", "", "", 0, 512, 1, 0, 0); err == nil {
 		t.Fatal("zero rate accepted")
+	}
+}
+
+// TestRunWatchdogFiresWithoutEther points the daemon at a dead ether: it can
+// never register, so the watchdog must take the process down with an error
+// before the -seconds deadline would.
+func TestRunWatchdogFiresWithoutEther(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test (~1s)")
+	}
+	err := run(1, "127.0.0.1:1", "spp", "", "", 20, 512, 10, 0, 400*time.Millisecond)
+	if err == nil {
+		t.Fatal("watchdog did not fire against a dead ether")
 	}
 }

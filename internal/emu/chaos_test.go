@@ -1,0 +1,149 @@
+package emu
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"meshcast/internal/faults"
+	"meshcast/internal/packet"
+)
+
+func chaosPlan() faults.Plan {
+	return faults.Plan{
+		Churn: &faults.ChurnModel{Fraction: 0.5, MTBF: 20 * time.Second, MTTR: 5 * time.Second},
+		Outages: []faults.Outage{
+			{Node: 1, Start: 10 * time.Second, Duration: 5 * time.Second},
+		},
+		LinkFaults: []faults.LinkFault{
+			{From: 0, To: 2, Start: 2 * time.Second, Duration: 3 * time.Second, DropProb: 0.8, Symmetric: true},
+		},
+		EtherRestarts: []faults.EtherRestart{
+			{Start: 30 * time.Second, Duration: 2 * time.Second},
+		},
+	}
+}
+
+// TestChaosScheduleDeterministic: one (plan, seed, nodes, horizon) tuple
+// must always compile to the identical wall-clock timeline — the property
+// that makes live chaos runs comparable across metrics and reproducible in
+// CI.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	nodes := []packet.NodeID{1, 2, 3, 4, 5}
+	mk := func() *Chaos {
+		c, err := NewChaos(ChaosConfig{Plan: chaosPlan(), Seed: 9, Horizon: 60 * time.Second}, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("same-seed schedules diverged:\n%v\n%v", ea, eb)
+	}
+	if !reflect.DeepEqual(a.Onsets(), b.Onsets()) || !reflect.DeepEqual(a.Windows(), b.Windows()) {
+		t.Fatal("same-seed onsets/windows diverged")
+	}
+}
+
+// TestChaosTimeScale: the wall schedule is the virtual schedule scaled
+// linearly.
+func TestChaosTimeScale(t *testing.T) {
+	nodes := []packet.NodeID{1, 2, 3, 4, 5}
+	full, err := NewChaos(ChaosConfig{Plan: chaosPlan(), Seed: 9, Horizon: 60 * time.Second}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := NewChaos(ChaosConfig{Plan: chaosPlan(), Seed: 9, Horizon: 60 * time.Second, TimeScale: 0.5}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, eh := full.Events(), half.Events()
+	if len(ef) != len(eh) {
+		t.Fatalf("event counts differ: %d vs %d", len(ef), len(eh))
+	}
+	for i := range ef {
+		if eh[i].Kind != ef[i].Kind || eh[i].ID != ef[i].ID {
+			t.Fatalf("event %d identity differs", i)
+		}
+		if want := ef[i].At / 2; eh[i].At != want {
+			t.Fatalf("event %d at %v, want %v (half of %v)", i, eh[i].At, want, ef[i].At)
+		}
+	}
+}
+
+// TestChaosIDMapping: plan indices address the sorted node-ID list, so the
+// outage on index 1 must land on the second-smallest ID even when the node
+// list arrives unsorted.
+func TestChaosIDMapping(t *testing.T) {
+	plan := faults.Plan{Outages: []faults.Outage{{Node: 1, Start: time.Second, Duration: time.Second}}}
+	c, err := NewChaos(ChaosConfig{Plan: plan, Seed: 1}, []packet.NodeID{10, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := c.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want down+up", len(events))
+	}
+	for _, ev := range events {
+		if ev.ID != 7 {
+			t.Fatalf("%s landed on node %v, want 7 (index 1 of sorted [3 7 10])", ev.Kind, ev.ID)
+		}
+	}
+}
+
+// TestChaosNodeDownAndDropProb anchors the schedule in the past so the
+// current wall time falls inside the fault windows.
+func TestChaosNodeDownAndDropProb(t *testing.T) {
+	plan := faults.Plan{
+		Outages:    []faults.Outage{{Node: 0, Start: time.Second, Duration: 10 * time.Second}},
+		LinkFaults: []faults.LinkFault{{From: 1, To: 2, Start: time.Second, Duration: 10 * time.Second, DropProb: 0.7}},
+	}
+	c, err := NewChaos(ChaosConfig{Plan: plan, Seed: 1}, []packet.NodeID{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeDown(4) {
+		t.Fatal("node down before Begin")
+	}
+	c.Begin(time.Now().Add(-2 * time.Second)) // virtual now ≈ 2s, inside both windows
+	if !c.NodeDown(4) {
+		t.Fatal("node 4 (index 0) not down inside its outage window")
+	}
+	if c.NodeDown(5) {
+		t.Fatal("node 5 down without an outage")
+	}
+	if got := c.DropProb(5, 6); got != 0.7 {
+		t.Fatalf("DropProb(5,6) = %v, want 0.7", got)
+	}
+	if got := c.DropProb(6, 5); got != 0 {
+		t.Fatalf("DropProb(6,5) = %v, want 0 (fault is directional)", got)
+	}
+	if got := c.DropProb(99, 5); got != 0 {
+		t.Fatalf("DropProb with unknown ID = %v, want 0", got)
+	}
+}
+
+// TestChaosEtherRestartEvents: scripted ether restarts surface as
+// ether-down/ether-up events with Node -1.
+func TestChaosEtherRestartEvents(t *testing.T) {
+	plan := faults.Plan{EtherRestarts: []faults.EtherRestart{{Start: 3 * time.Second, Duration: time.Second}}}
+	c, err := NewChaos(ChaosConfig{Plan: plan, Seed: 1, TimeScale: 0.5}, []packet.NodeID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := c.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].Kind != faults.EventEtherDown || events[0].At != 1500*time.Millisecond || events[0].Node != -1 {
+		t.Fatalf("down event = %+v", events[0])
+	}
+	if events[1].Kind != faults.EventEtherUp || events[1].At != 2*time.Second {
+		t.Fatalf("up event = %+v", events[1])
+	}
+}

@@ -29,6 +29,13 @@ type DaemonConfig struct {
 	SendInterval time.Duration
 	// Seed drives protocol randomness.
 	Seed uint64
+	// OnDeliver, when set, observes every application-layer delivery (in
+	// addition to the daemon's own log). Called from the daemon's driver
+	// goroutine; must be cheap and thread-safe.
+	OnDeliver func(g packet.GroupID, src packet.NodeID, at time.Time)
+	// OnSend, when set, observes every CBR data packet the daemon
+	// originates. Same contract as OnDeliver.
+	OnSend func(g packet.GroupID, at time.Time)
 }
 
 // DeliveredPacket records one data packet delivered to the daemon's
@@ -52,9 +59,10 @@ type Daemon struct {
 	prober *linkquality.Prober
 	table  *linkquality.Table
 
-	mu        sync.Mutex
-	delivered []DeliveredPacket
-	sent      uint64
+	mu           sync.Mutex
+	delivered    []DeliveredPacket
+	sent         uint64
+	lastActivity time.Time
 }
 
 // NewDaemon connects to the ether and assembles the protocol stack. Call
@@ -89,26 +97,45 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	router := odmrp.New(engine, cfg.ID, pm, table, params)
 
 	d := &Daemon{cfg: cfg, conn: conn, driver: driver, router: router, prober: prober, table: table}
-	prober.Send = conn.Send
-	router.Send = conn.Send
+	// Every frame the daemon puts on the air is a liveness heartbeat: the
+	// prober's periodic probes guarantee a send cadence even on idle nodes,
+	// so a healthy daemon's LastActivity keeps advancing.
+	send := func(p *packet.Packet) bool {
+		d.touch()
+		return conn.Send(p)
+	}
+	prober.Send = send
+	router.Send = send
 	router.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+		at := time.Now()
 		d.mu.Lock()
 		d.delivered = append(d.delivered, DeliveredPacket{
-			Group: p.Group, Src: p.Src, Seq: p.Seq, At: time.Now(),
+			Group: p.Group, Src: p.Src, Seq: p.Seq, At: at,
 		})
 		d.mu.Unlock()
+		if cfg.OnDeliver != nil {
+			cfg.OnDeliver(p.Group, p.Src, at)
+		}
 	}
-	conn.OnPacket = func(p *packet.Packet, from packet.NodeID) {
+	conn.SetOnPacket(func(p *packet.Packet, from packet.NodeID) {
 		driver.Inject(func() { d.dispatch(p, from) })
-	}
+	})
 	return d, nil
 }
 
 func (d *Daemon) dispatch(p *packet.Packet, from packet.NodeID) {
+	d.touch()
 	if linkquality.HandleProbe(d.table, p, from, d.driver.Engine().Now()) {
 		return
 	}
 	d.router.Handle(p, from)
+}
+
+// touch stamps protocol activity (any packet sent or received).
+func (d *Daemon) touch() {
+	d.mu.Lock()
+	d.lastActivity = time.Now()
+	d.mu.Unlock()
 }
 
 // Run starts probing, group membership, and traffic, and drives the daemon
@@ -137,6 +164,9 @@ func scheduleCBR(d *Daemon, g packet.GroupID) {
 		d.mu.Lock()
 		d.sent++
 		d.mu.Unlock()
+		if d.cfg.OnSend != nil {
+			d.cfg.OnSend(g, time.Now())
+		}
 		d.driver.Engine().Schedule(d.cfg.SendInterval, tick)
 	}
 	d.driver.Engine().Schedule(d.cfg.SendInterval, tick)
@@ -145,6 +175,29 @@ func scheduleCBR(d *Daemon, g packet.GroupID) {
 // Close tears the daemon's connection down.
 func (d *Daemon) Close() error { return d.conn.Close() }
 
+// Registered reports whether the ether has acknowledged this daemon's
+// registration recently.
+func (d *Daemon) Registered() bool { return d.conn.Registered() }
+
+// LastActivity returns the wall-clock time of the daemon's most recent
+// protocol activity (any packet sent or received; zero before the first).
+func (d *Daemon) LastActivity() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastActivity
+}
+
+// Alive reports daemon liveness for supervision: the ether acknowledges its
+// registration and it has shown protocol activity within window. Probing
+// guarantees a send cadence, so a healthy daemon is always "active".
+func (d *Daemon) Alive(window time.Duration) bool {
+	if !d.Registered() {
+		return false
+	}
+	last := d.LastActivity()
+	return !last.IsZero() && time.Since(last) < window
+}
+
 // Delivered returns a snapshot of the packets delivered so far.
 func (d *Daemon) Delivered() []DeliveredPacket {
 	d.mu.Lock()
@@ -152,6 +205,14 @@ func (d *Daemon) Delivered() []DeliveredPacket {
 	out := make([]DeliveredPacket, len(d.delivered))
 	copy(out, d.delivered)
 	return out
+}
+
+// DeliveredCount returns the number of packets delivered so far without
+// copying the log (telemetry polls this every sample).
+func (d *Daemon) DeliveredCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.delivered)
 }
 
 // SentCount returns the number of data packets this daemon originated.

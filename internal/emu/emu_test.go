@@ -45,11 +45,11 @@ func TestEtherBroadcastFanOut(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer c.Close()
-		c.OnPacket = func(p *packet.Packet, from packet.NodeID) {
+		c.SetOnPacket(func(p *packet.Packet, from packet.NodeID) {
 			mu.Lock()
 			received[id] = append(received[id], from)
 			mu.Unlock()
-		}
+		})
 		conns = append(conns, c)
 	}
 	// Registration datagrams race with the first frame; give them a moment.
@@ -99,13 +99,13 @@ func TestEtherAppliesLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	c2.OnPacket = func(*packet.Packet, packet.NodeID) { mu.Lock(); got2++; mu.Unlock() }
+	c2.SetOnPacket(func(*packet.Packet, packet.NodeID) { mu.Lock(); got2++; mu.Unlock() })
 	c3, err := Dial(3, ether.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c3.Close()
-	c3.OnPacket = func(*packet.Packet, packet.NodeID) { mu.Lock(); got3++; mu.Unlock() }
+	c3.SetOnPacket(func(*packet.Packet, packet.NodeID) { mu.Lock(); got3++; mu.Unlock() })
 	time.Sleep(100 * time.Millisecond)
 
 	for i := 0; i < 20; i++ {

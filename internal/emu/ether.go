@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"meshcast/internal/packet"
@@ -43,28 +44,43 @@ var (
 	readDeadline = 500 * time.Millisecond
 )
 
-// LinkTable holds per-link delivery probabilities for the emulated medium.
-// Missing entries fall back to DefaultDF. Links are directional: use Set
-// twice for a symmetric link.
+// LinkTable holds per-link medium profiles (delivery probability, delay,
+// jitter, duplication) for the emulated medium, plus an optional partition
+// mask. Missing entries fall back to the default profile. Links are
+// directional: use Set twice (or SetSymmetric) for a symmetric link. All
+// methods are safe for concurrent use, so profiles can be updated while the
+// ether is serving — dynamic delivery-probability changes take effect on the
+// next frame.
 type LinkTable struct {
-	// DefaultDF applies to pairs without an explicit entry. 1.0 gives a
-	// perfect shared medium; 0 disconnects unknown pairs.
-	DefaultDF float64
-
-	mu sync.RWMutex
-	df map[[2]packet.NodeID]float64
+	mu    sync.RWMutex
+	def   LinkProfile
+	links map[[2]packet.NodeID]LinkProfile
+	mask  map[packet.NodeID]bool // non-nil while a partition is active
 }
 
-// NewLinkTable returns a table with the given default delivery probability.
+// NewLinkTable returns a table whose default profile delivers with
+// probability defaultDF and no delay, jitter, or duplication. 1.0 gives a
+// perfect shared medium; 0 disconnects unknown pairs.
 func NewLinkTable(defaultDF float64) *LinkTable {
-	return &LinkTable{DefaultDF: defaultDF, df: make(map[[2]packet.NodeID]float64)}
+	return &LinkTable{
+		def:   LinkProfile{DF: defaultDF},
+		links: make(map[[2]packet.NodeID]LinkProfile),
+	}
 }
 
-// Set fixes the delivery probability for the directed pair from → to.
+// Set fixes the delivery probability for the directed pair from → to,
+// preserving any shaping (delay/jitter/duplication) already configured for
+// the pair.
 func (t *LinkTable) Set(from, to packet.NodeID, df float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.df[[2]packet.NodeID{from, to}] = df
+	key := [2]packet.NodeID{from, to}
+	p, ok := t.links[key]
+	if !ok {
+		p = t.def
+	}
+	p.DF = df
+	t.links[key] = p
 }
 
 // SetSymmetric fixes both directions.
@@ -75,33 +91,41 @@ func (t *LinkTable) SetSymmetric(a, b packet.NodeID, df float64) {
 
 // DF returns the delivery probability for from → to.
 func (t *LinkTable) DF(from, to packet.NodeID) float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if v, ok := t.df[[2]packet.NodeID{from, to}]; ok {
-		return v
-	}
-	return t.DefaultDF
+	return t.Profile(from, to).DF
 }
 
 // EtherStats counts ether activity.
 type EtherStats struct {
-	FramesIn, FramesOut, FramesDropped uint64
+	// FramesIn counts frames received from daemons; FramesOut counts frame
+	// copies delivered (duplicated frames count twice); FramesDropped counts
+	// per-target losses (Bernoulli, impairment hook, and partition drops);
+	// FramesDup counts the extra copies injected by link duplication.
+	FramesIn, FramesOut, FramesDropped, FramesDup uint64
+	// Registrations counts registration datagrams handled (including
+	// periodic refreshes).
+	Registrations uint64
 }
 
 // Ether is the emulated broadcast medium: a UDP server that fans every
-// received frame out to all other registered daemons, applying per-link
-// loss.
+// received frame out to all other registered daemons, applying each link's
+// profile (loss, one-way delay + jitter, duplication), the partition mask,
+// and any installed impairment hook.
 type Ether struct {
 	links *LinkTable
 
 	conn *net.UDPConn
-	rng  *rand.Rand
 
-	mu      sync.Mutex
-	clients map[packet.NodeID]*net.UDPAddr
-	stats   EtherStats
+	mu        sync.Mutex
+	rng       *rand.Rand
+	clients   map[packet.NodeID]*net.UDPAddr
+	stats     EtherStats
+	impair    ImpairFunc
+	timers    map[uint64]*time.Timer // pending delayed deliveries
+	nextTimer uint64
+	closing   bool
 
-	done chan struct{}
+	pending sync.WaitGroup // delayed deliveries in flight
+	done    chan struct{}
 }
 
 // NewEther starts an ether listening on addr (e.g. "127.0.0.1:0"). The
@@ -120,11 +144,16 @@ func NewEther(addr string, links *LinkTable, seed int64) (*Ether, error) {
 		conn:    conn,
 		rng:     rand.New(rand.NewSource(seed)),
 		clients: make(map[packet.NodeID]*net.UDPAddr),
+		timers:  make(map[uint64]*time.Timer),
 		done:    make(chan struct{}),
 	}
 	go e.serve()
 	return e, nil
 }
+
+// Links returns the ether's link table (shared; safe for concurrent
+// updates while serving).
+func (e *Ether) Links() *LinkTable { return e.links }
 
 // Addr returns the ether's listening address.
 func (e *Ether) Addr() string { return e.conn.LocalAddr().String() }
@@ -147,10 +176,25 @@ func (e *Ether) Clients() []packet.NodeID {
 	return out
 }
 
-// Close stops the ether and waits for its serve loop to exit.
+// Close stops the ether and waits for its serve loop and every pending
+// delayed delivery to exit. Deliveries still in their delay window are
+// canceled, not flushed — a restarting medium loses in-flight frames, like
+// a real one.
 func (e *Ether) Close() error {
+	e.mu.Lock()
+	e.closing = true
+	for id, t := range e.timers {
+		if t.Stop() {
+			// The timer had not fired: its callback will never run, so
+			// release its WaitGroup slot here.
+			e.pending.Done()
+			delete(e.timers, id)
+		}
+	}
+	e.mu.Unlock()
 	err := e.conn.Close()
 	<-e.done
+	e.pending.Wait()
 	return err
 }
 
@@ -171,6 +215,7 @@ func (e *Ether) serve() {
 		case msgRegister:
 			e.mu.Lock()
 			e.clients[id] = from
+			e.stats.Registrations++
 			e.mu.Unlock()
 			// Acknowledge so the daemon knows it is registered and can stop
 			// its retry backoff.
@@ -183,37 +228,78 @@ func (e *Ether) serve() {
 	}
 }
 
-// fanOut forwards a frame to every other client, applying per-link loss.
+// fanOut forwards a frame to every other client, applying each link's
+// profile. All per-frame decisions (and their RNG draws) happen in one
+// critical section over ID-sorted targets, so the drop/delay/dup pattern is
+// a deterministic function of the seed and frame sequence — and the stats
+// counters are batched into that same single lock acquisition instead of
+// up to 2N+1 per frame.
 func (e *Ether) fanOut(sender packet.NodeID, frame []byte) {
 	e.mu.Lock()
 	e.stats.FramesIn++
-	targets := make(map[packet.NodeID]*net.UDPAddr, len(e.clients))
-	for id, addr := range e.clients {
-		if id != sender {
-			targets[id] = addr
-		}
-	}
+	targets := e.snapshotTargets(sender)
+	dels, dropped := e.decide(sender, targets)
+	e.stats.FramesDropped += uint64(dropped)
 	e.mu.Unlock()
 
-	for id, addr := range targets {
-		if e.links.DF(sender, id) < 1 && e.randFloat() >= e.links.DF(sender, id) {
-			e.mu.Lock()
-			e.stats.FramesDropped++
-			e.mu.Unlock()
-			continue
+	var delayed []byte // frame copy shared by all delayed deliveries
+	var sent, dups uint64
+	for _, d := range dels {
+		copies := 1
+		if d.dup {
+			copies = 2
+			dups++
+		}
+		for i := 0; i < copies; i++ {
+			if d.delay <= 0 {
+				if _, err := e.conn.WriteToUDP(frame, d.addr); err == nil {
+					sent++
+				}
+				continue
+			}
+			if delayed == nil {
+				// The serve loop reuses its read buffer, so delayed
+				// deliveries need a stable copy.
+				delayed = append([]byte(nil), frame...)
+			}
+			e.deliverLater(d.delay, delayed, d.addr)
+		}
+	}
+	if sent > 0 || dups > 0 {
+		e.mu.Lock()
+		e.stats.FramesOut += sent
+		e.stats.FramesDup += dups
+		e.mu.Unlock()
+	}
+}
+
+// deliverLater schedules one frame delivery after the link's latency. The
+// timer is tracked so Close can cancel pending deliveries without leaking
+// goroutines.
+func (e *Ether) deliverLater(delay time.Duration, frame []byte, addr *net.UDPAddr) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closing {
+		return
+	}
+	id := e.nextTimer
+	e.nextTimer++
+	e.pending.Add(1)
+	e.timers[id] = time.AfterFunc(delay, func() {
+		defer e.pending.Done()
+		e.mu.Lock()
+		delete(e.timers, id)
+		closing := e.closing
+		e.mu.Unlock()
+		if closing {
+			return
 		}
 		if _, err := e.conn.WriteToUDP(frame, addr); err == nil {
 			e.mu.Lock()
 			e.stats.FramesOut++
 			e.mu.Unlock()
 		}
-	}
-}
-
-func (e *Ether) randFloat() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.rng.Float64()
+	})
 }
 
 // ErrClosed reports use of a closed connection.
@@ -224,10 +310,11 @@ type NodeConn struct {
 	id   packet.NodeID
 	conn *net.UDPConn
 
-	// OnPacket is invoked from the receive goroutine for every decoded
-	// packet. Set it before the first Send. The callback must be
-	// thread-safe (daemons inject into their real-time driver).
-	OnPacket func(p *packet.Packet, from packet.NodeID)
+	// onPacket is read by the receive goroutine for every decoded frame
+	// and may be (re)set at any time via SetOnPacket — the receive loop
+	// starts inside Dial, before the caller has had a chance to install a
+	// handler, so the slot must be safe against that window.
+	onPacket atomic.Pointer[func(p *packet.Packet, from packet.NodeID)]
 
 	mu      sync.Mutex
 	lastAck time.Time
@@ -279,6 +366,14 @@ func DialSeeded(id packet.NodeID, addr string, seed uint64) (*NodeConn, error) {
 	go nc.receive()
 	go nc.maintain()
 	return nc, nil
+}
+
+// SetOnPacket installs the frame handler, invoked from the receive
+// goroutine for every decoded packet. The callback must be thread-safe
+// (daemons inject into their real-time driver). Frames arriving before the
+// first SetOnPacket are dropped.
+func (c *NodeConn) SetOnPacket(fn func(p *packet.Packet, from packet.NodeID)) {
+	c.onPacket.Store(&fn)
 }
 
 // jitter draws a uniform duration in [0, max] from the connection's seeded
@@ -390,8 +485,8 @@ func (c *NodeConn) receive() {
 			if err := p.UnmarshalBinary(buf[3:n]); err != nil {
 				continue
 			}
-			if c.OnPacket != nil {
-				c.OnPacket(&p, sender)
+			if fn := c.onPacket.Load(); fn != nil {
+				(*fn)(&p, sender)
 			}
 		}
 	}

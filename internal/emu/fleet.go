@@ -3,11 +3,13 @@ package emu
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"meshcast/internal/metric"
 	"meshcast/internal/packet"
+	"meshcast/internal/stats"
 	"meshcast/internal/testbed"
 )
 
@@ -16,10 +18,53 @@ import (
 // real time. This is the closest this repository gets to the paper's
 // physical experiment — same protocol code, real sockets, real clocks —
 // at the cost of running in wall-clock time.
+//
+// Daemons have a full lifecycle: StopDaemon / RestartDaemon kill and
+// revive individual nodes mid-run (their traffic counters survive across
+// generations), and StopEther / StartEther restart the shared medium —
+// the primitives the FleetSupervisor drives to execute a chaos schedule.
 type Fleet struct {
-	ether   *Ether
-	daemons map[packet.NodeID]*Daemon
+	cfg     FleetConfig
+	links   *LinkTable
 	groups  []testbed.GroupSpec
+	nodeIDs []packet.NodeID // sorted; chaos plans address nodes by index here
+
+	etherAddr string
+
+	mu           sync.Mutex // guards ether lifecycle + impairment hook
+	ether        *Ether     // nil while a scripted ether outage holds it down
+	etherGen     int64
+	etherRetired EtherStats
+	impair       ImpairFunc
+
+	chaos   *Chaos
+	health  *liveHealth
+	members map[packet.GroupID]int
+
+	runCtx    context.Context
+	started   chan struct{}
+	startTime time.Time
+	wg        sync.WaitGroup
+
+	slots map[packet.NodeID]*daemonSlot
+}
+
+// daemonSlot is one node's seat in the fleet: its immutable daemon config
+// plus the current live generation (nil while down) and the resilience
+// accounting that spans generations.
+type daemonSlot struct {
+	mu     sync.Mutex
+	cfg    DaemonConfig
+	d      *Daemon
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	retiredSent uint64
+	retiredRecv map[packet.NodeID]int
+	downSince   time.Time
+	downtime    time.Duration
+	kills       int
+	restarts    int
 }
 
 // FleetConfig configures a live fleet.
@@ -32,6 +77,13 @@ type FleetConfig struct {
 	// LossyDF / LowLossDF map link classes to delivery probabilities
 	// (defaults 0.5 and 0.95).
 	LossyDF, LowLossDF float64
+	// LinkDelay, LinkJitter, and LinkDupProb shape every link: fixed
+	// one-way latency, uniform extra latency in [0, LinkJitter) (which
+	// reorders frames once it exceeds the inter-frame gap), and the
+	// probability a delivered frame arrives twice. All default to zero —
+	// the pre-impairment perfect-timing medium.
+	LinkDelay, LinkJitter time.Duration
+	LinkDupProb           float64
 	// SendInterval is each source's CBR gap (default 50 ms).
 	SendInterval time.Duration
 	// Seed drives the ether's loss draws and protocol randomness.
@@ -55,82 +107,419 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		links.SetSymmetric(l.A, l.B, df)
 	}
+	if cfg.LinkDelay > 0 || cfg.LinkJitter > 0 || cfg.LinkDupProb > 0 {
+		links.ShapeAll(cfg.LinkDelay, cfg.LinkJitter, cfg.LinkDupProb)
+	}
 	ether, err := NewEther("127.0.0.1:0", links, int64(cfg.Seed)+1)
 	if err != nil {
 		return nil, err
 	}
 
+	nodeIDs := append([]packet.NodeID(nil), cfg.Scenario.Nodes...)
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+
 	f := &Fleet{
-		ether:   ether,
-		daemons: make(map[packet.NodeID]*Daemon, len(cfg.Scenario.Nodes)),
-		groups:  cfg.Scenario.Groups,
+		cfg:       cfg,
+		links:     links,
+		groups:    cfg.Scenario.Groups,
+		nodeIDs:   nodeIDs,
+		etherAddr: ether.Addr(),
+		ether:     ether,
+		started:   make(chan struct{}),
+		slots:     make(map[packet.NodeID]*daemonSlot, len(nodeIDs)),
 	}
 	joins := make(map[packet.NodeID][]packet.GroupID)
 	sources := make(map[packet.NodeID][]packet.GroupID)
+	f.members = make(map[packet.GroupID]int)
 	for _, g := range cfg.Scenario.Groups {
 		sources[g.Source] = append(sources[g.Source], g.Group)
+		f.members[g.Group] = len(g.Members)
 		for _, m := range g.Members {
 			joins[m] = append(joins[m], g.Group)
 		}
 	}
-	for _, id := range cfg.Scenario.Nodes {
-		d, err := NewDaemon(DaemonConfig{
+	for _, id := range nodeIDs {
+		dcfg := DaemonConfig{
 			ID:           id,
-			EtherAddr:    ether.Addr(),
+			EtherAddr:    f.etherAddr,
 			Metric:       cfg.Metric,
 			JoinGroups:   joins[id],
 			SourceGroups: sources[id],
 			SendInterval: cfg.SendInterval,
 			Seed:         cfg.Seed*1000 + uint64(id),
-		})
+			OnSend:       func(g packet.GroupID, at time.Time) { f.recordSend(g, at) },
+			OnDeliver:    func(g packet.GroupID, _ packet.NodeID, at time.Time) { f.recordDeliver(g, at) },
+		}
+		d, err := NewDaemon(dcfg)
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("fleet daemon %v: %w", id, err)
 		}
-		f.daemons[id] = d
+		f.slots[id] = &daemonSlot{cfg: dcfg, d: d, retiredRecv: make(map[packet.NodeID]int)}
 	}
 	return f, nil
 }
 
-// Run drives every daemon until ctx is canceled (wall-clock time).
-func (f *Fleet) Run(ctx context.Context) {
-	var wg sync.WaitGroup
-	for _, d := range f.daemons {
-		d := d
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			d.Run(ctx)
-		}()
+// NodeIDs returns the fleet's node IDs, sorted ascending — the index
+// order chaos plans and fault scripts address.
+func (f *Fleet) NodeIDs() []packet.NodeID {
+	return append([]packet.NodeID(nil), f.nodeIDs...)
+}
+
+// UseChaos attaches a chaos schedule: the plan's link faults and
+// partitions become the ether's impairment hook, and a wall-clock
+// HealthTracker is armed with the schedule's onsets and windows so Result
+// reports repair latency, outage-vs-steady PDR, and availability. Call
+// before Run.
+func (f *Fleet) UseChaos(c *Chaos) {
+	f.chaos = c
+	f.SetImpairment(c.DropProb)
+	f.health = newLiveHealth(c.Onsets(), c.Windows())
+}
+
+// SetImpairment installs the ether impairment hook, keeping it across
+// ether restarts.
+func (f *Fleet) SetImpairment(fn ImpairFunc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.impair = fn
+	if f.ether != nil {
+		f.ether.SetImpairment(fn)
 	}
-	wg.Wait()
+}
+
+// Run drives the fleet until ctx is canceled (wall-clock time): every
+// daemon runs on its own goroutine, and killed daemons restarted through
+// RestartDaemon join the same run. Run returns once ctx is done and every
+// daemon goroutine has exited.
+func (f *Fleet) Run(ctx context.Context) {
+	f.mu.Lock()
+	f.runCtx = ctx
+	f.startTime = time.Now()
+	f.mu.Unlock()
+	if f.chaos != nil {
+		f.chaos.Begin(f.startTime)
+	}
+	if f.health != nil {
+		f.health.begin(f.startTime)
+	}
+	close(f.started)
+	for _, id := range f.nodeIDs {
+		s := f.slots[id]
+		s.mu.Lock()
+		if s.d != nil {
+			f.startDaemonLocked(s)
+		}
+		s.mu.Unlock()
+	}
+	<-ctx.Done()
+	f.wg.Wait()
+}
+
+// Started returns a channel closed when Run has begun (the supervisor
+// blocks on it before executing its schedule).
+func (f *Fleet) Started() <-chan struct{} { return f.started }
+
+// StartTime returns the wall-clock time Run began (zero before Run).
+func (f *Fleet) StartTime() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.startTime
+}
+
+// startDaemonLocked launches the slot's current daemon generation on the
+// run context. Caller holds s.mu; Run must have been called.
+func (f *Fleet) startDaemonLocked(s *daemonSlot) {
+	ctx, cancel := context.WithCancel(f.runCtx)
+	s.cancel = cancel
+	done := make(chan struct{})
+	s.done = done
+	d := s.d
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer close(done)
+		d.Run(ctx)
+	}()
+}
+
+// StopDaemon kills one daemon (a scripted crash): its run goroutine stops,
+// its socket closes, and its traffic counters are retired into the slot so
+// Result still accounts them. The rest of the fleet keeps running. No-op
+// if the daemon is already down.
+func (f *Fleet) StopDaemon(id packet.NodeID) error {
+	s := f.slots[id]
+	if s == nil {
+		return fmt.Errorf("emu: unknown fleet node %v", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.d == nil {
+		return nil
+	}
+	if s.cancel != nil {
+		s.cancel()
+		<-s.done
+	}
+	s.retiredSent += s.d.SentCount()
+	for _, p := range s.d.Delivered() {
+		s.retiredRecv[p.Src]++
+	}
+	s.d.Close()
+	s.d, s.cancel, s.done = nil, nil, nil
+	s.downSince = time.Now()
+	s.kills++
+	return nil
+}
+
+// RestartDaemon revives a killed daemon as a fresh generation: new socket,
+// new protocol state (ODMRP soft state and link estimates are gone, as on
+// a real reboot), same node identity and traffic role. Returns an error if
+// the daemon is already up, the fleet is not running, or the dial fails —
+// the supervisor retries with backoff.
+func (f *Fleet) RestartDaemon(id packet.NodeID) error {
+	s := f.slots[id]
+	if s == nil {
+		return fmt.Errorf("emu: unknown fleet node %v", id)
+	}
+	f.mu.Lock()
+	ctx := f.runCtx
+	f.mu.Unlock()
+	if ctx == nil {
+		return fmt.Errorf("emu: fleet not running")
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("emu: fleet stopped: %w", ctx.Err())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.d != nil {
+		return nil
+	}
+	d, err := NewDaemon(s.cfg)
+	if err != nil {
+		return fmt.Errorf("emu: restart %v: %w", id, err)
+	}
+	s.d = d
+	if !s.downSince.IsZero() {
+		s.downtime += time.Since(s.downSince)
+		s.downSince = time.Time{}
+	}
+	s.restarts++
+	f.startDaemonLocked(s)
+	return nil
+}
+
+// DaemonAlive reports whether the node's daemon is up, registered with the
+// ether, and showing protocol activity within window.
+func (f *Fleet) DaemonAlive(id packet.NodeID, window time.Duration) bool {
+	s := f.slots[id]
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	d := s.d
+	s.mu.Unlock()
+	return d != nil && d.Alive(window)
+}
+
+// StopEther takes the shared medium down (a scripted medium outage): every
+// in-flight delayed frame is lost and the client table with it. Daemons
+// keep running and re-register when StartEther brings it back.
+func (f *Fleet) StopEther() error {
+	f.mu.Lock()
+	ether := f.ether
+	f.ether = nil
+	f.mu.Unlock()
+	if ether == nil {
+		return nil
+	}
+	stats := ether.Stats()
+	err := ether.Close()
+	f.mu.Lock()
+	f.etherRetired.FramesIn += stats.FramesIn
+	f.etherRetired.FramesOut += stats.FramesOut
+	f.etherRetired.FramesDropped += stats.FramesDropped
+	f.etherRetired.FramesDup += stats.FramesDup
+	f.etherRetired.Registrations += stats.Registrations
+	f.mu.Unlock()
+	return err
+}
+
+// StartEther rebinds the medium on the fleet's original address with a
+// fresh, deterministic per-generation seed and the saved impairment hook.
+// Daemon registration refresh repopulates the client table within one
+// refresh interval.
+func (f *Fleet) StartEther() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ether != nil {
+		return nil
+	}
+	f.etherGen++
+	ether, err := NewEther(f.etherAddr, f.links, int64(f.cfg.Seed)+1+f.etherGen)
+	if err != nil {
+		return err
+	}
+	if f.impair != nil {
+		ether.SetImpairment(f.impair)
+	}
+	f.ether = ether
+	return nil
+}
+
+// EtherStats returns medium counters accumulated across every ether
+// generation of the run.
+func (f *Fleet) EtherStats() EtherStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.etherRetired
+	if f.ether != nil {
+		s := f.ether.Stats()
+		out.FramesIn += s.FramesIn
+		out.FramesOut += s.FramesOut
+		out.FramesDropped += s.FramesDropped
+		out.FramesDup += s.FramesDup
+		out.Registrations += s.Registrations
+	}
+	return out
+}
+
+// EtherUp reports whether the medium is currently serving.
+func (f *Fleet) EtherUp() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ether != nil
+}
+
+// EtherClients returns the node IDs currently registered with the medium
+// (nil while the ether is down).
+func (f *Fleet) EtherClients() []packet.NodeID {
+	f.mu.Lock()
+	ether := f.ether
+	f.mu.Unlock()
+	if ether == nil {
+		return nil
+	}
+	return ether.Clients()
+}
+
+// Totals returns fleet-wide sent/delivered packet counts across all daemon
+// generations — cheap enough for per-sample telemetry polling.
+func (f *Fleet) Totals() (sent uint64, delivered uint64) {
+	for _, s := range f.slots {
+		s.mu.Lock()
+		sent += s.retiredSent
+		for _, n := range s.retiredRecv {
+			delivered += uint64(n)
+		}
+		if s.d != nil {
+			sent += s.d.SentCount()
+			delivered += uint64(s.d.DeliveredCount())
+		}
+		s.mu.Unlock()
+	}
+	return sent, delivered
+}
+
+func (f *Fleet) recordSend(g packet.GroupID, at time.Time) {
+	if f.health != nil {
+		// Same convention as the simulator's health wiring: one expected
+		// delivery per group member, so PDR denominators line up.
+		for i := 0; i < f.members[g]; i++ {
+			f.health.recordSend(g, at)
+		}
+	}
+}
+
+func (f *Fleet) recordDeliver(g packet.GroupID, at time.Time) {
+	if f.health != nil {
+		f.health.recordDeliver(g, at)
+	}
+}
+
+// NodeAccounting is one node's cross-generation resilience ledger.
+type NodeAccounting struct {
+	// Kills and Restarts count lifecycle transitions this run.
+	Kills, Restarts int
+	// Downtime is the total wall-clock time spent dead (open intervals
+	// count up to now).
+	Downtime time.Duration
+}
+
+// NodeStats returns a node's lifecycle accounting.
+func (f *Fleet) NodeStats(id packet.NodeID) NodeAccounting {
+	s := f.slots[id]
+	if s == nil {
+		return NodeAccounting{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc := NodeAccounting{Kills: s.kills, Restarts: s.restarts, Downtime: s.downtime}
+	if !s.downSince.IsZero() {
+		acc.Downtime += time.Since(s.downSince)
+	}
+	return acc
 }
 
 // FleetResult summarizes a fleet run.
 type FleetResult struct {
-	// Sent maps sources to packets originated.
+	// Sent maps sources to packets originated (all daemon generations).
 	Sent map[packet.NodeID]uint64
 	// Received maps each member to packets delivered per source.
 	Received map[packet.NodeID]map[packet.NodeID]int
 	// PDR is the mean delivery ratio over all (source, member) pairs.
 	PDR float64
+	// Downtime, Kills, and Restarts account per-node chaos damage (only
+	// nodes that were ever down appear).
+	Downtime map[packet.NodeID]time.Duration
+	Kills    map[packet.NodeID]int
+	Restarts map[packet.NodeID]int
+	// Health carries per-group self-healing summaries (repair latency,
+	// outage-vs-steady PDR, availability) when chaos was attached.
+	Health []stats.GroupHealth
 }
 
-// Result collects the per-daemon outcomes.
+// Result collects the per-daemon outcomes across all generations.
 func (f *Fleet) Result() FleetResult {
 	res := FleetResult{
 		Sent:     make(map[packet.NodeID]uint64),
 		Received: make(map[packet.NodeID]map[packet.NodeID]int),
 	}
-	for id, d := range f.daemons {
-		if n := d.SentCount(); n > 0 {
-			res.Sent[id] = n
+	for id, s := range f.slots {
+		s.mu.Lock()
+		sent := s.retiredSent
+		recv := make(map[packet.NodeID]int, len(s.retiredRecv))
+		for src, n := range s.retiredRecv {
+			recv[src] = n
 		}
-		for _, p := range d.Delivered() {
-			if res.Received[id] == nil {
-				res.Received[id] = make(map[packet.NodeID]int)
+		if s.d != nil {
+			sent += s.d.SentCount()
+			for _, p := range s.d.Delivered() {
+				recv[p.Src]++
 			}
-			res.Received[id][p.Src]++
+		}
+		acc := NodeAccounting{Kills: s.kills, Restarts: s.restarts, Downtime: s.downtime}
+		if !s.downSince.IsZero() {
+			acc.Downtime += time.Since(s.downSince)
+		}
+		s.mu.Unlock()
+
+		if sent > 0 {
+			res.Sent[id] = sent
+		}
+		if len(recv) > 0 {
+			res.Received[id] = recv
+		}
+		if acc.Kills > 0 || acc.Restarts > 0 || acc.Downtime > 0 {
+			if res.Downtime == nil {
+				res.Downtime = make(map[packet.NodeID]time.Duration)
+				res.Kills = make(map[packet.NodeID]int)
+				res.Restarts = make(map[packet.NodeID]int)
+			}
+			res.Downtime[id] = acc.Downtime
+			res.Kills[id] = acc.Kills
+			res.Restarts[id] = acc.Restarts
 		}
 	}
 	var sum float64
@@ -148,16 +537,105 @@ func (f *Fleet) Result() FleetResult {
 	if n > 0 {
 		res.PDR = sum / float64(n)
 	}
+	if f.health != nil {
+		res.Health = f.health.health()
+	}
 	return res
 }
 
-// Daemon returns the live daemon for a node (tests and diagnostics).
-func (f *Fleet) Daemon(id packet.NodeID) *Daemon { return f.daemons[id] }
+// Daemon returns the live daemon for a node (tests and diagnostics; nil
+// while the node is down).
+func (f *Fleet) Daemon(id packet.NodeID) *Daemon {
+	s := f.slots[id]
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
+}
 
 // Close shuts every daemon and the ether down.
 func (f *Fleet) Close() {
-	for _, d := range f.daemons {
-		d.Close()
+	for _, s := range f.slots {
+		s.mu.Lock()
+		if s.d != nil {
+			if s.cancel != nil {
+				s.cancel()
+				<-s.done
+			}
+			s.d.Close()
+			s.d, s.cancel, s.done = nil, nil, nil
+		}
+		s.mu.Unlock()
 	}
-	f.ether.Close()
+	f.mu.Lock()
+	ether := f.ether
+	f.ether = nil
+	f.mu.Unlock()
+	if ether != nil {
+		ether.Close()
+	}
+}
+
+// liveHealth adapts stats.HealthTracker to wall-clock, multi-goroutine
+// feeding: daemon callbacks arrive from many driver goroutines, so calls
+// are serialized under a mutex and timestamps are clamped monotone
+// per-group (the tracker requires nondecreasing time per group; loopback
+// scheduling can interleave two daemons' callbacks a few microseconds out
+// of order).
+type liveHealth struct {
+	mu      sync.Mutex
+	start   time.Time
+	tracker *stats.HealthTracker
+	last    map[packet.GroupID]time.Duration
+}
+
+func newLiveHealth(onsets []time.Duration, windows []stats.Window) *liveHealth {
+	return &liveHealth{
+		tracker: stats.NewHealthTracker(onsets, windows),
+		last:    make(map[packet.GroupID]time.Duration),
+	}
+}
+
+func (h *liveHealth) begin(start time.Time) {
+	h.mu.Lock()
+	h.start = start
+	h.mu.Unlock()
+}
+
+// clamp converts a wall timestamp to run-relative time, monotone per group.
+// Caller holds h.mu.
+func (h *liveHealth) clamp(g packet.GroupID, at time.Time) (time.Duration, bool) {
+	if h.start.IsZero() {
+		return 0, false
+	}
+	t := at.Sub(h.start)
+	if last := h.last[g]; t < last {
+		t = last
+	}
+	h.last[g] = t
+	return t, true
+}
+
+func (h *liveHealth) recordSend(g packet.GroupID, at time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if t, ok := h.clamp(g, at); ok {
+		h.tracker.RecordSent(g, t)
+	}
+}
+
+func (h *liveHealth) recordDeliver(g packet.GroupID, at time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if t, ok := h.clamp(g, at); ok {
+		h.tracker.RecordDelivered(g, t)
+	}
+}
+
+func (h *liveHealth) health() []stats.GroupHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tracker.Health()
 }

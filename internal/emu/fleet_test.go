@@ -69,7 +69,7 @@ func TestFleetPaperTestbedLive(t *testing.T) {
 }
 
 func TestFleetResultEmpty(t *testing.T) {
-	f := &Fleet{daemons: map[packet.NodeID]*Daemon{}}
+	f := &Fleet{slots: map[packet.NodeID]*daemonSlot{}}
 	res := f.Result()
 	if res.PDR != 0 || len(res.Sent) != 0 {
 		t.Fatalf("empty fleet result = %+v", res)

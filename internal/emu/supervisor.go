@@ -1,0 +1,328 @@
+package emu
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"meshcast/internal/faults"
+	"meshcast/internal/packet"
+)
+
+// SupervisorConfig tunes the fleet supervisor.
+type SupervisorConfig struct {
+	// CheckInterval is the supervision loop period: scheduled chaos events
+	// fire and liveness is polled at this granularity (default 50 ms).
+	CheckInterval time.Duration
+	// ActivityWindow is how recently a daemon must have shown protocol
+	// activity to count as alive (default 2 s — several probe intervals).
+	ActivityWindow time.Duration
+	// UnhealthyAfter is how long an *unscheduled* dead daemon is tolerated
+	// before the supervisor force-restarts it (default 3 s; negative
+	// disables the watchdog, leaving only scripted kills/restarts).
+	UnhealthyAfter time.Duration
+	// RestartBackoff and RestartBackoffMax bound the capped exponential
+	// backoff between restart attempts when reviving a daemon fails (the
+	// ether may still be down, or the OS may hold the socket): 100 ms
+	// doubling up to 2 s by default.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 50 * time.Millisecond
+	}
+	if c.ActivityWindow <= 0 {
+		c.ActivityWindow = 2 * time.Second
+	}
+	if c.UnhealthyAfter == 0 {
+		c.UnhealthyAfter = 3 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = 2 * time.Second
+	}
+	return c
+}
+
+// FleetEvent is one supervision action actually executed (as opposed to
+// ChaosEvent, which is the schedule).
+type FleetEvent struct {
+	// At is the wall-clock offset from the fleet's run start.
+	At time.Duration
+	// Kind is one of "kill", "restart", "restart-failed", "watchdog-restart",
+	// "ether-down", "ether-up".
+	Kind string
+	// Node is the affected node (0 for ether events).
+	Node packet.NodeID
+}
+
+// NodeReport is one node's supervision outcome.
+type NodeReport struct {
+	ID       packet.NodeID
+	Kills    int
+	Restarts int
+	Downtime time.Duration
+	// Availability is 1 − downtime/elapsed.
+	Availability float64
+}
+
+// SupervisorReport summarizes a supervised run.
+type SupervisorReport struct {
+	Elapsed time.Duration
+	// Nodes is per-node accounting, sorted by ID — every fleet node
+	// appears, including ones the chaos schedule never touched.
+	Nodes []NodeReport
+	// EtherRestarts counts completed medium down/up cycles.
+	EtherRestarts int
+	// Events is the executed action log, in order.
+	Events []FleetEvent
+}
+
+// FleetSupervisor executes a chaos schedule against a live fleet and keeps
+// it healthy in between: scripted node crashes become StopDaemon calls,
+// scripted recoveries become RestartDaemon with capped-backoff retry,
+// scripted medium outages bounce the ether, and a liveness watchdog
+// force-restarts daemons that die without being scheduled to. Surviving
+// daemons are never touched — degradation is per-node.
+type FleetSupervisor struct {
+	fleet *Fleet
+	chaos *Chaos
+	cfg   SupervisorConfig
+
+	mu            sync.Mutex
+	events        []FleetEvent
+	etherRestarts int
+	scheduledDown map[packet.NodeID]bool
+	restarting    map[packet.NodeID]bool
+	unhealthy     map[packet.NodeID]time.Time
+
+	wg sync.WaitGroup
+}
+
+// NewFleetSupervisor builds a supervisor for fleet. chaos may be nil, in
+// which case only the liveness watchdog runs.
+func NewFleetSupervisor(fleet *Fleet, chaos *Chaos, cfg SupervisorConfig) *FleetSupervisor {
+	return &FleetSupervisor{
+		fleet:         fleet,
+		chaos:         chaos,
+		cfg:           cfg.withDefaults(),
+		scheduledDown: make(map[packet.NodeID]bool),
+		restarting:    make(map[packet.NodeID]bool),
+		unhealthy:     make(map[packet.NodeID]time.Time),
+	}
+}
+
+// Run supervises until ctx is canceled. It blocks waiting for the fleet to
+// start, then loops at CheckInterval firing due schedule events and polling
+// liveness. Call it on its own goroutine alongside Fleet.Run.
+func (s *FleetSupervisor) Run(ctx context.Context) error {
+	select {
+	case <-s.fleet.Started():
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	start := s.fleet.StartTime()
+	var schedule []ChaosEvent
+	if s.chaos != nil {
+		schedule = s.chaos.Events()
+	}
+	next := 0
+	ticker := time.NewTicker(s.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.wg.Wait()
+			return nil
+		case <-ticker.C:
+		}
+		now := time.Since(start)
+		for next < len(schedule) && schedule[next].At <= now {
+			s.execute(ctx, schedule[next], start)
+			next++
+		}
+		s.watchdog(ctx, start)
+	}
+}
+
+// execute dispatches one scheduled chaos event. Kill and ether actions run
+// on their own goroutines — StopDaemon waits for the daemon goroutine to
+// exit (up to a driver tick) and must not stall the schedule.
+func (s *FleetSupervisor) execute(ctx context.Context, ev ChaosEvent, start time.Time) {
+	switch ev.Kind {
+	case faults.EventNodeDown:
+		id := ev.ID
+		s.mu.Lock()
+		s.scheduledDown[id] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.fleet.StopDaemon(id); err == nil {
+				s.log(FleetEvent{At: time.Since(start), Kind: "kill", Node: id})
+			}
+		}()
+	case faults.EventNodeUp:
+		id := ev.ID
+		s.mu.Lock()
+		s.scheduledDown[id] = false
+		s.mu.Unlock()
+		s.restart(ctx, id, start, "restart")
+	case faults.EventEtherDown:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.fleet.StopEther(); err == nil {
+				s.log(FleetEvent{At: time.Since(start), Kind: "ether-down"})
+			}
+		}()
+	case faults.EventEtherUp:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			backoff := s.cfg.RestartBackoff
+			for ctx.Err() == nil {
+				if err := s.fleet.StartEther(); err == nil {
+					s.log(FleetEvent{At: time.Since(start), Kind: "ether-up"})
+					s.mu.Lock()
+					s.etherRestarts++
+					s.mu.Unlock()
+					return
+				}
+				select {
+				case <-ctx.Done():
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > s.cfg.RestartBackoffMax {
+					backoff = s.cfg.RestartBackoffMax
+				}
+			}
+		}()
+	}
+	// Link faults, heals, and partitions need no action here: the chaos
+	// impairment hook installed on the ether enforces them continuously.
+}
+
+// restart revives a daemon with capped exponential backoff. At most one
+// restart loop per node runs at a time.
+func (s *FleetSupervisor) restart(ctx context.Context, id packet.NodeID, start time.Time, kind string) {
+	s.mu.Lock()
+	if s.restarting[id] {
+		s.mu.Unlock()
+		return
+	}
+	s.restarting[id] = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.restarting, id)
+			s.mu.Unlock()
+		}()
+		backoff := s.cfg.RestartBackoff
+		for ctx.Err() == nil {
+			err := s.fleet.RestartDaemon(id)
+			if err == nil {
+				s.log(FleetEvent{At: time.Since(start), Kind: kind, Node: id})
+				return
+			}
+			s.log(FleetEvent{At: time.Since(start), Kind: "restart-failed", Node: id})
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > s.cfg.RestartBackoffMax {
+				backoff = s.cfg.RestartBackoffMax
+			}
+		}
+	}()
+}
+
+// watchdog force-restarts daemons that are dead without a scheduled reason
+// for longer than UnhealthyAfter.
+func (s *FleetSupervisor) watchdog(ctx context.Context, start time.Time) {
+	if s.cfg.UnhealthyAfter < 0 {
+		return
+	}
+	if !s.fleet.EtherUp() {
+		// Liveness is unobservable without the medium: every daemon loses
+		// its registration during an ether outage. Forget accumulated
+		// suspicions so daemons get a fresh UnhealthyAfter budget to
+		// re-register once the medium returns.
+		s.mu.Lock()
+		clear(s.unhealthy)
+		s.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	for _, id := range s.fleet.NodeIDs() {
+		alive := s.fleet.DaemonAlive(id, s.cfg.ActivityWindow)
+		s.mu.Lock()
+		if alive || s.scheduledDown[id] || s.restarting[id] {
+			delete(s.unhealthy, id)
+			s.mu.Unlock()
+			continue
+		}
+		since, seen := s.unhealthy[id]
+		if !seen {
+			s.unhealthy[id] = now
+			s.mu.Unlock()
+			continue
+		}
+		expired := now.Sub(since) >= s.cfg.UnhealthyAfter
+		if expired {
+			delete(s.unhealthy, id)
+		}
+		s.mu.Unlock()
+		if expired {
+			// The daemon may be wedged rather than gone: kill any live
+			// generation first, then revive with backoff.
+			s.fleet.StopDaemon(id)
+			s.restart(ctx, id, start, "watchdog-restart")
+		}
+	}
+}
+
+func (s *FleetSupervisor) log(ev FleetEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns the executed action log so far.
+func (s *FleetSupervisor) Events() []FleetEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]FleetEvent(nil), s.events...)
+}
+
+// Report summarizes supervision outcomes. elapsed is the run length used
+// for availability (pass the wall-clock run duration).
+func (s *FleetSupervisor) Report(elapsed time.Duration) SupervisorReport {
+	ids := s.fleet.NodeIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rep := SupervisorReport{Elapsed: elapsed, Events: s.Events()}
+	s.mu.Lock()
+	rep.EtherRestarts = s.etherRestarts
+	s.mu.Unlock()
+	for _, id := range ids {
+		acc := s.fleet.NodeStats(id)
+		nr := NodeReport{ID: id, Kills: acc.Kills, Restarts: acc.Restarts, Downtime: acc.Downtime, Availability: 1}
+		if elapsed > 0 {
+			nr.Availability = 1 - float64(acc.Downtime)/float64(elapsed)
+			if nr.Availability < 0 {
+				nr.Availability = 0
+			}
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	return rep
+}

@@ -1,0 +1,211 @@
+package emu
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"meshcast/internal/faults"
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/testbed"
+)
+
+// lineScenario is a minimal source → relay → sink topology where delivery
+// requires the forwarding group at the relay (the direct link is dead).
+func lineScenario() testbed.Scenario {
+	return testbed.Scenario{
+		Nodes: []packet.NodeID{1, 2, 3},
+		Links: []testbed.Link{
+			{A: 1, B: 2, Class: testbed.LowLoss},
+			{A: 2, B: 3, Class: testbed.LowLoss},
+		},
+		Groups: []testbed.GroupSpec{{Group: 9, Source: 1, Members: []packet.NodeID{3}}},
+	}
+}
+
+func deliveredTo(f *Fleet, id packet.NodeID) int {
+	d := f.Daemon(id)
+	if d == nil {
+		return 0
+	}
+	return d.DeliveredCount()
+}
+
+// TestFleetSurvivesEtherRestartUnderTraffic stops and restarts the shared
+// medium in the middle of a live run: daemons must re-register within one
+// registration refresh interval and delivery must resume, with the medium
+// stats accumulated across both ether generations.
+func TestFleetSurvivesEtherRestartUnderTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test (several seconds)")
+	}
+	tightenRegTiming(t)
+	fleet, err := NewFleet(FleetConfig{
+		Scenario:     lineScenario(),
+		Metric:       metric.SPP,
+		SendInterval: 20 * time.Millisecond,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		fleet.Run(ctx)
+	}()
+
+	waitFor(t, 8*time.Second, "initial delivery", func() bool { return deliveredTo(fleet, 3) >= 5 })
+
+	if err := fleet.StopEther(); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.EtherUp() {
+		t.Fatal("EtherUp after StopEther")
+	}
+	time.Sleep(250 * time.Millisecond) // outage: frames go nowhere
+	before := deliveredTo(fleet, 3)
+	statsBefore := fleet.EtherStats()
+	if statsBefore.FramesIn == 0 {
+		t.Fatal("retired ether stats lost on StopEther")
+	}
+
+	if err := fleet.StartEther(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration must complete within one refresh interval plus one
+	// retry backoff (tightened: 100 ms + 200 ms), generously bounded here.
+	waitFor(t, 2*time.Second, "all daemons re-registered", func() bool {
+		return len(fleet.EtherClients()) == 3
+	})
+	waitFor(t, 5*time.Second, "delivery to resume", func() bool {
+		return deliveredTo(fleet, 3) >= before+5
+	})
+	if got := fleet.EtherStats().FramesIn; got <= statsBefore.FramesIn {
+		t.Fatalf("cross-generation FramesIn = %d, want > %d", got, statsBefore.FramesIn)
+	}
+	cancel()
+	<-runDone
+}
+
+// TestSupervisorScriptedKillAndRestart drives the relay of a line topology
+// through a scripted crash: the supervisor must kill it on schedule, restart
+// it on schedule, account its downtime, and end-to-end delivery must resume
+// after the repair.
+func TestSupervisorScriptedKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test (several seconds)")
+	}
+	tightenRegTiming(t)
+	fleet, err := NewFleet(FleetConfig{
+		Scenario:     lineScenario(),
+		Metric:       metric.SPP,
+		SendInterval: 20 * time.Millisecond,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	// Node index 1 of sorted [1 2 3] is the relay, node 2.
+	plan := faults.Plan{Outages: []faults.Outage{
+		{Node: 1, Start: 2 * time.Second, Duration: 1500 * time.Millisecond},
+	}}
+	chaos, err := NewChaos(ChaosConfig{Plan: plan, Seed: 5}, fleet.NodeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.UseChaos(chaos)
+	sup := NewFleetSupervisor(fleet, chaos, SupervisorConfig{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer cancel()
+	supDone := make(chan error, 1)
+	go func() { supDone <- sup.Run(ctx) }()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		fleet.Run(ctx)
+	}()
+
+	waitFor(t, 8*time.Second, "pre-fault delivery", func() bool { return deliveredTo(fleet, 3) >= 5 })
+	waitFor(t, 5*time.Second, "scheduled kill", func() bool { return fleet.Daemon(2) == nil })
+	if fleet.DaemonAlive(2, time.Second) {
+		t.Fatal("killed relay reported alive")
+	}
+	waitFor(t, 5*time.Second, "scheduled restart", func() bool { return fleet.Daemon(2) != nil })
+	afterRestart := deliveredTo(fleet, 3)
+	waitFor(t, 5*time.Second, "delivery to resume through restarted relay", func() bool {
+		return deliveredTo(fleet, 3) >= afterRestart+5
+	})
+
+	cancel()
+	<-runDone
+	if err := <-supDone; err != nil {
+		t.Fatal(err)
+	}
+
+	acc := fleet.NodeStats(2)
+	if acc.Kills != 1 || acc.Restarts != 1 {
+		t.Fatalf("relay accounting = %+v, want 1 kill / 1 restart", acc)
+	}
+	if acc.Downtime < time.Second || acc.Downtime > 4*time.Second {
+		t.Fatalf("relay downtime = %v, want ≈1.5s", acc.Downtime)
+	}
+	res := fleet.Result()
+	if res.Kills[2] != 1 || res.Restarts[2] != 1 || res.Downtime[2] == 0 {
+		t.Fatalf("FleetResult chaos accounting = kills %v restarts %v downtime %v",
+			res.Kills, res.Restarts, res.Downtime)
+	}
+	if len(res.Health) != 1 {
+		t.Fatalf("health groups = %d, want 1", len(res.Health))
+	}
+	rep := sup.Report(8 * time.Second)
+	for _, n := range rep.Nodes {
+		if n.Availability <= 0 {
+			t.Fatalf("node %v availability = %v", n.ID, n.Availability)
+		}
+		if n.ID != 2 && n.Kills != 0 {
+			t.Fatalf("surviving node %v was killed", n.ID)
+		}
+	}
+}
+
+// TestFleetCloseNoGoroutineLeak runs a short supervised fleet and checks
+// that teardown returns the process to its goroutine baseline.
+func TestFleetCloseNoGoroutineLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	tightenRegTiming(t)
+	baseline := runtime.NumGoroutine()
+
+	fleet, err := NewFleet(FleetConfig{
+		Scenario:     lineScenario(),
+		Metric:       metric.SPP,
+		SendInterval: 20 * time.Millisecond,
+		Seed:         21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel()
+	sup := NewFleetSupervisor(fleet, nil, SupervisorConfig{})
+	supDone := make(chan error, 1)
+	go func() { supDone <- sup.Run(ctx) }()
+	fleet.Run(ctx)
+	<-supDone
+	fleet.Close()
+
+	waitFor(t, 3*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}

@@ -74,6 +74,16 @@ type Partition struct {
 	SideA []int
 }
 
+// EtherRestart is one scripted restart of the live testbed's emulated
+// broadcast medium (the internal/emu ether server): the medium goes down at
+// Start and comes back — with an empty client table — after Duration. The
+// simulator has no ether, so its Scheduler carries these windows in the
+// timeline and fault windows but takes no action; the live fleet's chaos
+// controller executes them.
+type EtherRestart struct {
+	Start, Duration time.Duration
+}
+
 // Plan is a complete fault-injection configuration for one run.
 type Plan struct {
 	// Churn, when non-nil, enables the MTBF/MTTR crash model.
@@ -84,11 +94,15 @@ type Plan struct {
 	LinkFaults []LinkFault
 	// Partitions are scripted partition/heal windows.
 	Partitions []Partition
+	// EtherRestarts are scripted restarts of the live emulation medium
+	// (no-ops in the simulator).
+	EtherRestarts []EtherRestart
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
-	return p.Churn == nil && len(p.Outages) == 0 && len(p.LinkFaults) == 0 && len(p.Partitions) == 0
+	return p.Churn == nil && len(p.Outages) == 0 && len(p.LinkFaults) == 0 &&
+		len(p.Partitions) == 0 && len(p.EtherRestarts) == 0
 }
 
 // Target is the node-lifecycle interface the scheduler drives; the scenario
@@ -108,6 +122,8 @@ const (
 	EventLinkHeal  = "link-heal"
 	EventPartition = "partition"
 	EventHeal      = "heal"
+	EventEtherDown = "ether-down"
+	EventEtherUp   = "ether-up"
 )
 
 // Event is one entry of the precomputed fault timeline.
@@ -129,18 +145,30 @@ type Window struct {
 // Contains reports whether t falls inside the window.
 func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
 
+// Compiled is a plan's engine-free precomputed fault timeline: churn
+// episodes drawn, overlapping outages merged, partition sides cached, and
+// everything flattened into a sorted event list. It is shared between the
+// simulator's Scheduler (which arms node events on a sim.Engine) and the
+// live testbed's chaos controller (internal/emu), which replays the same
+// timeline against wall-clock daemons — so one fault script, compiled with
+// one seed, yields an identical fault schedule in both worlds.
+type Compiled struct {
+	outages       []Outage // merged per node, includes churn-derived ones
+	linkFaults    []LinkFault
+	partitions    []partitionWindow
+	etherRestarts []EtherRestart
+	timeline      []Event
+}
+
 // Scheduler owns a run's precomputed fault timeline and injects it into the
 // simulation: node targets are failed/restored at the scheduled times, and
 // the Impairment method (installed as the medium's phy.ImpairFunc) applies
-// link faults and partitions.
+// link faults and partitions. Ether restarts, which only exist on the live
+// emulation path, are carried in the timeline but not acted on here.
 type Scheduler struct {
+	*Compiled
 	engine  *sim.Engine
 	targets []Target
-
-	outages    []Outage // merged per node, includes churn-derived ones
-	linkFaults []LinkFault
-	partitions []partitionWindow
-	timeline   []Event
 }
 
 // partitionWindow caches the side-A membership set.
@@ -149,33 +177,33 @@ type partitionWindow struct {
 	sideA map[int]bool
 }
 
-// NewScheduler precomputes the full fault timeline for a run of length
-// horizon. rng must be a dedicated sub-stream (engine.RNG().Split()) so the
-// fault draws do not perturb the rest of the simulation. Call Start to arm
-// the node events, and install Impairment on the medium.
-func NewScheduler(engine *sim.Engine, rng *sim.RNG, plan Plan, targets []Target, horizon time.Duration) (*Scheduler, error) {
-	s := &Scheduler{engine: engine, targets: targets}
+// Compile precomputes a plan's full fault timeline for a run of length
+// horizon over nTargets nodes. rng must be a dedicated sub-stream so the
+// churn draws do not perturb anything else; the result is a pure function
+// of (plan, rng seed, nTargets, horizon).
+func Compile(plan Plan, rng *sim.RNG, nTargets int, horizon time.Duration) (*Compiled, error) {
+	c := &Compiled{}
 
 	outages := make([]Outage, 0, len(plan.Outages))
 	for _, o := range plan.Outages {
-		if o.Node < 0 || o.Node >= len(targets) {
-			return nil, fmt.Errorf("faults: outage node %d out of range [0, %d)", o.Node, len(targets))
+		if o.Node < 0 || o.Node >= nTargets {
+			return nil, fmt.Errorf("faults: outage node %d out of range [0, %d)", o.Node, nTargets)
 		}
 		if o.Duration <= 0 {
 			return nil, fmt.Errorf("faults: outage for node %d has non-positive duration", o.Node)
 		}
 		outages = append(outages, o)
 	}
-	if c := plan.Churn; c != nil {
-		if c.Fraction < 0 || c.Fraction > 1 {
-			return nil, fmt.Errorf("faults: churn fraction %v outside [0, 1]", c.Fraction)
+	if ch := plan.Churn; ch != nil {
+		if ch.Fraction < 0 || ch.Fraction > 1 {
+			return nil, fmt.Errorf("faults: churn fraction %v outside [0, 1]", ch.Fraction)
 		}
-		if c.Fraction > 0 && (c.MTBF <= 0 || c.MTTR <= 0) {
+		if ch.Fraction > 0 && (ch.MTBF <= 0 || ch.MTTR <= 0) {
 			return nil, fmt.Errorf("faults: churn requires positive MTBF and MTTR")
 		}
-		outages = append(outages, drawChurn(rng, *c, len(targets), horizon)...)
+		outages = append(outages, drawChurn(rng, *ch, nTargets, horizon)...)
 	}
-	s.outages = mergeOutages(outages)
+	c.outages = mergeOutages(outages)
 
 	for _, lf := range plan.LinkFaults {
 		if lf.From < -1 || lf.To < -1 {
@@ -187,7 +215,7 @@ func NewScheduler(engine *sim.Engine, rng *sim.RNG, plan Plan, targets []Target,
 		if lf.Duration <= 0 {
 			return nil, fmt.Errorf("faults: link fault has non-positive duration")
 		}
-		s.linkFaults = append(s.linkFaults, lf)
+		c.linkFaults = append(c.linkFaults, lf)
 	}
 	for _, p := range plan.Partitions {
 		if p.Duration <= 0 {
@@ -195,16 +223,34 @@ func NewScheduler(engine *sim.Engine, rng *sim.RNG, plan Plan, targets []Target,
 		}
 		side := make(map[int]bool, len(p.SideA))
 		for _, n := range p.SideA {
-			if n < 0 || n >= len(targets) {
-				return nil, fmt.Errorf("faults: partition node %d out of range [0, %d)", n, len(targets))
+			if n < 0 || n >= nTargets {
+				return nil, fmt.Errorf("faults: partition node %d out of range [0, %d)", n, nTargets)
 			}
 			side[n] = true
 		}
-		s.partitions = append(s.partitions, partitionWindow{Partition: p, sideA: side})
+		c.partitions = append(c.partitions, partitionWindow{Partition: p, sideA: side})
+	}
+	for _, er := range plan.EtherRestarts {
+		if er.Duration <= 0 {
+			return nil, fmt.Errorf("faults: ether restart has non-positive duration")
+		}
+		c.etherRestarts = append(c.etherRestarts, er)
 	}
 
-	s.buildTimeline()
-	return s, nil
+	c.buildTimeline()
+	return c, nil
+}
+
+// NewScheduler precomputes the full fault timeline for a run of length
+// horizon. rng must be a dedicated sub-stream (engine.RNG().Split()) so the
+// fault draws do not perturb the rest of the simulation. Call Start to arm
+// the node events, and install Impairment on the medium.
+func NewScheduler(engine *sim.Engine, rng *sim.RNG, plan Plan, targets []Target, horizon time.Duration) (*Scheduler, error) {
+	c, err := Compile(plan, rng, len(targets), horizon)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{Compiled: c, engine: engine, targets: targets}, nil
 }
 
 // drawChurn samples the renewal process for every churned node. The node
@@ -271,24 +317,29 @@ func mergeOutages(outages []Outage) []Outage {
 }
 
 // buildTimeline flattens every fault into the sorted event timeline.
-func (s *Scheduler) buildTimeline() {
-	for _, o := range s.outages {
-		s.timeline = append(s.timeline,
+func (c *Compiled) buildTimeline() {
+	for _, o := range c.outages {
+		c.timeline = append(c.timeline,
 			Event{At: o.Start, Kind: EventNodeDown, Node: o.Node},
 			Event{At: o.Start + o.Duration, Kind: EventNodeUp, Node: o.Node})
 	}
-	for _, lf := range s.linkFaults {
-		s.timeline = append(s.timeline,
+	for _, lf := range c.linkFaults {
+		c.timeline = append(c.timeline,
 			Event{At: lf.Start, Kind: EventLinkFault, Node: -1},
 			Event{At: lf.Start + lf.Duration, Kind: EventLinkHeal, Node: -1})
 	}
-	for _, p := range s.partitions {
-		s.timeline = append(s.timeline,
+	for _, p := range c.partitions {
+		c.timeline = append(c.timeline,
 			Event{At: p.Start, Kind: EventPartition, Node: -1},
 			Event{At: p.Start + p.Duration, Kind: EventHeal, Node: -1})
 	}
-	sort.Slice(s.timeline, func(i, j int) bool {
-		a, b := s.timeline[i], s.timeline[j]
+	for _, er := range c.etherRestarts {
+		c.timeline = append(c.timeline,
+			Event{At: er.Start, Kind: EventEtherDown, Node: -1},
+			Event{At: er.Start + er.Duration, Kind: EventEtherUp, Node: -1})
+	}
+	sort.Slice(c.timeline, func(i, j int) bool {
+		a, b := c.timeline[i], c.timeline[j]
 		if a.At != b.At {
 			return a.At < b.At
 		}
@@ -310,20 +361,34 @@ func (s *Scheduler) Start() {
 }
 
 // Timeline returns the full precomputed fault timeline, sorted by time.
-func (s *Scheduler) Timeline() []Event {
-	out := make([]Event, len(s.timeline))
-	copy(out, s.timeline)
+func (c *Compiled) Timeline() []Event {
+	out := make([]Event, len(c.timeline))
+	copy(out, c.timeline)
+	return out
+}
+
+// Outages returns the merged per-node crash windows (churn included).
+func (c *Compiled) Outages() []Outage {
+	out := make([]Outage, len(c.outages))
+	copy(out, c.outages)
+	return out
+}
+
+// EtherRestarts returns the scripted medium restart windows.
+func (c *Compiled) EtherRestarts() []EtherRestart {
+	out := make([]EtherRestart, len(c.etherRestarts))
+	copy(out, c.etherRestarts)
 	return out
 }
 
 // Onsets returns the start time of every fault episode (node outage, link
 // fault, partition), sorted and deduplicated — the reference points for
 // repair-latency measurement.
-func (s *Scheduler) Onsets() []time.Duration {
+func (c *Compiled) Onsets() []time.Duration {
 	var out []time.Duration
-	for _, e := range s.timeline {
+	for _, e := range c.timeline {
 		switch e.Kind {
-		case EventNodeDown, EventLinkFault, EventPartition:
+		case EventNodeDown, EventLinkFault, EventPartition, EventEtherDown:
 			out = append(out, e.At)
 		}
 	}
@@ -339,16 +404,19 @@ func (s *Scheduler) Onsets() []time.Duration {
 
 // Windows returns the merged union of every interval during which at least
 // one fault is active — the "outage" periods for PDR bucketing.
-func (s *Scheduler) Windows() []Window {
+func (c *Compiled) Windows() []Window {
 	var ws []Window
-	for _, o := range s.outages {
+	for _, o := range c.outages {
 		ws = append(ws, Window{Start: o.Start, End: o.Start + o.Duration})
 	}
-	for _, lf := range s.linkFaults {
+	for _, lf := range c.linkFaults {
 		ws = append(ws, Window{Start: lf.Start, End: lf.Start + lf.Duration})
 	}
-	for _, p := range s.partitions {
+	for _, p := range c.partitions {
 		ws = append(ws, Window{Start: p.Start, End: p.Start + p.Duration})
+	}
+	for _, er := range c.etherRestarts {
+		ws = append(ws, Window{Start: er.Start, End: er.Start + er.Duration})
 	}
 	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
 	merged := ws[:0]
@@ -365,25 +433,30 @@ func (s *Scheduler) Windows() []Window {
 }
 
 // DownCount returns how many node crash episodes the schedule contains.
-func (s *Scheduler) DownCount() int { return len(s.outages) }
+func (c *Compiled) DownCount() int { return len(c.outages) }
 
 // ActiveFaults returns how many fault episodes (node outages, link faults,
 // partitions) are active at time now — the value behind the "faults.active"
 // telemetry gauge.
-func (s *Scheduler) ActiveFaults(now time.Duration) int {
+func (c *Compiled) ActiveFaults(now time.Duration) int {
 	n := 0
-	for _, o := range s.outages {
+	for _, o := range c.outages {
 		if now >= o.Start && now < o.Start+o.Duration {
 			n++
 		}
 	}
-	for _, lf := range s.linkFaults {
+	for _, lf := range c.linkFaults {
 		if now >= lf.Start && now < lf.Start+lf.Duration {
 			n++
 		}
 	}
-	for _, p := range s.partitions {
+	for _, p := range c.partitions {
 		if now >= p.Start && now < p.Start+p.Duration {
+			n++
+		}
+	}
+	for _, er := range c.etherRestarts {
+		if now >= er.Start && now < er.Start+er.Duration {
 			n++
 		}
 	}
@@ -393,11 +466,11 @@ func (s *Scheduler) ActiveFaults(now time.Duration) int {
 // Impairment implements phy.ImpairFunc: the combined extra loss and
 // attenuation for a (tx, rx) pair at time now, across all active link faults
 // and partitions. Install with medium.SetImpairment(sched.Impairment).
-func (s *Scheduler) Impairment(tx, rx packet.NodeID, now time.Duration) phy.Impairment {
+func (c *Compiled) Impairment(tx, rx packet.NodeID, now time.Duration) phy.Impairment {
 	keep := 1.0  // probability the packet survives all injected loss
 	atten := 1.0 // linear power factor
 	impaired := false
-	for _, lf := range s.linkFaults {
+	for _, lf := range c.linkFaults {
 		if now < lf.Start || now >= lf.Start+lf.Duration {
 			continue
 		}
@@ -410,7 +483,7 @@ func (s *Scheduler) Impairment(tx, rx packet.NodeID, now time.Duration) phy.Impa
 		}
 		impaired = true
 	}
-	for _, p := range s.partitions {
+	for _, p := range c.partitions {
 		if now < p.Start || now >= p.Start+p.Duration {
 			continue
 		}

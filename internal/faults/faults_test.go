@@ -293,3 +293,68 @@ func TestLoadPlanScript(t *testing.T) {
 		t.Fatal("script with unknown field accepted")
 	}
 }
+
+func TestCompileEtherRestarts(t *testing.T) {
+	plan := Plan{EtherRestarts: []EtherRestart{
+		{Start: 20 * time.Second, Duration: 3 * time.Second},
+	}}
+	c, err := Compile(plan, sim.NewRNG(1), 4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down, up *Event
+	for i, ev := range c.Timeline() {
+		switch ev.Kind {
+		case EventEtherDown:
+			down = &c.Timeline()[i]
+		case EventEtherUp:
+			up = &c.Timeline()[i]
+		}
+	}
+	if down == nil || up == nil {
+		t.Fatalf("timeline missing ether events: %v", c.Timeline())
+	}
+	if down.At != 20*time.Second || down.Node != -1 {
+		t.Fatalf("ether-down = %+v, want t=20s node=-1", down)
+	}
+	if up.At != 23*time.Second || up.Node != -1 {
+		t.Fatalf("ether-up = %+v, want t=23s node=-1", up)
+	}
+	if got := c.EtherRestarts(); len(got) != 1 || got[0].Start != 20*time.Second {
+		t.Fatalf("EtherRestarts() = %+v", got)
+	}
+	wantWindows := []Window{{Start: 20 * time.Second, End: 23 * time.Second}}
+	if got := c.Windows(); !reflect.DeepEqual(got, wantWindows) {
+		t.Fatalf("Windows() = %v, want %v", got, wantWindows)
+	}
+	if got := c.Onsets(); !reflect.DeepEqual(got, []time.Duration{20 * time.Second}) {
+		t.Fatalf("Onsets() = %v", got)
+	}
+
+	// A restart with no down window is a script bug.
+	bad := Plan{EtherRestarts: []EtherRestart{{Start: time.Second}}}
+	if _, err := Compile(bad, sim.NewRNG(1), 4, time.Minute); err == nil {
+		t.Fatal("zero-duration ether restart accepted")
+	}
+}
+
+func TestLoadPlanEtherRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ether.json")
+	script := `{"ether_restarts": [{"start_s": 320, "down_s": 5}]}`
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.EtherRestarts) != 1 {
+		t.Fatalf("ether restarts = %+v", p.EtherRestarts)
+	}
+	if er := p.EtherRestarts[0]; er.Start != 320*time.Second || er.Duration != 5*time.Second {
+		t.Fatalf("restart = %+v, want start 320s duration 5s", er)
+	}
+	if p.Empty() {
+		t.Fatal("ether-restart-only plan reports Empty")
+	}
+}

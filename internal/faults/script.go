@@ -16,13 +16,15 @@ import (
 //	  "outages": [{"node": 3, "start_s": 150, "duration_s": 30}],
 //	  "links": [{"from": 1, "to": 4, "start_s": 200, "duration_s": 20,
 //	             "drop_prob": 0.8, "attenuation_db": 6, "symmetric": true}],
-//	  "partitions": [{"start_s": 260, "duration_s": 40, "side_a": [0, 1, 2]}]
+//	  "partitions": [{"start_s": 260, "duration_s": 40, "side_a": [0, 1, 2]}],
+//	  "ether_restarts": [{"start_s": 320, "down_s": 5}]
 //	}
 type Script struct {
-	Churn      *ScriptChurn      `json:"churn,omitempty"`
-	Outages    []ScriptOutage    `json:"outages,omitempty"`
-	Links      []ScriptLinkFault `json:"links,omitempty"`
-	Partitions []ScriptPartition `json:"partitions,omitempty"`
+	Churn         *ScriptChurn         `json:"churn,omitempty"`
+	Outages       []ScriptOutage       `json:"outages,omitempty"`
+	Links         []ScriptLinkFault    `json:"links,omitempty"`
+	Partitions    []ScriptPartition    `json:"partitions,omitempty"`
+	EtherRestarts []ScriptEtherRestart `json:"ether_restarts,omitempty"`
 }
 
 // ScriptChurn mirrors ChurnModel with second-valued times.
@@ -59,6 +61,13 @@ type ScriptPartition struct {
 	StartS    float64 `json:"start_s"`
 	DurationS float64 `json:"duration_s"`
 	SideA     []int   `json:"side_a"`
+}
+
+// ScriptEtherRestart mirrors EtherRestart with second-valued times. It only
+// affects the live emulation layer; the simulator ignores it.
+type ScriptEtherRestart struct {
+	StartS float64 `json:"start_s"`
+	DownS  float64 `json:"down_s"`
 }
 
 func seconds(s float64) time.Duration {
@@ -100,6 +109,12 @@ func (s Script) Plan() Plan {
 			Start:    seconds(pt.StartS),
 			Duration: seconds(pt.DurationS),
 			SideA:    pt.SideA,
+		})
+	}
+	for _, er := range s.EtherRestarts {
+		p.EtherRestarts = append(p.EtherRestarts, EtherRestart{
+			Start:    seconds(er.StartS),
+			Duration: seconds(er.DownS),
 		})
 	}
 	return p

@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// RunWall drives a Sampler on the wall clock instead of a sim engine: one
+// snapshot per sampler interval from start, plus a final snapshot when ctx
+// is done. It blocks until then — run it on its own goroutine alongside a
+// live fleet.
+//
+// Registry instruments are not synchronized (single-sim-goroutine
+// contract), and RunWall does not change that: the live path must feed the
+// registry exclusively through GaugeFunc callbacks that read externally
+// locked state (Fleet.EtherStats, Chaos.ActiveFaults, ...). All callbacks
+// are then evaluated here, on the one sampling goroutine, and settable
+// counters/gauges/histograms stay untouched — no write ever races.
+func RunWall(ctx context.Context, s *Sampler, start time.Time) {
+	ticker := time.NewTicker(s.Interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.Sample(time.Since(start))
+			return
+		case <-ticker.C:
+			s.Sample(time.Since(start))
+		}
+	}
+}
