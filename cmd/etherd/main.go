@@ -20,13 +20,29 @@
 // air (etherd cannot kill an external daemon, so its frames stop being
 // carried instead), and ether_restarts bounce the medium itself. Script
 // node indices address the -nodes list (defaulted by -paper-testbed).
+//
+// -listen serves the HTTP/JSON control plane (internal/ctlplane): live
+// state reads plus link impairment and partition mutations against the
+// running medium.
+//
+// -soak switches etherd into soak mode: instead of serving an external
+// medium it runs a whole self-contained supervised fleet (-soak-nodes
+// daemons on a generated floor, staggered starts, rolling telemetry under
+// -telemetry) and exposes it on -listen, where fault scripts can be
+// injected into the *running* fleet:
+//
+//	go run ./cmd/etherd -soak -soak-nodes 150 -listen 127.0.0.1:8420 -telemetry out/soak
+//	curl -X POST -d @chaos.json http://127.0.0.1:8420/faults/script
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -36,9 +52,12 @@ import (
 	"syscall"
 	"time"
 
+	"meshcast/internal/ctlplane"
 	"meshcast/internal/emu"
 	"meshcast/internal/faults"
+	"meshcast/internal/metric"
 	"meshcast/internal/packet"
+	"meshcast/internal/soak"
 	"meshcast/internal/testbed"
 )
 
@@ -54,11 +73,70 @@ func main() {
 	faultScript := flag.String("fault-script", "", "JSON fault script to replay against the medium (internal/faults format)")
 	timeScale := flag.Float64("time-scale", 1, "wall-clock seconds per fault-script virtual second")
 	nodesFlag := flag.String("nodes", "", "comma-separated node IDs the fault script's indices address (default: paper testbed nodes with -paper-testbed)")
+	listen := flag.String("listen", "", "HTTP control-plane listen address (e.g. 127.0.0.1:8420; empty disables)")
+	soakMode := flag.Bool("soak", false, "run a self-contained supervised soak fleet instead of a bare medium")
+	soakNodes := flag.Int("soak-nodes", 150, "daemon count in soak mode")
+	soakDuration := flag.Duration("soak-duration", 0, "stop the soak after this long (0 = until SIGINT/SIGTERM)")
+	metricName := flag.String("metric", "spp", "routing metric in soak mode")
+	telemetryDir := flag.String("telemetry", "", "telemetry artifact directory in soak mode (empty disables)")
+	rotateEvery := flag.Duration("rotate-every", 5*time.Minute, "series.jsonl rotation period in soak mode")
+	sendInterval := flag.Duration("send-interval", 100*time.Millisecond, "per-source CBR gap in soak mode")
+	stagger := flag.Duration("stagger", 20*time.Millisecond, "daemon start spacing in soak mode")
 	flag.Parse()
-	if err := run(*addr, *defaultDF, *linksFile, *paperTestbed, *seed,
-		*delay, *jitter, *dup, *faultScript, *timeScale, *nodesFlag); err != nil {
+	var err error
+	if *soakMode {
+		err = runSoak(*soakNodes, *soakDuration, *listen, *metricName, *telemetryDir,
+			*rotateEvery, *sendInterval, *stagger, uint64(*seed))
+	} else {
+		err = run(*addr, *defaultDF, *linksFile, *paperTestbed, *seed,
+			*delay, *jitter, *dup, *faultScript, *timeScale, *nodesFlag, *listen)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runSoak runs a self-contained supervised fleet until the duration
+// elapses or a signal arrives; internal/soak owns the graceful-shutdown
+// order (control plane, fleet, ether drain, final telemetry flush).
+func runSoak(nodes int, duration time.Duration, listen, metricName, telemetryDir string,
+	rotateEvery, sendInterval, stagger time.Duration, seed uint64) error {
+	kind, err := metric.ParseKind(metricName)
+	if err != nil {
+		return err
+	}
+	r, err := soak.New(soak.Config{
+		Nodes:        nodes,
+		Metric:       kind,
+		Seed:         seed,
+		SendInterval: sendInterval,
+		StartStagger: stagger,
+		Listen:       listen,
+		TelemetryDir: telemetryDir,
+		RotateEvery:  rotateEvery,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, duration)
+		defer cancel()
+	}
+	fmt.Printf("etherd soak: %d daemons, metric %v, stagger %v\n", nodes, kind, stagger)
+	if a := r.Addr(); a != "" {
+		fmt.Printf("etherd soak control plane on http://%s\n", a)
+	}
+	if telemetryDir != "" {
+		fmt.Printf("etherd soak telemetry under %s (rotate every %v)\n", telemetryDir, rotateEvery)
+	}
+	err = r.Run(ctx)
+	res := r.Fleet().Result()
+	fmt.Printf("etherd soak done: pdr %.3f, %d nodes killed, %d restarted\n",
+		res.PDR, len(res.Kills), len(res.Restarts))
+	return err
 }
 
 // medium owns the ether across scripted restarts.
@@ -107,7 +185,8 @@ func (m *medium) start() error {
 }
 
 func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, seed int64,
-	delay, jitter time.Duration, dup float64, faultScript string, timeScale float64, nodesFlag string) error {
+	delay, jitter time.Duration, dup float64, faultScript string, timeScale float64,
+	nodesFlag, listen string) error {
 	if paperTestbed {
 		// Non-adjacent pairs in the testbed cannot communicate at all.
 		defaultDF = 0
@@ -167,6 +246,21 @@ func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, se
 	defer m.stop()
 	fmt.Printf("etherd listening on %s (default df %.2f)\n", m.get().Addr(), defaultDF)
 
+	// Optional HTTP control plane over the bare medium: state reads plus
+	// link/partition mutations (node lifecycle is 501 — etherd owns no
+	// daemons).
+	var ctlSrv *http.Server
+	if listen != "" {
+		ctl := &ctlplane.MediumController{LinksTable: links, Ether: m.get, StartedAt: time.Now()}
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return fmt.Errorf("control listener: %w", err)
+		}
+		ctlSrv = &http.Server{Handler: ctlplane.NewServer(ctl, ctlplane.ServerConfig{}).Handler()}
+		go ctlSrv.Serve(ln)
+		fmt.Printf("etherd control plane on http://%s\n", ln.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
@@ -186,8 +280,17 @@ func run(addr string, defaultDF float64, linksFile string, paperTestbed bool, se
 	for {
 		select {
 		case <-stop:
+			// Graceful shutdown order: control plane first (no mutation
+			// races the teardown), then drain so in-flight delayed frames
+			// land and the final stats line balances.
+			if ctlSrv != nil {
+				shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				ctlSrv.Shutdown(shutCtx)
+				cancel()
+			}
 			var s emu.EtherStats
 			if e := m.get(); e != nil {
+				e.Drain()
 				s = e.Stats()
 			}
 			fmt.Printf("etherd shutting down: %d frames in, %d out, %d dropped, %d dup\n",

@@ -8,17 +8,28 @@
 //	go run ./cmd/meshstat out/                 # per-layer summary + sparklines
 //	go run ./cmd/meshstat -top 10 out/         # widen the top-counter table
 //	go run ./cmd/meshstat -diff outA/ outB/    # per-counter deltas, A vs B
+//	go run ./cmd/meshstat -watch 127.0.0.1:8420   # live control-plane poll
+//
+// -watch polls a running control plane (etherd -listen / -soak) and
+// renders one line per interval: node liveness, medium state, and the
+// windowed packet delivery ratio with a trailing sparkline — the live view
+// of a fleet dipping under injected faults and recovering.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
+	"meshcast/internal/ctlplane"
 	"meshcast/internal/telemetry"
 	"meshcast/internal/viz"
 )
@@ -26,9 +37,15 @@ import (
 func main() {
 	topN := flag.Int("top", 5, "how many counters the top-counters table lists")
 	diff := flag.Bool("diff", false, "diff two runs: meshstat -diff A B")
+	watch := flag.String("watch", "", "control-plane base URL to poll live (host:port or http://...)")
+	interval := flag.Duration("interval", time.Second, "poll interval with -watch")
 	flag.Parse()
 	var err error
 	switch {
+	case *watch != "":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = runWatch(ctx, os.Stdout, *watch, *interval)
+		stop()
 	case *diff:
 		if flag.NArg() != 2 {
 			err = fmt.Errorf("meshstat -diff needs exactly two runs, got %d", flag.NArg())
@@ -38,11 +55,68 @@ func main() {
 	case flag.NArg() == 1:
 		err = runSummary(os.Stdout, flag.Arg(0), *topN)
 	default:
-		err = fmt.Errorf("usage: meshstat [-top N] DIR | meshstat -diff A B")
+		err = fmt.Errorf("usage: meshstat [-top N] DIR | meshstat -diff A B | meshstat -watch URL")
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// normalizeBase turns a bare host:port into a full http base URL.
+func normalizeBase(base string) string {
+	if !strings.Contains(base, "://") {
+		return "http://" + base
+	}
+	return base
+}
+
+// watchLine renders one -watch sample: liveness, medium state, windowed
+// PDR with a trailing sparkline of recent windows.
+func watchLine(s ctlplane.WatchSample, history []float64) string {
+	if s.Err != nil {
+		return fmt.Sprintf("%s  poll failed: %v", s.T.Format("15:04:05"), s.Err)
+	}
+	ether := "up"
+	if !s.Stats.EtherUp {
+		ether = "DOWN"
+	}
+	pdr := "pdr   -  "
+	if s.HasPDR {
+		pdr = fmt.Sprintf("pdr %.3f", s.PDR)
+	}
+	line := fmt.Sprintf("%s  nodes %3d/%-3d  ether %-4s  %s  Δ %d/%d",
+		s.T.Format("15:04:05"), s.Stats.NodesAlive, s.Stats.NodesTotal, ether,
+		pdr, s.DeltaDelivered, s.DeltaExpected)
+	if len(history) > 1 {
+		line += "  " + viz.Sparkline(history)
+	}
+	return line
+}
+
+// runWatch streams delta samples from a live control plane until ctx ends.
+func runWatch(ctx context.Context, w io.Writer, base string, interval time.Duration) error {
+	c := ctlplane.NewClient(normalizeBase(base))
+	// One probe up front so a wrong URL fails fast instead of printing
+	// poll errors forever.
+	probeCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	h, err := c.Health(probeCtx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("meshstat -watch: %w", err)
+	}
+	fmt.Fprintf(w, "watching %s (health %s), interval %v\n", c.Base, h.Status, interval)
+	const sparkWindow = 30
+	var history []float64
+	for s := range ctlplane.Watch(ctx, c, interval) {
+		if s.HasPDR {
+			history = append(history, s.PDR)
+			if len(history) > sparkWindow {
+				history = history[len(history)-sparkWindow:]
+			}
+		}
+		fmt.Fprintln(w, watchLine(s, history))
+	}
+	return nil
 }
 
 // runSummary loads one run's artifacts and renders the full report.
@@ -51,7 +125,7 @@ func runSummary(w io.Writer, path string, topN int) error {
 	if err != nil {
 		return err
 	}
-	series, err := telemetry.LoadSeries(path)
+	series, err := telemetry.LoadAllSeries(path)
 	if err != nil {
 		return err
 	}

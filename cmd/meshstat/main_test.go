@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"meshcast/internal/ctlplane"
 	"meshcast/internal/telemetry"
 )
 
@@ -150,5 +153,52 @@ func TestCounterDeltas(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("deltas = %v, want %v", got, want)
 		}
+	}
+}
+
+func TestNormalizeBase(t *testing.T) {
+	if got := normalizeBase("127.0.0.1:8420"); got != "http://127.0.0.1:8420" {
+		t.Fatalf("normalizeBase bare = %q", got)
+	}
+	if got := normalizeBase("https://mesh.local:8420"); got != "https://mesh.local:8420" {
+		t.Fatalf("normalizeBase schemed = %q", got)
+	}
+}
+
+func TestWatchLine(t *testing.T) {
+	at := time.Date(2026, 8, 8, 12, 30, 15, 0, time.UTC)
+	s := ctlplane.WatchSample{
+		T: at,
+		Stats: ctlplane.Stats{
+			NodesAlive: 23,
+			NodesTotal: 25,
+			EtherUp:    true,
+		},
+		DeltaExpected:  100,
+		DeltaDelivered: 80,
+		PDR:            0.8,
+		HasPDR:         true,
+	}
+	line := watchLine(s, []float64{0.9, 0.8})
+	for _, want := range []string{"12:30:15", "23/25", "ether up", "pdr 0.800", "80/100"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("watch line missing %q: %s", want, line)
+		}
+	}
+
+	s.Stats.EtherUp = false
+	s.HasPDR = false
+	line = watchLine(s, nil)
+	if !strings.Contains(line, "DOWN") {
+		t.Errorf("watch line missing DOWN: %s", line)
+	}
+	if strings.Contains(line, "0.800") {
+		t.Errorf("watch line kept stale pdr: %s", line)
+	}
+
+	s.Err = errors.New("connection refused")
+	line = watchLine(s, nil)
+	if !strings.Contains(line, "poll failed") || !strings.Contains(line, "connection refused") {
+		t.Errorf("error sample rendered wrong: %s", line)
 	}
 }

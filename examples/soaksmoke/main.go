@@ -1,0 +1,301 @@
+// Soaksmoke is the CI gate for the soak stack: it brings up a supervised
+// fleet of live daemons (internal/soak — the same runner `etherd -soak`
+// uses), then mutates it mid-run exclusively through the ctlplane HTTP
+// API the way an operator would: killing nodes, partitioning the medium,
+// and injecting a fault script into the running fleet. It polls /stats
+// the whole time (the same windowed-PDR stream `meshstat -watch` renders)
+// and verifies the robustness contract:
+//
+//   - killed daemons come back on their own (the supervisor watchdog),
+//   - delivery dips under the faults and resumes once they clear,
+//   - the run tears down without leaking goroutines.
+//
+// The harness exits nonzero when any criterion fails — CI runs it
+// race-enabled and uploads the telemetry directory as an artifact:
+//
+//	go run -race ./examples/soaksmoke -nodes 25 -seconds 30 -telemetry SOAK -json SOAKSMOKE.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"meshcast/internal/ctlplane"
+	"meshcast/internal/soak"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 25, "daemon count (min 25 for the CI gate)")
+	seconds := flag.Int("seconds", 30, "total wall-clock budget")
+	seed := flag.Uint64("seed", 1, "floor / medium / protocol seed")
+	telemetryDir := flag.String("telemetry", "", "record rolling telemetry under this directory")
+	jsonOut := flag.String("json", "", "write the run summary as JSON here")
+	flag.Parse()
+	if err := run(*nodes, *seconds, *seed, *telemetryDir, *jsonOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// summary is the JSON artifact: what was mutated and what was observed.
+type summary struct {
+	Nodes        int     `json:"nodes"`
+	Seed         uint64  `json:"seed"`
+	Killed       []int   `json:"killed"`
+	SteadyPDR    float64 `json:"steadyPdr"`
+	DipPDR       float64 `json:"dipPdr"`
+	RecoveredPDR float64 `json:"recoveredPdr"`
+	MinAlive     int     `json:"minAlive"`
+	FinalPDR     float64 `json:"finalPdr"`
+	Samples      int     `json:"samples"`
+	DurationS    float64 `json:"durationS"`
+}
+
+func run(nodes, seconds int, seed uint64, telemetryDir, jsonOut string) error {
+	if nodes < 8 {
+		return fmt.Errorf("-nodes must be at least 8 (the smoke partitions a quarter of them)")
+	}
+	if seconds < 15 {
+		return fmt.Errorf("-seconds must be at least 15 (warmup + faults + recovery)")
+	}
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+
+	r, err := soak.New(soak.Config{
+		Nodes:          nodes,
+		Seed:           seed,
+		SendInterval:   50 * time.Millisecond,
+		StartStagger:   5 * time.Millisecond,
+		Listen:         "127.0.0.1:0",
+		TelemetryDir:   telemetryDir,
+		SampleInterval: 500 * time.Millisecond,
+		Label:          fmt.Sprintf("soaksmoke %d nodes", nodes),
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(seconds)*time.Second)
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- r.Run(ctx) }()
+
+	c := ctlplane.NewClient("http://" + r.Addr())
+	fmt.Printf("soaksmoke: %d daemons, control plane on %s\n", nodes, c.Base)
+
+	sum := summary{Nodes: nodes, Seed: seed, MinAlive: nodes}
+	err = drive(ctx, c, nodes, &sum)
+
+	cancel()
+	if rerr := <-runDone; rerr != nil && err == nil {
+		err = rerr
+	}
+	sum.DurationS = time.Since(start).Seconds()
+	if err == nil {
+		err = checkGoroutines(baseline)
+	}
+
+	if jsonOut != "" {
+		data, jerr := json.MarshalIndent(sum, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(jsonOut, append(data, '\n'), 0o644)
+		}
+		if jerr != nil && err == nil {
+			err = jerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soaksmoke OK: steady PDR %.2f, dip %.2f, recovered %.2f, min alive %d/%d\n",
+		sum.SteadyPDR, sum.DipPDR, sum.RecoveredPDR, sum.MinAlive, nodes)
+	return nil
+}
+
+// watcher accumulates the windowed-PDR stream in the background — the
+// same samples meshstat -watch renders.
+type watcher struct {
+	mu      sync.Mutex
+	samples []ctlplane.WatchSample
+	minPDR  float64
+	lastPDR float64
+	minAliv int
+	hasPDR  bool
+}
+
+func (w *watcher) run(ctx context.Context, c *ctlplane.Client) {
+	for s := range ctlplane.Watch(ctx, c, 500*time.Millisecond) {
+		if s.Err != nil {
+			continue
+		}
+		w.mu.Lock()
+		w.samples = append(w.samples, s)
+		if s.Stats.NodesAlive < w.minAliv {
+			w.minAliv = s.Stats.NodesAlive
+		}
+		if s.HasPDR {
+			w.lastPDR = s.PDR
+			if !w.hasPDR || s.PDR < w.minPDR {
+				w.minPDR = s.PDR
+			}
+			w.hasPDR = true
+		}
+		w.mu.Unlock()
+	}
+}
+
+func (w *watcher) snapshot() (minPDR, lastPDR float64, minAlive, n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.minPDR, w.lastPDR, w.minAliv, len(w.samples)
+}
+
+// drive executes the smoke's fault sequence over the HTTP API and applies
+// the recovery criteria.
+func drive(ctx context.Context, c *ctlplane.Client, nodes int, sum *summary) error {
+	// Warm up: every daemon alive and traffic flowing.
+	steady, err := waitSteady(ctx, c, nodes)
+	if err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	sum.SteadyPDR = steady
+	fmt.Printf("  steady: all %d alive, windowed PDR %.2f\n", nodes, steady)
+
+	w := &watcher{minAliv: nodes}
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	watchDone := make(chan struct{})
+	go func() { defer close(watchDone); w.run(watchCtx, c) }()
+
+	// Mutation 1: kill two daemons over the API. They are *unscheduled*
+	// deaths, so recovery must come from the supervisor watchdog.
+	roster, err := c.Nodes(ctx)
+	if err != nil {
+		return err
+	}
+	victims := []int{roster[len(roster)/3].ID, roster[2*len(roster)/3].ID}
+	for _, id := range victims {
+		if err := c.KillNode(ctx, id); err != nil {
+			return fmt.Errorf("kill node %d: %w", id, err)
+		}
+	}
+	sum.Killed = victims
+	fmt.Printf("  killed nodes %v over the API\n", victims)
+
+	// Mutation 2: partition a quarter of the fleet off the medium.
+	sideA := make([]int, 0, len(roster)/4)
+	for _, n := range roster[:len(roster)/4] {
+		sideA = append(sideA, n.ID)
+	}
+	if _, err := c.Partition(ctx, ctlplane.PartitionRequest{SideA: sideA}); err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+
+	// Mutation 3: inject a fault script into the *running* fleet — a short
+	// extra outage scheduled relative to now.
+	script := []byte(`{"outages":[{"node":1,"start_s":0.5,"duration_s":1}]}`)
+	res, err := c.InjectScript(ctx, ctlplane.ScriptRequest{Script: script})
+	if err != nil {
+		return fmt.Errorf("inject script: %w", err)
+	}
+	fmt.Printf("  partitioned %d nodes, injected script (%d events over %.1fs)\n",
+		len(sideA), res.Events, res.SpanSeconds)
+
+	// Let the faults bite, then heal the partition.
+	if err := sleepCtx(ctx, 4*time.Second); err != nil {
+		return err
+	}
+	if _, err := c.Partition(ctx, ctlplane.PartitionRequest{Clear: true}); err != nil {
+		return fmt.Errorf("clear partition: %w", err)
+	}
+	fmt.Printf("  partition cleared, waiting for recovery\n")
+
+	// Recovery: every daemon (including the killed ones) alive again and
+	// delivery flowing in the post-fault windows.
+	recovered, err := waitSteady(ctx, c, nodes)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	sum.RecoveredPDR = recovered
+
+	stopWatch()
+	<-watchDone
+	minPDR, lastPDR, minAlive, n := w.snapshot()
+	sum.DipPDR = minPDR
+	sum.FinalPDR = lastPDR
+	sum.MinAlive = minAlive
+	sum.Samples = n
+
+	// The watch stream must have seen the dip and the recovery.
+	if n < 3 {
+		return fmt.Errorf("watch stream produced only %d samples", n)
+	}
+	if minAlive >= nodes {
+		return fmt.Errorf("watch never observed a dead daemon (min alive %d of %d)", minAlive, nodes)
+	}
+	if minPDR >= recovered {
+		return fmt.Errorf("watch never observed a delivery dip (min %.3f, recovered %.3f)", minPDR, recovered)
+	}
+	if recovered <= 0 {
+		return fmt.Errorf("no post-fault delivery (windowed PDR %.3f)", recovered)
+	}
+	fmt.Printf("  recovered: all %d alive, windowed PDR %.2f (dip was %.2f)\n",
+		nodes, recovered, minPDR)
+	return nil
+}
+
+// waitSteady polls /stats and /nodes until every daemon is alive and the
+// current window delivered traffic; it returns that window's PDR.
+func waitSteady(ctx context.Context, c *ctlplane.Client, nodes int) (float64, error) {
+	var prev ctlplane.Stats
+	havePrev := false
+	for {
+		if err := sleepCtx(ctx, 500*time.Millisecond); err != nil {
+			return 0, fmt.Errorf("fleet never reached steady state: %w", err)
+		}
+		s, err := c.Stats(ctx)
+		if err != nil {
+			continue
+		}
+		if havePrev && s.NodesAlive == nodes {
+			de := s.Expected - prev.Expected
+			dd := s.Delivered - prev.Delivered
+			if de > 0 && dd > 0 {
+				return float64(dd) / float64(de), nil
+			}
+		}
+		prev, havePrev = s, true
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// checkGoroutines waits for the run's goroutines to drain after teardown.
+func checkGoroutines(baseline int) error {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		// Slack of 4 covers runtime background goroutines that come and go.
+		n := runtime.NumGoroutine()
+		if n <= baseline+4 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d before run, %d after teardown", baseline, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

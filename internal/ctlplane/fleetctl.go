@@ -1,0 +1,264 @@
+package ctlplane
+
+import (
+	"fmt"
+	"time"
+
+	"meshcast/internal/emu"
+	"meshcast/internal/faults"
+	"meshcast/internal/packet"
+)
+
+// FleetControllerConfig tunes the fleet-backed controller.
+type FleetControllerConfig struct {
+	// AliveWindow is how recent a daemon's protocol activity must be to
+	// report alive (default 2 s, matching the supervisor's default).
+	AliveWindow time.Duration
+	// DegradedBelow is the alive fraction under which Health reports
+	// degraded and mutations are shed (default 0.5).
+	DegradedBelow float64
+	// ScriptSlack extends an injected script's impairment-hook lifetime
+	// past its last event, covering fault windows that outlast their onset
+	// (default 1 min).
+	ScriptSlack time.Duration
+}
+
+func (c FleetControllerConfig) withDefaults() FleetControllerConfig {
+	if c.AliveWindow <= 0 {
+		c.AliveWindow = 2 * time.Second
+	}
+	if c.DegradedBelow <= 0 {
+		c.DegradedBelow = 0.5
+	}
+	if c.ScriptSlack <= 0 {
+		c.ScriptSlack = time.Minute
+	}
+	return c
+}
+
+// FleetController exposes a supervised live fleet to the control plane:
+// reads poll the fleet's lock-free accounting, link mutations go to the
+// shared link table (surviving ether restarts), and injected fault scripts
+// split into an impairment hook (link faults, partitions) plus supervisor
+// schedule events (kills, restarts, ether bounces).
+type FleetController struct {
+	fleet *emu.Fleet
+	sup   *emu.FleetSupervisor
+	cfg   FleetControllerConfig
+}
+
+// NewFleetController wraps a fleet and its supervisor. sup may be nil, in
+// which case injected scripts impair links but cannot kill nodes or bounce
+// the ether.
+func NewFleetController(fleet *emu.Fleet, sup *emu.FleetSupervisor, cfg FleetControllerConfig) *FleetController {
+	return &FleetController{fleet: fleet, sup: sup, cfg: cfg.withDefaults()}
+}
+
+// Nodes implements Controller.
+func (c *FleetController) Nodes() []NodeState {
+	ids := c.fleet.NodeIDs()
+	out := make([]NodeState, 0, len(ids))
+	for _, id := range ids {
+		acc := c.fleet.NodeStats(id)
+		out = append(out, NodeState{
+			ID:              int(id),
+			Alive:           c.fleet.DaemonAlive(id, c.cfg.AliveWindow),
+			Kills:           acc.Kills,
+			Restarts:        acc.Restarts,
+			DowntimeSeconds: acc.Downtime.Seconds(),
+		})
+	}
+	return out
+}
+
+// Links implements Controller.
+func (c *FleetController) Links() LinksState {
+	entries, def := c.fleet.Links().Entries()
+	out := LinksState{Default: profileState(def), Links: make([]LinkState, 0, len(entries))}
+	for _, e := range entries {
+		out.Links = append(out.Links, LinkState{
+			From: int(e.From), To: int(e.To), LinkProfileState: profileState(e.Profile),
+		})
+	}
+	for _, id := range c.fleet.Links().Partition() {
+		out.Partition = append(out.Partition, int(id))
+	}
+	return out
+}
+
+func profileState(p emu.LinkProfile) LinkProfileState {
+	return LinkProfileState{
+		DF:       p.DF,
+		DelayMS:  float64(p.Delay) / float64(time.Millisecond),
+		JitterMS: float64(p.Jitter) / float64(time.Millisecond),
+		DupProb:  p.DupProb,
+	}
+}
+
+func (c *FleetController) aliveCount() (alive, total int) {
+	ids := c.fleet.NodeIDs()
+	for _, id := range ids {
+		if c.fleet.DaemonAlive(id, c.cfg.AliveWindow) {
+			alive++
+		}
+	}
+	return alive, len(ids)
+}
+
+// Stats implements Controller.
+func (c *FleetController) Stats() Stats {
+	expected, delivered := c.fleet.DeliveryEstimate()
+	es := c.fleet.EtherStats()
+	alive, total := c.aliveCount()
+	s := Stats{
+		EtherUp:    c.fleet.EtherUp(),
+		NodesAlive: alive,
+		NodesTotal: total,
+		Expected:   expected,
+		Delivered:  delivered,
+		Ether: EtherCounters{
+			FramesIn:      es.FramesIn,
+			FramesOut:     es.FramesOut,
+			FramesDropped: es.FramesDropped,
+			FramesDup:     es.FramesDup,
+			Registrations: es.Registrations,
+		},
+	}
+	if start := c.fleet.StartTime(); !start.IsZero() {
+		s.UptimeSeconds = time.Since(start).Seconds()
+	}
+	return s
+}
+
+// Health implements Controller: degraded when the medium is down or too few
+// daemons are alive to call the fleet functional.
+func (c *FleetController) Health() Health {
+	alive, total := c.aliveCount()
+	h := Health{Status: HealthOK, EtherUp: c.fleet.EtherUp()}
+	if total > 0 {
+		h.AliveFraction = float64(alive) / float64(total)
+	}
+	switch {
+	case !h.EtherUp:
+		h.Status = HealthDegraded
+		h.Reason = "ether down"
+	case h.AliveFraction < c.cfg.DegradedBelow:
+		h.Status = HealthDegraded
+		h.Reason = fmt.Sprintf("alive fraction %.2f below %.2f", h.AliveFraction, c.cfg.DegradedBelow)
+	}
+	return h
+}
+
+// node maps a wire node ID to a fleet node, rejecting unknowns.
+func (c *FleetController) node(id int) (packet.NodeID, error) {
+	for _, n := range c.fleet.NodeIDs() {
+		if int(n) == id {
+			return n, nil
+		}
+	}
+	return 0, RequestError{Msg: fmt.Sprintf("unknown node %d", id)}
+}
+
+// Impair implements Controller.
+func (c *FleetController) Impair(req ImpairRequest) error {
+	from, err := c.node(req.From)
+	if err != nil {
+		return err
+	}
+	to, err := c.node(req.To)
+	if err != nil {
+		return err
+	}
+	p := emu.LinkProfile{
+		DF:      *req.DF,
+		Delay:   time.Duration(req.DelayMS * float64(time.Millisecond)),
+		Jitter:  time.Duration(req.JitterMS * float64(time.Millisecond)),
+		DupProb: req.DupProb,
+	}
+	c.fleet.Links().SetProfile(from, to, p)
+	if req.Symmetric {
+		c.fleet.Links().SetProfile(to, from, p)
+	}
+	return nil
+}
+
+// Partition implements Controller.
+func (c *FleetController) Partition(req PartitionRequest) error {
+	if req.Clear {
+		c.fleet.Links().ClearPartition()
+		return nil
+	}
+	side := make([]packet.NodeID, 0, len(req.SideA))
+	for _, id := range req.SideA {
+		n, err := c.node(id)
+		if err != nil {
+			return err
+		}
+		side = append(side, n)
+	}
+	c.fleet.Links().SetPartition(side)
+	return nil
+}
+
+// KillNode implements Controller. The kill is deliberately *unscheduled*:
+// the supervisor's watchdog notices the dead daemon and revives it after
+// its UnhealthyAfter budget — the recovery path soak runs exercise.
+func (c *FleetController) KillNode(node int) error {
+	id, err := c.node(node)
+	if err != nil {
+		return err
+	}
+	return c.fleet.StopDaemon(id)
+}
+
+// RestartNode implements Controller (no-op if the daemon is already up).
+func (c *FleetController) RestartNode(node int) error {
+	id, err := c.node(node)
+	if err != nil {
+		return err
+	}
+	if err := c.fleet.RestartDaemon(id); err != nil {
+		return RequestError{Msg: err.Error()}
+	}
+	return nil
+}
+
+// InjectScript implements Controller: the script compiles against the
+// fleet's node list (bad scripts fail here with the offending event named),
+// its link faults and partitions join the live impairment chain, and its
+// node/ether events merge into the supervisor's schedule, all offset from
+// the moment of injection.
+func (c *FleetController) InjectScript(req ScriptRequest) (ScriptResult, error) {
+	start := c.fleet.StartTime()
+	if start.IsZero() {
+		return ScriptResult{}, RequestError{Msg: "fleet not running"}
+	}
+	plan, err := faults.ParsePlan(req.Script)
+	if err != nil {
+		return ScriptResult{}, RequestError{Msg: err.Error()}
+	}
+	chaos, err := emu.NewChaos(emu.ChaosConfig{
+		Plan: plan, Seed: req.Seed, TimeScale: req.TimeScale,
+	}, c.fleet.NodeIDs())
+	if err != nil {
+		return ScriptResult{}, RequestError{Msg: err.Error()}
+	}
+	now := time.Now()
+	chaos.Begin(now)
+	events := chaos.Events()
+	var span time.Duration
+	if len(events) > 0 {
+		span = events[len(events)-1].At
+	}
+	c.fleet.AddImpairment(chaos.DropProb, now.Add(span+c.cfg.ScriptSlack))
+	if c.sup != nil {
+		offset := now.Sub(start)
+		shifted := make([]emu.ChaosEvent, len(events))
+		for i, ev := range events {
+			ev.At += offset
+			shifted[i] = ev
+		}
+		c.sup.Inject(shifted)
+	}
+	return ScriptResult{Events: len(events), SpanSeconds: span.Seconds()}, nil
+}

@@ -1,0 +1,136 @@
+package ctlplane
+
+import (
+	"time"
+
+	"meshcast/internal/emu"
+	"meshcast/internal/packet"
+)
+
+// MediumController exposes a bare etherd medium — no managed daemons — to
+// the control plane. Reads report the registered clients and frame
+// counters; link and partition mutations apply to the shared table; node
+// lifecycle and script injection are ErrUnsupported (etherd cannot kill
+// daemons it does not own).
+type MediumController struct {
+	// LinksTable is the medium's shared link table.
+	LinksTable *emu.LinkTable
+	// Ether returns the current medium generation (nil while down).
+	Ether func() *emu.Ether
+	// StartedAt anchors UptimeSeconds.
+	StartedAt time.Time
+}
+
+// ether resolves the current medium generation, tolerating a nil hook.
+func (c *MediumController) ether() *emu.Ether {
+	if c.Ether == nil {
+		return nil
+	}
+	return c.Ether()
+}
+
+// Nodes implements Controller: every registered client, alive by virtue of
+// being registered.
+func (c *MediumController) Nodes() []NodeState {
+	e := c.ether()
+	if e == nil {
+		return nil
+	}
+	clients := e.Clients()
+	out := make([]NodeState, 0, len(clients))
+	for _, id := range clients {
+		out = append(out, NodeState{ID: int(id), Alive: true})
+	}
+	return out
+}
+
+// Links implements Controller.
+func (c *MediumController) Links() LinksState {
+	entries, def := c.LinksTable.Entries()
+	out := LinksState{Default: profileState(def), Links: make([]LinkState, 0, len(entries))}
+	for _, e := range entries {
+		out.Links = append(out.Links, LinkState{
+			From: int(e.From), To: int(e.To), LinkProfileState: profileState(e.Profile),
+		})
+	}
+	for _, id := range c.LinksTable.Partition() {
+		out.Partition = append(out.Partition, int(id))
+	}
+	return out
+}
+
+// Stats implements Controller. Expected/Delivered stay zero — the medium
+// does not see end-to-end deliveries, only frames.
+func (c *MediumController) Stats() Stats {
+	s := Stats{}
+	if !c.StartedAt.IsZero() {
+		s.UptimeSeconds = time.Since(c.StartedAt).Seconds()
+	}
+	if e := c.ether(); e != nil {
+		es := e.Stats()
+		s.EtherUp = true
+		s.NodesAlive = len(e.Clients())
+		s.NodesTotal = s.NodesAlive
+		s.Ether = EtherCounters{
+			FramesIn:      es.FramesIn,
+			FramesOut:     es.FramesOut,
+			FramesDropped: es.FramesDropped,
+			FramesDup:     es.FramesDup,
+			Registrations: es.Registrations,
+		}
+	}
+	return s
+}
+
+// Health implements Controller: degraded only while the medium is down.
+func (c *MediumController) Health() Health {
+	h := Health{Status: HealthOK, EtherUp: c.ether() != nil, AliveFraction: 1}
+	if !h.EtherUp {
+		h.Status = HealthDegraded
+		h.Reason = "ether down"
+	}
+	return h
+}
+
+// Impair implements Controller. The medium has no node roster, so any pair
+// is legal.
+func (c *MediumController) Impair(req ImpairRequest) error {
+	p := emu.LinkProfile{
+		DF:      *req.DF,
+		Delay:   time.Duration(req.DelayMS * float64(time.Millisecond)),
+		Jitter:  time.Duration(req.JitterMS * float64(time.Millisecond)),
+		DupProb: req.DupProb,
+	}
+	from, to := packet.NodeID(req.From), packet.NodeID(req.To)
+	c.LinksTable.SetProfile(from, to, p)
+	if req.Symmetric {
+		c.LinksTable.SetProfile(to, from, p)
+	}
+	return nil
+}
+
+// Partition implements Controller.
+func (c *MediumController) Partition(req PartitionRequest) error {
+	if req.Clear {
+		c.LinksTable.ClearPartition()
+		return nil
+	}
+	side := make([]packet.NodeID, 0, len(req.SideA))
+	for _, id := range req.SideA {
+		side = append(side, packet.NodeID(id))
+	}
+	c.LinksTable.SetPartition(side)
+	return nil
+}
+
+// KillNode implements Controller: unsupported, etherd owns no daemons.
+func (c *MediumController) KillNode(int) error { return ErrUnsupported }
+
+// RestartNode implements Controller: unsupported.
+func (c *MediumController) RestartNode(int) error { return ErrUnsupported }
+
+// InjectScript implements Controller: unsupported (scripts need the node
+// roster and a supervisor; use -fault-script at etherd startup instead).
+func (c *MediumController) InjectScript(ScriptRequest) (ScriptResult, error) {
+	return ScriptResult{}, ErrUnsupported
+}

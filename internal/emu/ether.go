@@ -123,6 +123,7 @@ type Ether struct {
 	timers    map[uint64]*time.Timer // pending delayed deliveries
 	nextTimer uint64
 	closing   bool
+	draining  bool
 
 	pending sync.WaitGroup // delayed deliveries in flight
 	done    chan struct{}
@@ -176,10 +177,23 @@ func (e *Ether) Clients() []packet.NodeID {
 	return out
 }
 
+// Drain quiesces the medium for a graceful shutdown: new frames stop being
+// fanned out, but deliveries already in their delay window are allowed to
+// land before Drain returns. The socket stays open (the subsequent Close
+// finds nothing pending to cancel) — the opposite of Close's crash
+// semantics, where in-flight frames are lost like on a real restarting
+// medium.
+func (e *Ether) Drain() {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+	e.pending.Wait()
+}
+
 // Close stops the ether and waits for its serve loop and every pending
 // delayed delivery to exit. Deliveries still in their delay window are
 // canceled, not flushed — a restarting medium loses in-flight frames, like
-// a real one.
+// a real one. Call Drain first to flush them instead.
 func (e *Ether) Close() error {
 	e.mu.Lock()
 	e.closing = true
@@ -236,6 +250,10 @@ func (e *Ether) serve() {
 // up to 2N+1 per frame.
 func (e *Ether) fanOut(sender packet.NodeID, frame []byte) {
 	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return
+	}
 	e.stats.FramesIn++
 	targets := e.snapshotTargets(sender)
 	dels, dropped := e.decide(sender, targets)

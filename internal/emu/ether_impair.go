@@ -66,6 +66,49 @@ func (t *LinkTable) Profile(from, to packet.NodeID) LinkProfile {
 	return t.def
 }
 
+// LinkEntry is one directed link's configured profile — the inspection
+// shape the control plane serializes for GET /links.
+type LinkEntry struct {
+	From, To packet.NodeID
+	Profile  LinkProfile
+}
+
+// Entries returns every explicitly configured directed link plus the
+// default profile, sorted by (From, To) for stable output.
+func (t *LinkTable) Entries() (entries []LinkEntry, def LinkProfile) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	entries = make([]LinkEntry, 0, len(t.links))
+	for k, p := range t.links {
+		entries = append(entries, LinkEntry{From: k[0], To: k[1], Profile: p})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].From != entries[j].From {
+			return entries[i].From < entries[j].From
+		}
+		return entries[i].To < entries[j].To
+	})
+	return entries, t.def
+}
+
+// Partition returns the nodes on side A of the active partition mask,
+// sorted ascending (nil when no partition is installed).
+func (t *LinkTable) Partition() []packet.NodeID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.mask == nil {
+		return nil
+	}
+	out := make([]packet.NodeID, 0, len(t.mask))
+	for id, in := range t.mask {
+		if in {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SetPartition installs a partition mask: frames between a node in sideA and
 // a node outside it are dropped until ClearPartition. Registration traffic
 // is unaffected (the ether server itself is reachable from both sides).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"meshcast/internal/metric"
@@ -31,15 +32,27 @@ type Fleet struct {
 
 	etherAddr string
 
-	mu           sync.Mutex // guards ether lifecycle + impairment hook
+	mu           sync.Mutex // guards ether lifecycle
 	ether        *Ether     // nil while a scripted ether outage holds it down
 	etherGen     int64
 	etherRetired EtherStats
-	impair       ImpairFunc
+
+	// impairs is the composable impairment chain, read lock-free on the
+	// ether's per-frame hot path and copy-on-write updated by the rare
+	// SetImpairment/AddImpairment calls (the control plane mutates a running
+	// fleet). Keeping it off f.mu also avoids an f.mu↔ether.mu lock-order
+	// inversion: the ether evaluates the hook under its own lock.
+	impairs atomic.Pointer[impairChain]
 
 	chaos   *Chaos
 	health  *liveHealth
 	members map[packet.GroupID]int
+
+	// expected and delivered are cumulative delivery accounting cheap enough
+	// for per-request control-plane polling: expected grows by the group
+	// size on every source send, delivered by one per member delivery.
+	expected  atomic.Uint64
+	delivered atomic.Uint64
 
 	runCtx    context.Context
 	started   chan struct{}
@@ -86,6 +99,12 @@ type FleetConfig struct {
 	LinkDupProb           float64
 	// SendInterval is each source's CBR gap (default 50 ms).
 	SendInterval time.Duration
+	// StartStagger spaces daemon starts by this much in Run (node i starts
+	// i×StartStagger after run start), so a fleet of hundreds of daemons
+	// does not thunder at the ether in one burst. Zero starts everyone at
+	// once. Keep total stagger below the supervisor's UnhealthyAfter, or
+	// the watchdog will race the ramp-up.
+	StartStagger time.Duration
 	// Seed drives the ether's loss draws and protocol randomness.
 	Seed uint64
 }
@@ -128,6 +147,8 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		started:   make(chan struct{}),
 		slots:     make(map[packet.NodeID]*daemonSlot, len(nodeIDs)),
 	}
+	f.impairs.Store(&impairChain{})
+	ether.SetImpairment(f.impairHook)
 	joins := make(map[packet.NodeID][]packet.GroupID)
 	sources := make(map[packet.NodeID][]packet.GroupID)
 	f.members = make(map[packet.GroupID]int)
@@ -177,14 +198,76 @@ func (f *Fleet) UseChaos(c *Chaos) {
 	f.health = newLiveHealth(c.Onsets(), c.Windows())
 }
 
-// SetImpairment installs the ether impairment hook, keeping it across
-// ether restarts.
+// impairChain is the fleet's composed impairment state: a base hook (the
+// chaos schedule attached before Run) plus extra hooks added live by the
+// control plane. Updates replace the whole value (copy-on-write); the
+// ether's per-frame hook only ever Loads it.
+type impairChain struct {
+	base   ImpairFunc
+	extras []timedImpair
+}
+
+// timedImpair is one live-injected impairment with an optional expiry: once
+// a fault script's span is over its hook evaluates to zero forever, so it
+// can be pruned instead of lengthening the chain for the rest of a soak.
+type timedImpair struct {
+	fn    ImpairFunc
+	until time.Time // zero = never expires
+}
+
+// impairHook is the single ImpairFunc installed on every ether generation:
+// it combines the chain's hooks as independent loss processes
+// (drop = 1 − Π(1 − dropᵢ)).
+func (f *Fleet) impairHook(from, to packet.NodeID) float64 {
+	ch := f.impairs.Load()
+	keep := 1.0
+	if ch.base != nil {
+		keep *= 1 - ch.base(from, to)
+	}
+	for _, ti := range ch.extras {
+		if !ti.until.IsZero() && time.Now().After(ti.until) {
+			continue
+		}
+		keep *= 1 - ti.fn(from, to)
+	}
+	if keep <= 0 {
+		return 1
+	}
+	return 1 - keep
+}
+
+// SetImpairment installs (or, with nil, clears) the base ether impairment
+// hook, keeping it across ether restarts. Live additions made through
+// AddImpairment survive.
 func (f *Fleet) SetImpairment(fn ImpairFunc) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.impair = fn
-	if f.ether != nil {
-		f.ether.SetImpairment(fn)
+	for {
+		old := f.impairs.Load()
+		next := &impairChain{base: fn, extras: old.extras}
+		if f.impairs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// AddImpairment composes an extra impairment hook into the chain while the
+// fleet runs — the control plane's /faults/script injection path. A
+// non-zero until lets the fleet prune the hook after the script's span has
+// passed (expired hooks evaluate to zero anyway).
+func (f *Fleet) AddImpairment(fn ImpairFunc, until time.Time) {
+	now := time.Now()
+	for {
+		old := f.impairs.Load()
+		next := &impairChain{base: old.base}
+		for _, ti := range old.extras {
+			if !ti.until.IsZero() && now.After(ti.until) {
+				continue
+			}
+			next.extras = append(next.extras, ti)
+		}
+		next.extras = append(next.extras, timedImpair{fn: fn, until: until})
+		if f.impairs.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
@@ -204,13 +287,41 @@ func (f *Fleet) Run(ctx context.Context) {
 		f.health.begin(f.startTime)
 	}
 	close(f.started)
-	for _, id := range f.nodeIDs {
-		s := f.slots[id]
-		s.mu.Lock()
-		if s.d != nil {
-			f.startDaemonLocked(s)
+	if f.cfg.StartStagger > 0 {
+		// One starter goroutine paces the fleet up; it registers on f.wg
+		// before Run can reach Wait, so a canceled context cannot race a
+		// late wg.Add.
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			for i, id := range f.nodeIDs {
+				if i > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(f.cfg.StartStagger):
+					}
+				}
+				s := f.slots[id]
+				s.mu.Lock()
+				// Start only untouched initial generations: a slot the
+				// supervisor already killed (d == nil) or revived
+				// (cancel != nil) mid-ramp is left alone.
+				if s.d != nil && s.cancel == nil {
+					f.startDaemonLocked(s)
+				}
+				s.mu.Unlock()
+			}
+		}()
+	} else {
+		for _, id := range f.nodeIDs {
+			s := f.slots[id]
+			s.mu.Lock()
+			if s.d != nil {
+				f.startDaemonLocked(s)
+			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 	<-ctx.Done()
 	f.wg.Wait()
@@ -361,9 +472,7 @@ func (f *Fleet) StartEther() error {
 	if err != nil {
 		return err
 	}
-	if f.impair != nil {
-		ether.SetImpairment(f.impair)
-	}
+	ether.SetImpairment(f.impairHook)
 	f.ether = ether
 	return nil
 }
@@ -423,6 +532,7 @@ func (f *Fleet) Totals() (sent uint64, delivered uint64) {
 }
 
 func (f *Fleet) recordSend(g packet.GroupID, at time.Time) {
+	f.expected.Add(uint64(f.members[g]))
 	if f.health != nil {
 		// Same convention as the simulator's health wiring: one expected
 		// delivery per group member, so PDR denominators line up.
@@ -433,8 +543,34 @@ func (f *Fleet) recordSend(g packet.GroupID, at time.Time) {
 }
 
 func (f *Fleet) recordDeliver(g packet.GroupID, at time.Time) {
+	f.delivered.Add(1)
 	if f.health != nil {
 		f.health.recordDeliver(g, at)
+	}
+}
+
+// DeliveryEstimate returns the fleet's cumulative delivery accounting:
+// expected deliveries (one per group member per source send) and actual
+// member deliveries. Lock-free — the control plane polls it per request,
+// and windowed deltas of delivered/expected give a live PDR estimate.
+func (f *Fleet) DeliveryEstimate() (expected, delivered uint64) {
+	return f.expected.Load(), f.delivered.Load()
+}
+
+// Links returns the fleet's shared link table; profile and partition
+// mutations on it apply to the live medium (and survive ether restarts,
+// since every generation shares the table).
+func (f *Fleet) Links() *LinkTable { return f.links }
+
+// Drain quiesces the current ether generation for graceful shutdown:
+// new frames stop fanning out while already-scheduled delayed deliveries
+// land. No-op while a scripted outage holds the ether down.
+func (f *Fleet) Drain() {
+	f.mu.Lock()
+	ether := f.ether
+	f.mu.Unlock()
+	if ether != nil {
+		ether.Drain()
 	}
 }
 
@@ -555,7 +691,8 @@ func (f *Fleet) Daemon(id packet.NodeID) *Daemon {
 	return s.d
 }
 
-// Close shuts every daemon and the ether down.
+// Close shuts every daemon and the ether down. Per-daemon counters are
+// retired first, so Result stays accurate after Close.
 func (f *Fleet) Close() {
 	for _, s := range f.slots {
 		s.mu.Lock()
@@ -563,6 +700,10 @@ func (f *Fleet) Close() {
 			if s.cancel != nil {
 				s.cancel()
 				<-s.done
+			}
+			s.retiredSent += s.d.SentCount()
+			for _, p := range s.d.Delivered() {
+				s.retiredRecv[p.Src]++
 			}
 			s.d.Close()
 			s.d, s.cancel, s.done = nil, nil, nil

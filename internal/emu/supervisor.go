@@ -49,6 +49,21 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 	return c
 }
 
+// expBackoff returns a stateful step function yielding the capped
+// exponential backoff sequence RestartBackoff, 2×, 4×, ... clamped at
+// RestartBackoffMax. Every restart invocation gets a fresh sequence, so a
+// successful revive resets the next failure's delay to the floor.
+func (c SupervisorConfig) expBackoff() func() time.Duration {
+	next := c.RestartBackoff
+	return func() time.Duration {
+		d := next
+		if next *= 2; next > c.RestartBackoffMax {
+			next = c.RestartBackoffMax
+		}
+		return d
+	}
+}
+
 // FleetEvent is one supervision action actually executed (as opposed to
 // ChaosEvent, which is the schedule).
 type FleetEvent struct {
@@ -59,6 +74,9 @@ type FleetEvent struct {
 	Kind string
 	// Node is the affected node (0 for ether events).
 	Node packet.NodeID
+	// Backoff is the delay before the next attempt, set on "restart-failed"
+	// events — the observable the backoff tests and control plane read.
+	Backoff time.Duration `json:",omitempty"`
 }
 
 // NodeReport is one node's supervision outcome.
@@ -95,6 +113,7 @@ type FleetSupervisor struct {
 	cfg   SupervisorConfig
 
 	mu            sync.Mutex
+	pending       []ChaosEvent // due-ordered events not yet executed
 	events        []FleetEvent
 	etherRestarts int
 	scheduledDown map[packet.NodeID]bool
@@ -127,11 +146,9 @@ func (s *FleetSupervisor) Run(ctx context.Context) error {
 		return ctx.Err()
 	}
 	start := s.fleet.StartTime()
-	var schedule []ChaosEvent
 	if s.chaos != nil {
-		schedule = s.chaos.Events()
+		s.Inject(s.chaos.Events())
 	}
-	next := 0
 	ticker := time.NewTicker(s.cfg.CheckInterval)
 	defer ticker.Stop()
 	for {
@@ -142,12 +159,41 @@ func (s *FleetSupervisor) Run(ctx context.Context) error {
 		case <-ticker.C:
 		}
 		now := time.Since(start)
-		for next < len(schedule) && schedule[next].At <= now {
-			s.execute(ctx, schedule[next], start)
-			next++
+		for _, ev := range s.takeDue(now) {
+			s.execute(ctx, ev, start)
 		}
 		s.watchdog(ctx, start)
 	}
+}
+
+// Inject merges extra chaos events into the live schedule — the control
+// plane's /faults/script path. Event offsets are relative to the fleet's
+// run start; events already in the past fire on the next supervision tick.
+// Safe to call before Run and while Run is looping.
+func (s *FleetSupervisor) Inject(events []ChaosEvent) {
+	if len(events) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, events...)
+	sort.SliceStable(s.pending, func(i, j int) bool { return s.pending[i].At < s.pending[j].At })
+	s.mu.Unlock()
+}
+
+// takeDue pops every pending event due at or before now, in order.
+func (s *FleetSupervisor) takeDue(now time.Duration) []ChaosEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for n < len(s.pending) && s.pending[n].At <= now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	due := append([]ChaosEvent(nil), s.pending[:n]...)
+	s.pending = s.pending[n:]
+	return due
 }
 
 // execute dispatches one scheduled chaos event. Kill and ether actions run
@@ -185,7 +231,7 @@ func (s *FleetSupervisor) execute(ctx context.Context, ev ChaosEvent, start time
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			backoff := s.cfg.RestartBackoff
+			step := s.cfg.expBackoff()
 			for ctx.Err() == nil {
 				if err := s.fleet.StartEther(); err == nil {
 					s.log(FleetEvent{At: time.Since(start), Kind: "ether-up"})
@@ -196,10 +242,7 @@ func (s *FleetSupervisor) execute(ctx context.Context, ev ChaosEvent, start time
 				}
 				select {
 				case <-ctx.Done():
-				case <-time.After(backoff):
-				}
-				if backoff *= 2; backoff > s.cfg.RestartBackoffMax {
-					backoff = s.cfg.RestartBackoffMax
+				case <-time.After(step()):
 				}
 			}
 		}()
@@ -226,21 +269,19 @@ func (s *FleetSupervisor) restart(ctx context.Context, id packet.NodeID, start t
 			delete(s.restarting, id)
 			s.mu.Unlock()
 		}()
-		backoff := s.cfg.RestartBackoff
+		step := s.cfg.expBackoff()
 		for ctx.Err() == nil {
 			err := s.fleet.RestartDaemon(id)
 			if err == nil {
 				s.log(FleetEvent{At: time.Since(start), Kind: kind, Node: id})
 				return
 			}
-			s.log(FleetEvent{At: time.Since(start), Kind: "restart-failed", Node: id})
+			wait := step()
+			s.log(FleetEvent{At: time.Since(start), Kind: "restart-failed", Node: id, Backoff: wait})
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > s.cfg.RestartBackoffMax {
-				backoff = s.cfg.RestartBackoffMax
+			case <-time.After(wait):
 			}
 		}
 	}()

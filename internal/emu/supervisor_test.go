@@ -178,6 +178,107 @@ func TestSupervisorScriptedKillAndRestart(t *testing.T) {
 	}
 }
 
+// TestSupervisorConfigExpBackoff checks the capped exponential backoff
+// sequence: doubling from RestartBackoff, clamped at RestartBackoffMax, and
+// restarting from the floor on a fresh invocation (the state after a
+// successful revive).
+func TestSupervisorConfigExpBackoff(t *testing.T) {
+	cfg := SupervisorConfig{
+		RestartBackoff:    100 * time.Millisecond,
+		RestartBackoffMax: 2 * time.Second,
+	}.withDefaults()
+	step := cfg.expBackoff()
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := step(); got != w {
+			t.Fatalf("step %d = %v, want %v", i, got, w)
+		}
+	}
+	if got := cfg.expBackoff()(); got != cfg.RestartBackoff {
+		t.Fatalf("fresh sequence starts at %v, want floor %v", got, cfg.RestartBackoff)
+	}
+}
+
+// restartFailures filters the executed-event log down to restart-failed
+// events, in order.
+func restartFailures(events []FleetEvent) []FleetEvent {
+	var out []FleetEvent
+	for _, ev := range events {
+		if ev.Kind == "restart-failed" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestSupervisorRestartBackoffCapAndReset drives the restart loop against a
+// fleet whose daemons cannot be revived (Run was never called, so
+// RestartDaemon always errors): every attempt logs a restart-failed event
+// carrying the delay before the next try. The recorded delays must follow
+// the capped exponential — never exceeding RestartBackoffMax — and a second
+// invocation (the state after a successful revive) must start back at the
+// floor.
+func TestSupervisorRestartBackoffCapAndReset(t *testing.T) {
+	fleet, err := NewFleet(FleetConfig{
+		Scenario: lineScenario(),
+		Metric:   metric.SPP,
+		Seed:     31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if err := fleet.StopDaemon(2); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := SupervisorConfig{
+		RestartBackoff:    5 * time.Millisecond,
+		RestartBackoffMax: 20 * time.Millisecond,
+	}
+	sup := NewFleetSupervisor(fleet, nil, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	sup.restart(ctx, 2, start, "restart")
+	waitFor(t, 5*time.Second, "several failed restart attempts", func() bool {
+		return len(restartFailures(sup.Events())) >= 6
+	})
+	cancel()
+	sup.wg.Wait()
+
+	fails := restartFailures(sup.Events())
+	wantNext := cfg.RestartBackoff
+	for i, ev := range fails {
+		if ev.Backoff > cfg.RestartBackoffMax {
+			t.Fatalf("attempt %d backoff = %v exceeds cap %v", i, ev.Backoff, cfg.RestartBackoffMax)
+		}
+		if ev.Backoff != wantNext {
+			t.Fatalf("attempt %d backoff = %v, want %v", i, ev.Backoff, wantNext)
+		}
+		if wantNext *= 2; wantNext > cfg.RestartBackoffMax {
+			wantNext = cfg.RestartBackoffMax
+		}
+	}
+
+	// A new restart invocation gets a fresh sequence: back at the floor.
+	before := len(fails)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	sup.restart(ctx2, 2, start, "restart")
+	waitFor(t, 5*time.Second, "second invocation's first failure", func() bool {
+		return len(restartFailures(sup.Events())) > before
+	})
+	cancel2()
+	sup.wg.Wait()
+	if got := restartFailures(sup.Events())[before].Backoff; got != cfg.RestartBackoff {
+		t.Fatalf("backoff after fresh invocation = %v, want floor %v", got, cfg.RestartBackoff)
+	}
+}
+
 // TestFleetCloseNoGoroutineLeak runs a short supervised fleet and checks
 // that teardown returns the process to its goroutine baseline.
 func TestFleetCloseNoGoroutineLeak(t *testing.T) {

@@ -185,12 +185,13 @@ func Compile(plan Plan, rng *sim.RNG, nTargets int, horizon time.Duration) (*Com
 	c := &Compiled{}
 
 	outages := make([]Outage, 0, len(plan.Outages))
-	for _, o := range plan.Outages {
+	for i, o := range plan.Outages {
 		if o.Node < 0 || o.Node >= nTargets {
-			return nil, fmt.Errorf("faults: outage node %d out of range [0, %d)", o.Node, nTargets)
+			return nil, fmt.Errorf("faults: outage %d (node %d, start %v): node index out of range [0, %d)",
+				i, o.Node, o.Start, nTargets)
 		}
 		if o.Duration <= 0 {
-			return nil, fmt.Errorf("faults: outage for node %d has non-positive duration", o.Node)
+			return nil, fmt.Errorf("faults: outage %d (node %d, start %v): non-positive duration", i, o.Node, o.Start)
 		}
 		outages = append(outages, o)
 	}
@@ -205,34 +206,43 @@ func Compile(plan Plan, rng *sim.RNG, nTargets int, horizon time.Duration) (*Com
 	}
 	c.outages = mergeOutages(outages)
 
-	for _, lf := range plan.LinkFaults {
-		if lf.From < -1 || lf.To < -1 {
-			return nil, fmt.Errorf("faults: link fault endpoints must be node indices or -1")
+	for i, lf := range plan.LinkFaults {
+		// Endpoints must be real node indices (or the -1 wildcard): a typo'd
+		// index would otherwise compile fine and silently never match any
+		// pair at execution time.
+		for _, end := range []int{lf.From, lf.To} {
+			if end != -1 && (end < 0 || end >= nTargets) {
+				return nil, fmt.Errorf("faults: link fault %d (from %d, to %d, start %v): node index %d out of range [0, %d)",
+					i, lf.From, lf.To, lf.Start, end, nTargets)
+			}
 		}
 		if lf.DropProb < 0 || lf.DropProb > 1 {
-			return nil, fmt.Errorf("faults: link drop probability %v outside [0, 1]", lf.DropProb)
+			return nil, fmt.Errorf("faults: link fault %d (from %d, to %d, start %v): drop probability %v outside [0, 1]",
+				i, lf.From, lf.To, lf.Start, lf.DropProb)
 		}
 		if lf.Duration <= 0 {
-			return nil, fmt.Errorf("faults: link fault has non-positive duration")
+			return nil, fmt.Errorf("faults: link fault %d (from %d, to %d, start %v): non-positive duration",
+				i, lf.From, lf.To, lf.Start)
 		}
 		c.linkFaults = append(c.linkFaults, lf)
 	}
-	for _, p := range plan.Partitions {
+	for i, p := range plan.Partitions {
 		if p.Duration <= 0 {
-			return nil, fmt.Errorf("faults: partition has non-positive duration")
+			return nil, fmt.Errorf("faults: partition %d (start %v): non-positive duration", i, p.Start)
 		}
 		side := make(map[int]bool, len(p.SideA))
 		for _, n := range p.SideA {
 			if n < 0 || n >= nTargets {
-				return nil, fmt.Errorf("faults: partition node %d out of range [0, %d)", n, nTargets)
+				return nil, fmt.Errorf("faults: partition %d (start %v): node %d out of range [0, %d)",
+					i, p.Start, n, nTargets)
 			}
 			side[n] = true
 		}
 		c.partitions = append(c.partitions, partitionWindow{Partition: p, sideA: side})
 	}
-	for _, er := range plan.EtherRestarts {
+	for i, er := range plan.EtherRestarts {
 		if er.Duration <= 0 {
-			return nil, fmt.Errorf("faults: ether restart has non-positive duration")
+			return nil, fmt.Errorf("faults: ether restart %d (start %v): non-positive duration", i, er.Start)
 		}
 		c.etherRestarts = append(c.etherRestarts, er)
 	}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -249,6 +250,59 @@ func TestSchedulerValidation(t *testing.T) {
 		if _, err := NewScheduler(engine, sim.NewRNG(1), p, targets, time.Minute); err == nil {
 			t.Fatalf("case %d: invalid plan accepted", i)
 		}
+	}
+}
+
+// TestCompileRejectsOutOfRangeLinkFaults: a link fault naming a node index
+// the run does not have must fail at compile time — with an error naming
+// the offending event — instead of silently never matching at execution.
+func TestCompileRejectsOutOfRangeLinkFaults(t *testing.T) {
+	cases := []struct {
+		plan Plan
+		want []string // substrings the error must carry to name the event
+	}{
+		{
+			Plan{LinkFaults: []LinkFault{
+				{From: 0, To: 1, Start: time.Second, Duration: time.Second, DropProb: 0.5},
+				{From: 7, To: 1, Start: 2 * time.Second, Duration: time.Second, DropProb: 0.5},
+			}},
+			[]string{"link fault 1", "from 7", "out of range [0, 3)"},
+		},
+		{
+			Plan{LinkFaults: []LinkFault{{From: 0, To: 3, Duration: time.Second}}},
+			[]string{"link fault 0", "to 3", "out of range [0, 3)"},
+		},
+		{
+			Plan{LinkFaults: []LinkFault{{From: -2, To: 0, Duration: time.Second}}},
+			[]string{"link fault 0", "out of range"},
+		},
+		{
+			Plan{Outages: []Outage{
+				{Node: 0, Start: 0, Duration: time.Second},
+				{Node: 9, Start: 5 * time.Second, Duration: time.Second},
+			}},
+			[]string{"outage 1", "node 9", "out of range [0, 3)"},
+		},
+		{
+			Plan{Partitions: []Partition{{Start: time.Second, Duration: time.Second, SideA: []int{0, 4}}}},
+			[]string{"partition 0", "node 4", "out of range [0, 3)"},
+		},
+	}
+	for i, c := range cases {
+		_, err := Compile(c.plan, sim.NewRNG(1), 3, time.Minute)
+		if err == nil {
+			t.Fatalf("case %d: out-of-range plan accepted", i)
+		}
+		for _, sub := range c.want {
+			if !strings.Contains(err.Error(), sub) {
+				t.Fatalf("case %d: error %q does not name the offending event (missing %q)", i, err, sub)
+			}
+		}
+	}
+	// Wildcards stay legal: -1 matches every node.
+	ok := Plan{LinkFaults: []LinkFault{{From: -1, To: -1, Start: 0, Duration: time.Second, DropProb: 1}}}
+	if _, err := Compile(ok, sim.NewRNG(1), 3, time.Minute); err != nil {
+		t.Fatalf("wildcard link fault rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,302 @@
+// Package soak runs long-lived supervised fleets: hundreds of live odmrpd
+// daemons on one generated floor, started staggered, watched by the
+// FleetSupervisor, exporting rolling telemetry, and mutable over the
+// ctlplane HTTP API while they serve traffic.
+//
+// Both `etherd -soak` and the CI soak smoke drive this exact runner, so
+// the code path exercised in CI is the one operators run.
+package soak
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"meshcast/internal/ctlplane"
+	"meshcast/internal/emu"
+	"meshcast/internal/metric"
+	"meshcast/internal/telemetry"
+	"meshcast/internal/testbed"
+)
+
+// Config describes a soak run.
+type Config struct {
+	// Nodes is the daemon count (min 4; hundreds are fine).
+	Nodes int
+	// Groups is the number of multicast sessions laid out on the floor
+	// (default max(2, Nodes/12) so traffic scales with the fleet).
+	Groups int
+	// Metric selects the routing metric (default metric.SPP).
+	Metric metric.Kind
+	// Seed drives floor generation, the medium, and protocol randomness.
+	Seed uint64
+	// SendInterval is each source's CBR gap (default 100 ms — soak runs
+	// favor endurance over throughput).
+	SendInterval time.Duration
+	// StartStagger spaces daemon starts (default 20 ms) so a large fleet
+	// ramps instead of thundering.
+	StartStagger time.Duration
+	// Listen is the control-plane address ("127.0.0.1:0" for an ephemeral
+	// port; empty disables the API).
+	Listen string
+	// TelemetryDir enables rolling telemetry export when non-empty.
+	TelemetryDir string
+	// SampleInterval is the telemetry sampling period (default 1 s).
+	SampleInterval time.Duration
+	// RotateEvery seals the series stream into a numbered segment at this
+	// period (default 5 min; <0 disables rotation).
+	RotateEvery time.Duration
+	// Supervisor tunes watchdog and restart backoff behavior.
+	Supervisor emu.SupervisorConfig
+	// Label names the run in the telemetry manifest.
+	Label string
+
+	// trace, when set, observes the graceful-shutdown steps in order —
+	// the shutdown-order test's hook.
+	trace func(step string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metric == 0 {
+		c.Metric = metric.SPP
+	}
+	if c.Groups == 0 {
+		c.Groups = max(2, c.Nodes/12)
+	}
+	if c.SendInterval <= 0 {
+		c.SendInterval = 100 * time.Millisecond
+	}
+	if c.StartStagger == 0 {
+		c.StartStagger = 20 * time.Millisecond
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.RotateEvery == 0 {
+		c.RotateEvery = 5 * time.Minute
+	}
+	if c.Label == "" {
+		c.Label = fmt.Sprintf("soak %d nodes %v", c.Nodes, c.Metric)
+	}
+	return c
+}
+
+// Runner owns one soak run's moving parts.
+type Runner struct {
+	cfg      Config
+	fleet    *emu.Fleet
+	sup      *emu.FleetSupervisor
+	rec      *telemetry.Recorder
+	listener net.Listener
+	httpSrv  *http.Server
+}
+
+// New builds the fleet, supervisor, control listener, and telemetry
+// recorder. Call Run to start everything; Run also tears it all down.
+func New(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	scenario, err := testbed.GenerateFloor(testbed.FloorConfig{
+		Nodes:  cfg.Nodes,
+		Seed:   cfg.Seed,
+		Groups: cfg.Groups,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	fleet, err := emu.NewFleet(emu.FleetConfig{
+		Scenario:     scenario,
+		Metric:       cfg.Metric,
+		SendInterval: cfg.SendInterval,
+		StartStagger: cfg.StartStagger,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	r := &Runner{
+		cfg:   cfg,
+		fleet: fleet,
+		sup:   emu.NewFleetSupervisor(fleet, nil, cfg.Supervisor),
+	}
+	if cfg.Listen != "" {
+		ctl := ctlplane.NewFleetController(fleet, r.sup, ctlplane.FleetControllerConfig{})
+		srv := ctlplane.NewServer(ctl, ctlplane.ServerConfig{})
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			fleet.Close()
+			return nil, fmt.Errorf("soak: control listener: %w", err)
+		}
+		r.listener = ln
+		r.httpSrv = &http.Server{Handler: srv.Handler()}
+	}
+	if cfg.TelemetryDir != "" {
+		rec, err := telemetry.NewRecorder(cfg.TelemetryDir, cfg.SampleInterval)
+		if err != nil {
+			r.close()
+			return nil, fmt.Errorf("soak: %w", err)
+		}
+		emu.InstrumentFleet(rec.Registry(), fleet, nil, r.sup)
+		r.rec = rec
+	}
+	return r, nil
+}
+
+// Addr returns the control-plane listen address (empty when disabled).
+func (r *Runner) Addr() string {
+	if r.listener == nil {
+		return ""
+	}
+	return r.listener.Addr().String()
+}
+
+// Fleet exposes the underlying fleet (result collection, tests).
+func (r *Runner) Fleet() *emu.Fleet { return r.fleet }
+
+// Report summarizes supervision outcomes for the given elapsed run time.
+func (r *Runner) Report(elapsed time.Duration) emu.SupervisorReport {
+	return r.sup.Report(elapsed)
+}
+
+func (r *Runner) traceStep(step string) {
+	if r.cfg.trace != nil {
+		r.cfg.trace(step)
+	}
+}
+
+func (r *Runner) close() {
+	if r.listener != nil {
+		r.listener.Close()
+	}
+	r.fleet.Close()
+}
+
+// Run drives the soak until ctx is canceled, then shuts down gracefully in
+// a fixed order: (1) the control listener stops accepting mutations,
+// (2) the fleet and supervisor stop, (3) the ether drains so in-flight
+// delayed deliveries land, (4) a final telemetry sample is taken and the
+// manifest written. Only then are sockets closed. The order matters: the
+// final sample must still see the drained deliveries, and no control
+// mutation may race the teardown.
+func (r *Runner) Run(ctx context.Context) error {
+	start := time.Now()
+
+	// The fleet runs on its own context so shutdown order is ours, not
+	// the scheduler's.
+	fleetCtx, stopFleet := context.WithCancel(context.Background())
+	defer stopFleet()
+	supDone := make(chan error, 1)
+	go func() { supDone <- r.sup.Run(fleetCtx) }()
+	fleetDone := make(chan struct{})
+	go func() {
+		defer close(fleetDone)
+		r.fleet.Run(fleetCtx)
+	}()
+
+	var serveDone chan error
+	if r.httpSrv != nil {
+		serveDone = make(chan error, 1)
+		go func() { serveDone <- r.httpSrv.Serve(r.listener) }()
+	}
+
+	var sampleDone chan struct{}
+	var stopSampling context.CancelFunc
+	if r.rec != nil {
+		var sampleCtx context.Context
+		sampleCtx, stopSampling = context.WithCancel(context.Background())
+		defer stopSampling()
+		sampleDone = make(chan struct{})
+		go func() {
+			defer close(sampleDone)
+			telemetry.RunWall(sampleCtx, r.rec.Sampler(), start)
+		}()
+	}
+
+	var rotate *time.Ticker
+	var rotateC <-chan time.Time
+	if r.rec != nil && r.cfg.RotateEvery > 0 {
+		rotate = time.NewTicker(r.cfg.RotateEvery)
+		defer rotate.Stop()
+		rotateC = rotate.C
+	}
+
+	var firstErr error
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-rotateC:
+			if _, err := r.rec.Rotate(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case err := <-serveDone:
+			serveDone = nil
+			if err != nil && err != http.ErrServerClosed && firstErr == nil {
+				firstErr = fmt.Errorf("soak: control server: %w", err)
+			}
+		}
+	}
+
+	// (1) Stop the control plane: no mutation may race the teardown.
+	r.traceStep("control-stop")
+	if r.httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		r.httpSrv.Shutdown(shutCtx)
+		cancel()
+		if serveDone != nil {
+			if err := <-serveDone; err != nil && err != http.ErrServerClosed && firstErr == nil {
+				firstErr = fmt.Errorf("soak: control server: %w", err)
+			}
+		}
+	}
+
+	// (2) Stop the fleet: daemons and supervisor exit, sends cease.
+	r.traceStep("fleet-stop")
+	stopFleet()
+	<-fleetDone
+	if err := <-supDone; err != nil && err != context.Canceled && firstErr == nil {
+		firstErr = err
+	}
+
+	// (3) Drain the medium: scheduled delayed deliveries land before the
+	// final sample is taken, so the books balance.
+	r.traceStep("ether-drain")
+	r.fleet.Drain()
+
+	// (4) Final telemetry sample + manifest.
+	r.traceStep("telemetry-final")
+	if r.rec != nil {
+		stopSampling()
+		<-sampleDone
+		elapsed := time.Since(start)
+		res := r.fleet.Result()
+		rep := r.sup.Report(elapsed)
+		avail := 1.0
+		if len(rep.Nodes) > 0 {
+			sum := 0.0
+			for _, n := range rep.Nodes {
+				sum += n.Availability
+			}
+			avail = sum / float64(len(rep.Nodes))
+		}
+		err := r.rec.Finalize(telemetry.Manifest{
+			Seed:            r.cfg.Seed,
+			Label:           r.cfg.Label,
+			Metric:          r.cfg.Metric.String(),
+			DurationSeconds: elapsed.Seconds(),
+			Derived: map[string]float64{
+				"pdr":          res.PDR,
+				"availability": avail,
+				"kills":        float64(len(res.Kills)),
+			},
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	r.close()
+	return firstErr
+}

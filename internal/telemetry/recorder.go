@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -76,6 +78,9 @@ type Manifest struct {
 	DurationSeconds float64 `json:"durationSeconds,omitempty"`
 	IntervalSeconds float64 `json:"intervalSeconds,omitempty"`
 	Samples         int     `json:"samples"`
+	// SeriesSegments counts rotated series-NNNN.jsonl files sealed before
+	// the final series.jsonl (long soak runs rotate; batch runs leave 0).
+	SeriesSegments int `json:"seriesSegments,omitempty"`
 	// Final instrument values.
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
@@ -96,13 +101,21 @@ type sampleLine struct {
 // Recorder owns one run's telemetry artifacts: it couples a Registry and a
 // Sampler to a directory, streaming snapshots to series.jsonl as the run
 // executes and writing manifest.json when the run finishes.
+//
+// Long-running (soak) producers call Rotate periodically to seal the open
+// series stream into a numbered segment, bounding the size of any single
+// file; mu serializes the stream writer between the sampling goroutine and
+// the rotation caller.
 type Recorder struct {
-	reg      *Registry
-	sampler  *Sampler
-	dir      string
+	reg     *Registry
+	sampler *Sampler
+	dir     string
+
+	mu       sync.Mutex
 	f        *os.File
 	w        *bufio.Writer
 	writeErr error
+	segments int
 }
 
 // NewRecorder creates (or reuses) dir and opens the series stream. The
@@ -141,12 +154,54 @@ func (r *Recorder) Dir() string { return r.dir }
 func (r *Recorder) writeSample(at time.Duration, snap Snapshot) {
 	line := sampleLine{T: at.Seconds(), Counters: snap.Counters, Gauges: snap.Gauges}
 	data, err := json.Marshal(line)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err == nil {
 		_, err = r.w.Write(append(data, '\n'))
 	}
 	if err != nil && r.writeErr == nil {
 		r.writeErr = err
 	}
+}
+
+// segmentName formats the sealed series segment file for index n.
+func segmentName(n int) string {
+	return fmt.Sprintf("series-%04d.jsonl", n)
+}
+
+// Rotate seals the open series stream: the current series.jsonl is flushed,
+// closed, and renamed to the next numbered segment (series-0000.jsonl,
+// series-0001.jsonl, ...), and a fresh series.jsonl is opened for subsequent
+// samples. Safe to call concurrently with sampling; returns the sealed
+// segment's path.
+func (r *Recorder) Rotate() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.w.Flush(); err != nil {
+		return "", fmt.Errorf("telemetry: rotate: %w", err)
+	}
+	if err := r.f.Close(); err != nil {
+		return "", fmt.Errorf("telemetry: rotate: %w", err)
+	}
+	sealed := filepath.Join(r.dir, segmentName(r.segments))
+	if err := os.Rename(filepath.Join(r.dir, SeriesFile), sealed); err != nil {
+		return "", fmt.Errorf("telemetry: rotate: %w", err)
+	}
+	f, err := os.Create(filepath.Join(r.dir, SeriesFile))
+	if err != nil {
+		return "", fmt.Errorf("telemetry: rotate: %w", err)
+	}
+	r.segments++
+	r.f = f
+	r.w = bufio.NewWriter(f)
+	return sealed, nil
+}
+
+// Segments returns how many sealed series segments Rotate has produced.
+func (r *Recorder) Segments() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.segments
 }
 
 // Finalize takes a last snapshot into the manifest, stamps schema, build,
@@ -163,8 +218,12 @@ func (r *Recorder) Finalize(m Manifest) error {
 	m.Gauges = snap.Gauges
 	m.Histograms = snap.Histograms
 
+	r.mu.Lock()
+	m.SeriesSegments = r.segments
 	flushErr := r.w.Flush()
 	closeErr := r.f.Close()
+	writeErr := r.writeErr
+	r.mu.Unlock()
 
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -173,7 +232,7 @@ func (r *Recorder) Finalize(m Manifest) error {
 	if err := os.WriteFile(filepath.Join(r.dir, ManifestFile), append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("telemetry: manifest: %w", err)
 	}
-	for _, err := range []error{r.writeErr, flushErr, closeErr} {
+	for _, err := range []error{writeErr, flushErr, closeErr} {
 		if err != nil {
 			return fmt.Errorf("telemetry: series stream: %w", err)
 		}
@@ -240,6 +299,31 @@ func LoadSeries(path string) ([]SeriesSample, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("telemetry: read %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// LoadAllSeries reads a run's complete series stream from a telemetry
+// directory: every rotated series-NNNN.jsonl segment in order, then the open
+// series.jsonl tail. Given a file path instead of a directory it behaves
+// like LoadSeries.
+func LoadAllSeries(path string) ([]SeriesSample, error) {
+	st, err := os.Stat(path)
+	if err != nil || !st.IsDir() {
+		return LoadSeries(path)
+	}
+	segs, err := filepath.Glob(filepath.Join(path, "series-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	sort.Strings(segs) // fixed-width numbering sorts chronologically
+	var out []SeriesSample
+	for _, seg := range append(segs, filepath.Join(path, SeriesFile)) {
+		samples, err := LoadSeries(seg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, samples...)
 	}
 	return out, nil
 }

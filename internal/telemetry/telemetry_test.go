@@ -242,6 +242,80 @@ func TestRecorderRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecorderRotation: Rotate seals the open stream into numbered segments
+// without losing samples; LoadAllSeries stitches the full run back together
+// in time order and the manifest records the segment count.
+func TestRecorderRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "soak")
+	rec, err := NewRecorder(dir, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rec.Registry().Counter("emu.frames")
+	sample := func(at time.Duration, v uint64) {
+		c.Add(v)
+		rec.Sampler().Sample(at)
+	}
+
+	sample(1*time.Second, 10)
+	sample(2*time.Second, 10)
+	seg0, err := rec.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(seg0) != "series-0000.jsonl" {
+		t.Fatalf("first segment = %s", seg0)
+	}
+	sample(3*time.Second, 10)
+	if _, err := rec.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	sample(4*time.Second, 10)
+
+	if rec.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", rec.Segments())
+	}
+	if err := rec.Finalize(Manifest{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SeriesSegments != 2 {
+		t.Fatalf("manifest segments = %d, want 2", m.SeriesSegments)
+	}
+	if m.Samples != 4 {
+		t.Fatalf("manifest samples = %d, want 4", m.Samples)
+	}
+
+	// The open tail alone only has the post-rotation sample...
+	tail, err := LoadSeries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].T != 4 {
+		t.Fatalf("tail = %+v, want just t=4", tail)
+	}
+	// ...while LoadAllSeries recovers the whole stream in order.
+	all, err := LoadAllSeries(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("all samples = %d, want 4", len(all))
+	}
+	for i, s := range all {
+		if s.T != float64(i+1) {
+			t.Fatalf("sample %d at t=%v, want %d", i, s.T, i+1)
+		}
+		if want := uint64(10 * (i + 1)); s.Counters["emu.frames"] != want {
+			t.Fatalf("sample %d counter = %d, want %d", i, s.Counters["emu.frames"], want)
+		}
+	}
+}
+
 func TestLoadSeriesMissingFileIsEmpty(t *testing.T) {
 	samples, err := LoadSeries(filepath.Join(t.TempDir(), "nope.jsonl"))
 	if err != nil {
