@@ -56,6 +56,7 @@ import (
 	"meshcast/internal/emu"
 	"meshcast/internal/faults"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/soak"
 	"meshcast/internal/testbed"
@@ -78,6 +79,7 @@ func main() {
 	soakNodes := flag.Int("soak-nodes", 150, "daemon count in soak mode")
 	soakDuration := flag.Duration("soak-duration", 0, "stop the soak after this long (0 = until SIGINT/SIGTERM)")
 	metricName := flag.String("metric", "spp", "routing metric in soak mode")
+	protocolName := flag.String("protocol", "", "multicast protocol in soak mode: "+strings.Join(multicast.Names(), ", ")+" (default "+multicast.Default+")")
 	telemetryDir := flag.String("telemetry", "", "telemetry artifact directory in soak mode (empty disables)")
 	rotateEvery := flag.Duration("rotate-every", 5*time.Minute, "series.jsonl rotation period in soak mode")
 	sendInterval := flag.Duration("send-interval", 100*time.Millisecond, "per-source CBR gap in soak mode")
@@ -85,7 +87,7 @@ func main() {
 	flag.Parse()
 	var err error
 	if *soakMode {
-		err = runSoak(*soakNodes, *soakDuration, *listen, *metricName, *telemetryDir,
+		err = runSoak(*soakNodes, *soakDuration, *listen, *metricName, *protocolName, *telemetryDir,
 			*rotateEvery, *sendInterval, *stagger, uint64(*seed))
 	} else {
 		err = run(*addr, *defaultDF, *linksFile, *paperTestbed, *seed,
@@ -99,15 +101,20 @@ func main() {
 // runSoak runs a self-contained supervised fleet until the duration
 // elapses or a signal arrives; internal/soak owns the graceful-shutdown
 // order (control plane, fleet, ether drain, final telemetry flush).
-func runSoak(nodes int, duration time.Duration, listen, metricName, telemetryDir string,
+func runSoak(nodes int, duration time.Duration, listen, metricName, protocolName, telemetryDir string,
 	rotateEvery, sendInterval, stagger time.Duration, seed uint64) error {
 	kind, err := metric.ParseKind(metricName)
+	if err != nil {
+		return err
+	}
+	proto, err := multicast.Resolve(protocolName)
 	if err != nil {
 		return err
 	}
 	r, err := soak.New(soak.Config{
 		Nodes:        nodes,
 		Metric:       kind,
+		Protocol:     proto,
 		Seed:         seed,
 		SendInterval: sendInterval,
 		StartStagger: stagger,
@@ -125,7 +132,7 @@ func runSoak(nodes int, duration time.Duration, listen, metricName, telemetryDir
 		ctx, cancel = context.WithTimeout(ctx, duration)
 		defer cancel()
 	}
-	fmt.Printf("etherd soak: %d daemons, metric %v, stagger %v\n", nodes, kind, stagger)
+	fmt.Printf("etherd soak: %d daemons, protocol %s, metric %v, stagger %v\n", nodes, proto, kind, stagger)
 	if a := r.Addr(); a != "" {
 		fmt.Printf("etherd soak control plane on http://%s\n", a)
 	}

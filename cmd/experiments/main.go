@@ -14,6 +14,7 @@
 //	go run ./cmd/experiments -full      # paper scale: 10 seeds, 400 s
 //	go run ./cmd/experiments -j 8 -cache-dir .expcache -o EXPERIMENTS.md
 //	go run ./cmd/experiments -skip-ablations
+//	go run ./cmd/experiments -protocol mcst   # ODMRP-vs-MCST comparison
 //	go run ./cmd/experiments -bench-runner BENCH_runner.json
 package main
 
@@ -24,10 +25,13 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"meshcast/internal/experiments"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
 	"meshcast/internal/prof"
 	"meshcast/internal/runner"
 	"meshcast/internal/telemetry"
@@ -37,6 +41,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale configuration (10 seeds, 400 s traffic; slower)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	skipAblations := flag.Bool("skip-ablations", false, "skip the (slow) ablation sweeps")
+	protocol := flag.String("protocol", "", "compare ODMRP against this multicast protocol across every paper metric and exit (registered: "+strings.Join(multicast.Names(), ", ")+")")
 	testbedRuns := flag.Int("testbed-runs", 5, "testbed runs per metric")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation jobs (output is byte-identical for any value)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (empty disables caching)")
@@ -52,6 +57,8 @@ func main() {
 		log.Fatal(err)
 	}
 	switch {
+	case *protocol != "":
+		err = runProtocolComparison(*protocol, *out, *full, *jobs, *cacheDir)
 	case *benchSim != "":
 		err = benchSimcore(*benchSim)
 	case *benchTelemetry != "":
@@ -67,6 +74,55 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runProtocolComparison sweeps ODMRP and the named protocol over every
+// paper metric and seed, and renders the comparison table. Unknown protocol
+// names fail before any simulation runs, listing the registered ones.
+func runProtocolComparison(protocol, out string, full bool, jobs int, cacheDir string) error {
+	name, err := multicast.Resolve(protocol)
+	if err != nil {
+		return fmt.Errorf("-protocol: %w", err)
+	}
+	start := time.Now()
+	opts := experiments.QuickOptions()
+	if full {
+		opts = experiments.FullOptions()
+	}
+	// The comparison runs the §4.3 multi-source regime: with one source per
+	// group ODMRP's reply mesh degenerates to exactly the shared tree MCST
+	// builds from that source as core (the golden tests pin the byte
+	// identity), so protocol structure only shows with several senders.
+	opts.SourcesPerGroup = 3
+	opts.Workers = jobs
+	opts.CacheDir = cacheDir
+	opts.Progress = func(p runner.Progress) {
+		suffix := ""
+		if p.Cached {
+			suffix = " (cached)"
+		}
+		if p.Err != nil {
+			suffix = " FAILED: " + p.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "[%7s] [%d/%d] %s done%s\n",
+			time.Since(start).Round(time.Second), p.Done, p.Total, p.Label, suffix)
+	}
+	protocols := []string{multicast.Default}
+	if name != multicast.Default {
+		protocols = append(protocols, name)
+	}
+	cmp, err := experiments.RunProtocolComparison(opts, protocols)
+	if err != nil {
+		return err
+	}
+	report := experiments.NewReport(opts, 0, 0)
+	report.ProtocolSection(cmp)
+	report.Elapsed(time.Since(start))
+	if out == "" {
+		fmt.Print(report.String())
+		return nil
+	}
+	return os.WriteFile(out, []byte(report.String()), 0o644)
 }
 
 func run(full bool, out string, skipAblations bool, testbedRuns, jobs int, cacheDir, telemetryDir string) error {

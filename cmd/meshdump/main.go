@@ -26,7 +26,8 @@ import (
 // validKinds lists every payload-kind filter value, as rendered by
 // packet.Type.String, plus the pseudo-kind for payload-less control frames.
 var validKinds = []string{
-	"DATA", "JOIN_QUERY", "JOIN_REPLY", "PROBE", "PAIR_SMALL", "PAIR_LARGE",
+	"DATA", "JOIN_QUERY", "JOIN_REPLY", "CORE_ANNOUNCE", "TREE_JOIN",
+	"PROBE", "PAIR_SMALL", "PAIR_LARGE",
 	"(control)",
 }
 

@@ -24,6 +24,8 @@ import (
 	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
 	"meshcast/internal/prof"
 	"meshcast/internal/propagation"
 	"meshcast/internal/sim"
@@ -35,6 +37,7 @@ import (
 // options collects the flag-built run configuration.
 type options struct {
 	Metric    string
+	Protocol  string
 	Seed      uint64
 	Nodes     int
 	Side      float64
@@ -72,6 +75,7 @@ type options struct {
 func defaultOptions() options {
 	return options{
 		Metric:    "spp",
+		Protocol:  multicast.Default,
 		Seed:      1,
 		Nodes:     50,
 		Side:      1000,
@@ -92,6 +96,7 @@ func main() {
 	def := defaultOptions()
 	var opt options
 	flag.StringVar(&opt.Metric, "metric", def.Metric, "routing metric: minhop, etx, ett, pp, metx, spp")
+	flag.StringVar(&opt.Protocol, "protocol", def.Protocol, "multicast protocol: "+strings.Join(multicast.Names(), ", "))
 	flag.Uint64Var(&opt.Seed, "seed", def.Seed, "random seed (topology + all protocol randomness)")
 	flag.IntVar(&opt.Nodes, "nodes", def.Nodes, "number of mesh nodes")
 	flag.Float64Var(&opt.Side, "side", def.Side, "deployment square side in metres")
@@ -229,6 +234,10 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
+	proto, err := multicast.Resolve(opt.Protocol)
+	if err != nil {
+		return fmt.Errorf("-protocol: %w", err)
+	}
 	cats, err := parseTraceCats(opt.TraceCats)
 	if err != nil {
 		return err
@@ -245,6 +254,7 @@ func run(opt options) error {
 	cfg := experiments.ScenarioConfig{
 		Seed:            opt.Seed,
 		Metric:          kind,
+		Protocol:        proto,
 		Topology:        topo,
 		Duration:        time.Duration(opt.Warmup+opt.Seconds) * time.Second,
 		Groups:          experiments.DefaultGroups(rng.Split(), opt.Nodes, opt.Groups, opt.Sources, opt.Members),
@@ -272,8 +282,8 @@ func run(opt options) error {
 		return err
 	}
 
-	fmt.Printf("metric=%s nodes=%d area=%.0fx%.0fm groups=%d sources/group=%d members/group=%d\n",
-		kind, opt.Nodes, opt.Side, opt.Side, opt.Groups, opt.Sources, opt.Members)
+	fmt.Printf("protocol=%s metric=%s nodes=%d area=%.0fx%.0fm groups=%d sources/group=%d members/group=%d\n",
+		proto, kind, opt.Nodes, opt.Side, opt.Side, opt.Groups, opt.Sources, opt.Members)
 	// Wall-clock timing goes to stderr: stdout must be byte-identical across
 	// same-seed runs so churn results can be diffed.
 	fmt.Fprintf(os.Stderr, "simulated %ds traffic (+%ds warmup) in %s (%d events)\n",

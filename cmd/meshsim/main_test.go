@@ -53,6 +53,11 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Fatal("bad metric accepted")
 	}
 	opt = tinyOptions()
+	opt.Protocol = "bogus"
+	if err := run(opt); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	opt = tinyOptions()
 	opt.TraceCats = "nope"
 	if err := run(opt); err == nil {
 		t.Fatal("bad trace category accepted")

@@ -104,7 +104,11 @@ func runWatch(ctx context.Context, w io.Writer, base string, interval time.Durat
 	if err != nil {
 		return fmt.Errorf("meshstat -watch: %w", err)
 	}
-	fmt.Fprintf(w, "watching %s (health %s), interval %v\n", c.Base, h.Status, interval)
+	proto := h.Protocol
+	if proto == "" {
+		proto = "unknown"
+	}
+	fmt.Fprintf(w, "watching %s (health %s, protocol %s), interval %v\n", c.Base, h.Status, proto, interval)
 	const sparkWindow = 30
 	var history []float64
 	for s := range ctlplane.Watch(ctx, c, interval) {

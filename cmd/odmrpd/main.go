@@ -26,6 +26,8 @@ import (
 
 	"meshcast/internal/emu"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
 	"meshcast/internal/packet"
 )
 
@@ -34,6 +36,7 @@ func main() {
 		id         = flag.Uint("id", 1, "node ID (unique per ether)")
 		ether      = flag.String("ether", "127.0.0.1:7777", "etherd UDP address")
 		metricName = flag.String("metric", "spp", "routing metric: minhop, etx, ett, pp, metx, spp")
+		protocol   = flag.String("protocol", "", "multicast protocol: "+strings.Join(multicast.Names(), ", ")+" (default "+multicast.Default+")")
 		join       = flag.String("join", "", "comma-separated group IDs to join as receiver")
 		source     = flag.String("source", "", "comma-separated group IDs to source CBR traffic into")
 		rate       = flag.Int("rate", 20, "CBR packets per second when sourcing")
@@ -43,15 +46,19 @@ func main() {
 		watchdog   = flag.Duration("watchdog", 0, "exit nonzero if the daemon is unregistered or inactive for this long (0 = disabled); lets a process supervisor restart wedged daemons")
 	)
 	flag.Parse()
-	if err := run(*id, *ether, *metricName, *join, *source, *rate, *payload, *seconds, *seed, *watchdog); err != nil {
+	if err := run(*id, *ether, *metricName, *protocol, *join, *source, *rate, *payload, *seconds, *seed, *watchdog); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(id uint, ether, metricName, join, source string, rate, payload, seconds int, seed uint64, watchdog time.Duration) error {
+func run(id uint, ether, metricName, protocol, join, source string, rate, payload, seconds int, seed uint64, watchdog time.Duration) error {
 	kind, err := metric.ParseKind(metricName)
 	if err != nil {
 		return err
+	}
+	proto, err := multicast.Resolve(protocol)
+	if err != nil {
+		return fmt.Errorf("-protocol: %w", err)
 	}
 	joinGroups, err := parseGroups(join)
 	if err != nil {
@@ -72,6 +79,7 @@ func run(id uint, ether, metricName, join, source string, rate, payload, seconds
 		ID:           packet.NodeID(id),
 		EtherAddr:    ether,
 		Metric:       kind,
+		Protocol:     proto,
 		JoinGroups:   joinGroups,
 		SourceGroups: sourceGroups,
 		PayloadBytes: payload,

@@ -44,13 +44,16 @@ func TestParseGroups(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(1, "127.0.0.1:1", "bogus", "", "", 20, 512, 1, 0, 0); err == nil {
+	if err := run(1, "127.0.0.1:1", "bogus", "", "", "", 20, 512, 1, 0, 0); err == nil {
 		t.Fatal("bad metric accepted")
 	}
-	if err := run(1, "127.0.0.1:1", "spp", "zz", "", 20, 512, 1, 0, 0); err == nil {
+	if err := run(1, "127.0.0.1:1", "spp", "bogus", "", "", 20, 512, 1, 0, 0); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if err := run(1, "127.0.0.1:1", "spp", "", "zz", "", 20, 512, 1, 0, 0); err == nil {
 		t.Fatal("bad join groups accepted")
 	}
-	if err := run(1, "127.0.0.1:1", "spp", "", "", 0, 512, 1, 0, 0); err == nil {
+	if err := run(1, "127.0.0.1:1", "spp", "", "", "", 0, 512, 1, 0, 0); err == nil {
 		t.Fatal("zero rate accepted")
 	}
 }
@@ -62,7 +65,7 @@ func TestRunWatchdogFiresWithoutEther(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time test (~1s)")
 	}
-	err := run(1, "127.0.0.1:1", "spp", "", "", 20, 512, 10, 0, 400*time.Millisecond)
+	err := run(1, "127.0.0.1:1", "spp", "", "", "", 20, 512, 10, 0, 400*time.Millisecond)
 	if err == nil {
 		t.Fatal("watchdog did not fire against a dead ether")
 	}

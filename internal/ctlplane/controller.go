@@ -57,6 +57,9 @@ type Controller interface {
 type NodeState struct {
 	ID    int  `json:"id"`
 	Alive bool `json:"alive"`
+	// Protocol is the multicast protocol the node's daemon runs (empty for
+	// backends that do not manage daemons).
+	Protocol string `json:"protocol,omitempty"`
 	// Kills/Restarts/DowntimeSeconds carry the cross-generation lifecycle
 	// ledger (always zero for backends that do not manage daemons).
 	Kills           int     `json:"kills,omitempty"`
@@ -122,6 +125,9 @@ type Health struct {
 	EtherUp       bool    `json:"etherUp"`
 	AliveFraction float64 `json:"aliveFraction"`
 	Reason        string  `json:"reason,omitempty"`
+	// Protocol is the multicast protocol the backend's daemons run (empty
+	// for backends that do not manage daemons).
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // ImpairRequest replaces the profile of one directed link (both directions

@@ -63,6 +63,7 @@ func (c *FleetController) Nodes() []NodeState {
 		out = append(out, NodeState{
 			ID:              int(id),
 			Alive:           c.fleet.DaemonAlive(id, c.cfg.AliveWindow),
+			Protocol:        c.fleet.Protocol(),
 			Kills:           acc.Kills,
 			Restarts:        acc.Restarts,
 			DowntimeSeconds: acc.Downtime.Seconds(),
@@ -134,7 +135,7 @@ func (c *FleetController) Stats() Stats {
 // daemons are alive to call the fleet functional.
 func (c *FleetController) Health() Health {
 	alive, total := c.aliveCount()
-	h := Health{Status: HealthOK, EtherUp: c.fleet.EtherUp()}
+	h := Health{Status: HealthOK, EtherUp: c.fleet.EtherUp(), Protocol: c.fleet.Protocol()}
 	if total > 0 {
 		h.AliveFraction = float64(alive) / float64(total)
 	}

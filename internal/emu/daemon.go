@@ -8,7 +8,8 @@ import (
 
 	"meshcast/internal/linkquality"
 	"meshcast/internal/metric"
-	"meshcast/internal/odmrp"
+	"meshcast/internal/multicast"
+	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
 	"meshcast/internal/packet"
 )
 
@@ -20,6 +21,9 @@ type DaemonConfig struct {
 	EtherAddr string
 	// Metric selects the routing metric.
 	Metric metric.Kind
+	// Protocol selects the multicast routing protocol by registered name;
+	// empty means multicast.Default (ODMRP).
+	Protocol string
 	// JoinGroups lists groups to join as a receiver.
 	JoinGroups []packet.GroupID
 	// SourceGroups lists groups to source CBR traffic into.
@@ -55,7 +59,7 @@ type Daemon struct {
 	cfg    DaemonConfig
 	conn   *NodeConn
 	driver *Driver
-	router *odmrp.Router
+	router multicast.Protocol
 	prober *linkquality.Prober
 	table  *linkquality.Table
 
@@ -90,11 +94,16 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 
 	table := linkquality.NewTable(cfg.PayloadBytes, linkquality.DefaultWindowSize, 2*time.Minute)
 	prober := linkquality.NewProber(engine, cfg.ID, linkquality.ConfigFor(cfg.Metric))
-	params := odmrp.DefaultParams()
-	if cfg.Metric == metric.MinHop {
-		params = odmrp.OriginalParams()
+	router, err := multicast.New(cfg.Protocol, multicast.Env{
+		Engine: engine,
+		ID:     cfg.ID,
+		Metric: pm,
+		Table:  table,
+	}, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
 	}
-	router := odmrp.New(engine, cfg.ID, pm, table, params)
 
 	d := &Daemon{cfg: cfg, conn: conn, driver: driver, router: router, prober: prober, table: table}
 	// Every frame the daemon puts on the air is a liveness heartbeat: the
@@ -105,8 +114,8 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		return conn.Send(p)
 	}
 	prober.Send = send
-	router.Send = send
-	router.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+	router.SetSend(send)
+	router.SetOnDeliver(func(p *packet.Packet, _ packet.NodeID) {
 		at := time.Now()
 		d.mu.Lock()
 		d.delivered = append(d.delivered, DeliveredPacket{
@@ -116,7 +125,7 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		if cfg.OnDeliver != nil {
 			cfg.OnDeliver(p.Group, p.Src, at)
 		}
-	}
+	})
 	conn.SetOnPacket(func(p *packet.Packet, from packet.NodeID) {
 		driver.Inject(func() { d.dispatch(p, from) })
 	})
@@ -222,8 +231,12 @@ func (d *Daemon) SentCount() uint64 {
 	return d.sent
 }
 
+// Protocol returns the registered name of the multicast protocol this
+// daemon runs.
+func (d *Daemon) Protocol() string { return d.router.Name() }
+
 // Summary formats a one-line status.
 func (d *Daemon) Summary() string {
-	return fmt.Sprintf("odmrpd id=%v metric=%v sent=%d delivered=%d",
-		d.cfg.ID, d.cfg.Metric, d.SentCount(), len(d.Delivered()))
+	return fmt.Sprintf("%sd id=%v metric=%v sent=%d delivered=%d",
+		d.router.Name(), d.cfg.ID, d.cfg.Metric, d.SentCount(), len(d.Delivered()))
 }

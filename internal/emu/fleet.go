@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/stats"
 	"meshcast/internal/testbed"
@@ -87,6 +88,9 @@ type FleetConfig struct {
 	Scenario testbed.Scenario
 	// Metric selects the routing metric for every daemon.
 	Metric metric.Kind
+	// Protocol selects the multicast routing protocol for every daemon by
+	// registered name; empty means multicast.Default (ODMRP).
+	Protocol string
 	// LossyDF / LowLossDF map link classes to delivery probabilities
 	// (defaults 0.5 and 0.95).
 	LossyDF, LowLossDF float64
@@ -164,6 +168,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			ID:           id,
 			EtherAddr:    f.etherAddr,
 			Metric:       cfg.Metric,
+			Protocol:     cfg.Protocol,
 			JoinGroups:   joins[id],
 			SourceGroups: sources[id],
 			SendInterval: cfg.SendInterval,
@@ -677,6 +682,16 @@ func (f *Fleet) Result() FleetResult {
 		res.Health = f.health.health()
 	}
 	return res
+}
+
+// Protocol returns the registered name of the multicast protocol the
+// fleet's daemons run (the configured name resolved through the registry).
+func (f *Fleet) Protocol() string {
+	name, err := multicast.Resolve(f.cfg.Protocol)
+	if err != nil {
+		return f.cfg.Protocol
+	}
+	return name
 }
 
 // Daemon returns the live daemon for a node (tests and diagnostics; nil

@@ -80,6 +80,53 @@ func TestGoldenSimcoreOutput(t *testing.T) {
 	}
 }
 
+// TestGoldenSimcoreOutputExplicitProtocol runs the golden scenario with the
+// ODMRP protocol named explicitly instead of defaulted, and requires the
+// byte-identical golden output: the protocol-registry indirection must be
+// invisible to ODMRP's behavior (same construction order, same RNG draws).
+func TestGoldenSimcoreOutputExplicitProtocol(t *testing.T) {
+	cfg := goldenScenario(t)
+	cfg.Protocol = "odmrp"
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatRunResult(res)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_simcore.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("explicit -protocol odmrp diverged from the default-protocol golden output:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenSimcoreOutputMCSTSingleSource pins a structural theorem of the
+// two protocols: with one source per group, ODMRP's δ-wait reply mesh *is*
+// the best-parent shared tree MCST builds from that source as core — same
+// flood (CORE_ANNOUNCE mirrors JOIN_QUERY in size, interval, and α re-flood
+// rule), same δ-selected parents (TREE_JOIN mirrors JOIN_REPLY), hence the
+// same forwarder set, the same RNG draw sequence, and byte-identical
+// output. The protocols only diverge with multiple sources per group
+// (ODMRP unions per-source meshes; MCST keeps one core) — which is why the
+// protocol-comparison sweep runs the §4.3 multi-source regime.
+func TestGoldenSimcoreOutputMCSTSingleSource(t *testing.T) {
+	cfg := goldenScenario(t)
+	cfg.Protocol = "mcst"
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatRunResult(res)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_simcore.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("single-source MCST diverged from the ODMRP golden output — the shared tree no longer mirrors the one-source mesh:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestGoldenSimcoreOutputUncached runs the same scenario with the static
 // link cache disabled and requires the identical golden output — the cache's
 // determinism contract (see docs/PERFORMANCE.md): same candidate order, same

@@ -9,7 +9,7 @@ import (
 	"math"
 	"sort"
 
-	"meshcast/internal/odmrp"
+	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/runner"
 	"meshcast/internal/stats"
@@ -96,7 +96,8 @@ func ScenarioKey(cfg ScenarioConfig) (string, bool) {
 		return "", false
 	}
 	w := hashWriter{sha256.New()}
-	w.str("meshcast/scenario/v1\n")
+	w.str("meshcast/scenario/v2\n")
+	w.str("proto=%s;", cfg.Protocol)
 	w.str("seed=%d;metric=%s;dur=%d;payload=%d;interval=%d;start=%d;win=%d;",
 		cfg.Seed, cfg.Metric, cfg.Duration, cfg.PayloadBytes, cfg.SendInterval,
 		cfg.TrafficStart, cfg.WindowSize)
@@ -166,20 +167,21 @@ type edgeCount struct {
 // shortest-exact formatting — so a cache hit reproduces the byte-identical
 // report a fresh run would have produced.
 type cachedRunResult struct {
-	Summary       stats.Summary
-	PerMember     []stats.MemberPDR
-	ControlBytes  uint64
-	ProbeBytes    uint64
-	MACCollisions uint64
-	DataForwards  uint64
-	EdgeUse       []edgeCount
-	Delay         stats.Percentiles
-	Events        uint64
-	Health        []stats.GroupHealth
-	Faulted       int
+	Summary        stats.Summary
+	PerMember      []stats.MemberPDR
+	ControlBytes   uint64
+	ProbeBytes     uint64
+	MACCollisions  uint64
+	DataForwards   uint64
+	ForwarderState int
+	EdgeUse        []edgeCount
+	Delay          stats.Percentiles
+	Events         uint64
+	Health         []stats.GroupHealth
+	Faulted        int
 }
 
-func flattenEdges(m map[odmrp.Edge]uint64) []edgeCount {
+func flattenEdges(m map[multicast.Edge]uint64) []edgeCount {
 	out := make([]edgeCount, 0, len(m))
 	for e, c := range m {
 		out = append(out, edgeCount{From: e.From, To: e.To, Count: c})
@@ -193,27 +195,28 @@ func flattenEdges(m map[odmrp.Edge]uint64) []edgeCount {
 	return out
 }
 
-func unflattenEdges(s []edgeCount) map[odmrp.Edge]uint64 {
-	out := make(map[odmrp.Edge]uint64, len(s))
+func unflattenEdges(s []edgeCount) map[multicast.Edge]uint64 {
+	out := make(map[multicast.Edge]uint64, len(s))
 	for _, e := range s {
-		out[odmrp.Edge{From: e.From, To: e.To}] = e.Count
+		out[multicast.Edge{From: e.From, To: e.To}] = e.Count
 	}
 	return out
 }
 
 func encodeRunResult(r *RunResult) ([]byte, error) {
 	return json.Marshal(cachedRunResult{
-		Summary:       r.Summary,
-		PerMember:     r.PerMember,
-		ControlBytes:  r.ControlBytes,
-		ProbeBytes:    r.ProbeBytes,
-		MACCollisions: r.MACCollisions,
-		DataForwards:  r.DataForwards,
-		EdgeUse:       flattenEdges(r.EdgeUse),
-		Delay:         r.Delay,
-		Events:        r.Events,
-		Health:        r.Health,
-		Faulted:       r.Faulted,
+		Summary:        r.Summary,
+		PerMember:      r.PerMember,
+		ControlBytes:   r.ControlBytes,
+		ProbeBytes:     r.ProbeBytes,
+		MACCollisions:  r.MACCollisions,
+		DataForwards:   r.DataForwards,
+		ForwarderState: r.ForwarderState,
+		EdgeUse:        flattenEdges(r.EdgeUse),
+		Delay:          r.Delay,
+		Events:         r.Events,
+		Health:         r.Health,
+		Faulted:        r.Faulted,
 	})
 }
 
@@ -223,17 +226,18 @@ func decodeRunResult(data []byte) (*RunResult, error) {
 		return nil, err
 	}
 	return &RunResult{
-		Summary:       c.Summary,
-		PerMember:     c.PerMember,
-		ControlBytes:  c.ControlBytes,
-		ProbeBytes:    c.ProbeBytes,
-		MACCollisions: c.MACCollisions,
-		DataForwards:  c.DataForwards,
-		EdgeUse:       unflattenEdges(c.EdgeUse),
-		Delay:         c.Delay,
-		Events:        c.Events,
-		Health:        c.Health,
-		Faulted:       c.Faulted,
+		Summary:        c.Summary,
+		PerMember:      c.PerMember,
+		ControlBytes:   c.ControlBytes,
+		ProbeBytes:     c.ProbeBytes,
+		MACCollisions:  c.MACCollisions,
+		DataForwards:   c.DataForwards,
+		ForwarderState: c.ForwarderState,
+		EdgeUse:        unflattenEdges(c.EdgeUse),
+		Delay:          c.Delay,
+		Events:         c.Events,
+		Health:         c.Health,
+		Faulted:        c.Faulted,
 	}, nil
 }
 
@@ -249,9 +253,9 @@ type TestbedResult = runner.Result[*testbed.Result]
 // config fully determines the run).
 func TestbedKey(cfg testbed.Config) (string, bool) {
 	w := hashWriter{sha256.New()}
-	w.str("meshcast/testbed/v1\n")
-	w.str("metric=%s;seed=%d;traffic=%d;warmup=%d;vary=%d;",
-		cfg.Metric, cfg.Seed, cfg.TrafficSeconds, cfg.WarmupSeconds, cfg.VariationInterval)
+	w.str("meshcast/testbed/v2\n")
+	w.str("proto=%s;metric=%s;seed=%d;traffic=%d;warmup=%d;vary=%d;",
+		cfg.Protocol, cfg.Metric, cfg.Seed, cfg.TrafficSeconds, cfg.WarmupSeconds, cfg.VariationInterval)
 	return hex.EncodeToString(w.h.Sum(nil)), true
 }
 

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+)
+
+// ProtocolCell is one (protocol, metric) point of a protocol comparison,
+// averaged over the sweep's seeds.
+type ProtocolCell struct {
+	Protocol string
+	Metric   metric.Kind
+	// PDR is the mean delivery ratio; PDRStderr its standard error over
+	// seeds.
+	PDR, PDRStderr float64
+	// DelayMS is the mean end-to-end delay in milliseconds.
+	DelayMS float64
+	// ForwardCost is data rebroadcasts per packet delivered — the paper's
+	// forwarding-efficiency axis (lower is cheaper).
+	ForwardCost float64
+	// ControlBytes is the mean protocol control traffic per run.
+	ControlBytes float64
+	// StateSize is the mean end-of-run route soft state (mesh rounds +
+	// duplicate windows for ODMRP, tree rounds + duplicate windows for
+	// MCST) summed over all nodes.
+	StateSize float64
+}
+
+// ProtocolComparison is a full protocols × metrics sweep.
+type ProtocolComparison struct {
+	Protocols []string
+	Metrics   []metric.Kind
+	Seeds     []uint64
+	// SourcesPerGroup records the sweep's senders per group. With a single
+	// source the comparison is vacuous — ODMRP's one-source mesh is exactly
+	// the tree MCST builds from that source as core — so callers should
+	// compare in the multi-source regime (§4.3).
+	SourcesPerGroup int
+	// Cells is protocol-major, metric-minor: Cells[p*len(Metrics)+m].
+	Cells []ProtocolCell
+}
+
+// Cell returns the (protocol, metric) aggregate.
+func (c *ProtocolComparison) Cell(proto string, k metric.Kind) *ProtocolCell {
+	for i := range c.Cells {
+		if c.Cells[i].Protocol == proto && c.Cells[i].Metric == k {
+			return &c.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunProtocolComparison sweeps every requested protocol over every paper
+// metric and seed through the job harness and aggregates the comparison
+// axes: PDR, delay, forwarding cost, control bytes, and route-state size.
+// Protocol names resolve through the multicast registry (empty list means
+// every registered protocol); unknown names fail before any job runs. The
+// result is deterministic for a fixed Options regardless of worker count.
+func RunProtocolComparison(o Options, protocols []string) (*ProtocolComparison, error) {
+	if len(protocols) == 0 {
+		protocols = multicast.Names()
+	}
+	resolved := make([]string, 0, len(protocols))
+	seen := make(map[string]bool, len(protocols))
+	for _, p := range protocols {
+		name, err := multicast.Resolve(p)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[name] {
+			seen[name] = true
+			resolved = append(resolved, name)
+		}
+	}
+	metrics := o.Metrics
+	if metrics == nil {
+		metrics = metric.LinkQuality()
+	}
+
+	var jobs []ScenarioJob
+	for _, proto := range resolved {
+		for _, k := range metrics {
+			for _, seed := range o.Seeds {
+				cfg, err := o.scenarioFor(k, seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Protocol = proto
+				if proto != multicast.Default {
+					// ODMRP-specific overrides do not apply to other
+					// protocols; they run their own metric-derived defaults.
+					cfg.ODMRP = nil
+				}
+				jobs = append(jobs, ScenarioJob{
+					Label:  fmt.Sprintf("%s %v seed %d", proto, k, seed),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	results, err := o.runScenarioJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	cmp := &ProtocolComparison{
+		Protocols: resolved, Metrics: metrics, Seeds: o.Seeds,
+		SourcesPerGroup: o.SourcesPerGroup,
+	}
+	idx := 0
+	for _, proto := range resolved {
+		for _, k := range metrics {
+			var pdrs []float64
+			var delaySum, fwdSum, deliveredSum, ctlSum, stateSum float64
+			for _, seed := range o.Seeds {
+				r := results[idx]
+				idx++
+				if r.Err != nil {
+					return nil, fmt.Errorf("%s %v seed %d: %w", proto, k, seed, r.Err)
+				}
+				res := r.Value
+				pdrs = append(pdrs, res.Summary.PDR)
+				delaySum += res.Summary.MeanDelaySeconds
+				fwdSum += float64(res.DataForwards)
+				deliveredSum += float64(res.Summary.PacketsDelivered)
+				ctlSum += float64(res.ControlBytes)
+				stateSum += float64(res.ForwarderState)
+			}
+			n := float64(len(o.Seeds))
+			mean, stderr := meanStderr(pdrs)
+			cell := ProtocolCell{
+				Protocol:     proto,
+				Metric:       k,
+				PDR:          mean,
+				PDRStderr:    stderr,
+				DelayMS:      1000 * delaySum / n,
+				ControlBytes: ctlSum / n,
+				StateSize:    stateSum / n,
+			}
+			if deliveredSum > 0 {
+				cell.ForwardCost = fwdSum / deliveredSum
+			}
+			cmp.Cells = append(cmp.Cells, cell)
+		}
+	}
+	return cmp, nil
+}

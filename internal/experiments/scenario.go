@@ -17,6 +17,7 @@ import (
 	"meshcast/internal/linkquality"
 	"meshcast/internal/mac"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/node"
 	"meshcast/internal/odmrp"
 	"meshcast/internal/packet"
@@ -45,6 +46,9 @@ type ScenarioConfig struct {
 	Seed uint64
 	// Metric selects the routing metric (MinHop = original ODMRP).
 	Metric metric.Kind
+	// Protocol selects the multicast routing protocol by registered name
+	// ("odmrp", "mcst"); empty means the default (ODMRP).
+	Protocol string
 	// Topology is the node placement.
 	Topology *topology.Topology
 	// Fading selects the fading model; nil means Rayleigh (the paper's).
@@ -61,8 +65,8 @@ type ScenarioConfig struct {
 	ProbeRateFactor float64
 	// TrafficStart delays the CBR flows, giving probes a head start.
 	TrafficStart time.Duration
-	// ODMRP optionally overrides protocol parameters; nil = defaults for
-	// the metric.
+	// ODMRP optionally overrides ODMRP protocol parameters; nil = defaults
+	// for the metric. Setting it with a non-ODMRP Protocol is an error.
 	ODMRP *odmrp.Params
 	// WindowSize optionally overrides the probe loss-window length.
 	WindowSize int
@@ -144,16 +148,21 @@ func DefaultGroups(rng *sim.RNG, nodeCount, nGroups, sourcesPer, membersPer int)
 type RunResult struct {
 	Summary   stats.Summary
 	PerMember []stats.MemberPDR
-	// ControlBytes is the ODMRP control traffic (queries + replies).
+	// ControlBytes is the protocol control traffic (queries/announces +
+	// replies/joins).
 	ControlBytes uint64
 	// ProbeBytes is the probing traffic.
 	ProbeBytes uint64
 	// MACCollisions totals PHY collisions across radios.
 	MACCollisions uint64
-	// DataForwards totals FG rebroadcasts.
+	// DataForwards totals forwarder rebroadcasts.
 	DataForwards uint64
+	// ForwarderState sums the nodes' live route soft state at the end of
+	// the run (query/announce rounds + duplicate windows), the mesh-vs-tree
+	// state-size comparison axis.
+	ForwarderState int
 	// EdgeUse merges per-node data-edge usage (Figure 5 tree analysis).
-	EdgeUse map[odmrp.Edge]uint64
+	EdgeUse map[multicast.Edge]uint64
 	// Delay summarizes the end-to-end delay distribution (p50/p90/p99/max).
 	Delay stats.Percentiles
 	// Events is the number of simulation events processed (performance
@@ -169,7 +178,7 @@ type RunResult struct {
 // faultTarget couples a node's crash lifecycle with its application flows:
 // a crashed source must stop generating packets (they would inflate the PDR
 // denominator with sends that never reached the air) and must re-register
-// itself as an ODMRP source when it comes back.
+// itself as a multicast source when it comes back.
 type faultTarget struct {
 	node  *node.Node
 	flows []*traffic.CBR
@@ -193,6 +202,10 @@ func (t *faultTarget) Restore() {
 func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("experiments: scenario has no topology")
+	}
+	proto, err := multicast.Resolve(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	engine := sim.NewEngine(cfg.Seed)
 	fading := cfg.Fading
@@ -224,8 +237,9 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	if cfg.ProbeRateFactor > 0 && cfg.ProbeRateFactor != 1 {
 		nodeCfg.Probe = linkquality.ConfigFor(cfg.Metric).ScaleRate(cfg.ProbeRateFactor)
 	}
+	nodeCfg.Protocol = proto
 	if cfg.ODMRP != nil {
-		nodeCfg.ODMRP = *cfg.ODMRP
+		nodeCfg.Tuning = cfg.ODMRP
 	}
 	if cfg.WindowSize > 0 {
 		nodeCfg.WindowSize = cfg.WindowSize
@@ -261,7 +275,7 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	dataBytesReceived := reg.Counter("stats.data_bytes_received")
 	probeWarmupGauge := reg.Gauge("linkquality.probe_bytes_warmup")
 	if reg != nil {
-		reg.GaugeFunc("odmrp.fg_size", func() float64 {
+		reg.GaugeFunc(proto+".fg_size", func() float64 {
 			n := 0
 			for _, spec := range cfg.Groups {
 				for _, nd := range nodes {
@@ -272,14 +286,14 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 			}
 			return float64(n)
 		})
-		reg.GaugeFunc("odmrp.rounds", func() float64 {
+		reg.GaugeFunc(proto+".rounds", func() float64 {
 			n := 0
 			for _, nd := range nodes {
 				n += nd.Router.RoundCount()
 			}
 			return float64(n)
 		})
-		reg.GaugeFunc("odmrp.dup_windows", func() float64 {
+		reg.GaugeFunc(proto+".dup_windows", func() float64 {
 			n := 0
 			for _, nd := range nodes {
 				n += nd.Router.DupWindowCount()
@@ -313,7 +327,7 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				collector.Subscribe(member, spec.Group, packet.NodeID(s))
 			}
 			r := nodes[m].Router
-			r.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+			r.SetOnDeliver(func(p *packet.Packet, _ packet.NodeID) {
 				delay := engine.Now() - p.SentAt
 				collector.RecordDelivered(r.ID(), p.Group, p.Src, p.PayloadBytes, delay)
 				dataBytesReceived.Add(uint64(p.PayloadBytes))
@@ -321,7 +335,7 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				if health != nil {
 					health.RecordDelivered(p.Group, engine.Now())
 				}
-			}
+			})
 		}
 		nMembers := len(spec.Members)
 		for _, s := range spec.Sources {
@@ -410,14 +424,16 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	}
 
 	res := &RunResult{
-		EdgeUse: make(map[odmrp.Edge]uint64),
+		EdgeUse: make(map[multicast.Edge]uint64),
 		Events:  engine.Processed,
 	}
 	for _, n := range nodes {
+		counters := n.Router.Counters()
 		res.ProbeBytes += n.Prober.Stats.BytesSent
-		res.ControlBytes += n.Router.Stats.ControlBytesSent
+		res.ControlBytes += counters.ControlBytesSent
 		res.MACCollisions += n.Radio.Stats.Collisions
-		res.DataForwards += n.Router.Stats.DataForwarded
+		res.DataForwards += counters.DataForwarded
+		res.ForwarderState += n.Router.RoundCount() + n.Router.DupWindowCount()
 		for e, c := range n.Router.EdgeUse() {
 			res.EdgeUse[e] += c
 		}

@@ -8,6 +8,7 @@ import (
 
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/propagation"
 	"meshcast/internal/sim"
@@ -21,6 +22,9 @@ type Spec struct {
 	Seed uint64 `json:"seed"`
 	// Metric is a metric name as printed by metric.Kind ("spp", "minhop"...).
 	Metric string `json:"metric"`
+	// Protocol is a registered multicast protocol name ("odmrp", "mcst");
+	// empty selects the default protocol.
+	Protocol string `json:"protocol,omitempty"`
 	// Fading is "rayleigh" (default), "none", or "shadowed-rayleigh"
 	// (log-normal shadowing, ShadowSigmaDB, composed with Rayleigh).
 	Fading             string  `json:"fading,omitempty"`
@@ -87,6 +91,10 @@ func (s Spec) Scenario() (ScenarioConfig, error) {
 	if err != nil {
 		return ScenarioConfig{}, err
 	}
+	proto, err := multicast.Resolve(s.Protocol)
+	if err != nil {
+		return ScenarioConfig{}, fmt.Errorf("spec: %w", err)
+	}
 	if s.TrafficSeconds <= 0 {
 		return ScenarioConfig{}, fmt.Errorf("spec: trafficSeconds must be positive")
 	}
@@ -124,6 +132,7 @@ func (s Spec) Scenario() (ScenarioConfig, error) {
 	cfg := ScenarioConfig{
 		Seed:            s.Seed,
 		Metric:          kind,
+		Protocol:        proto,
 		Topology:        topo,
 		Duration:        time.Duration(s.WarmupSeconds+s.TrafficSeconds) * time.Second,
 		PayloadBytes:    s.PayloadBytes,

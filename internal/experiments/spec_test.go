@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/propagation"
 )
 
@@ -55,6 +56,21 @@ func TestSpecScenarioExplicitNodes(t *testing.T) {
 	if cfg.PayloadBytes != 512 || cfg.SendInterval != 50*time.Millisecond || cfg.ProbeRateFactor != 1 {
 		t.Fatalf("defaults not applied: %+v", cfg)
 	}
+	if cfg.Protocol != multicast.Default {
+		t.Fatalf("protocol = %q, want default %q", cfg.Protocol, multicast.Default)
+	}
+}
+
+func TestSpecScenarioProtocol(t *testing.T) {
+	s := validSpec()
+	s.Protocol = "mcst"
+	cfg, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Protocol != "mcst" {
+		t.Fatalf("protocol = %q, want mcst", cfg.Protocol)
+	}
 }
 
 func TestSpecScenarioRandomNodes(t *testing.T) {
@@ -88,6 +104,7 @@ func TestSpecScenarioFadingNone(t *testing.T) {
 func TestSpecValidation(t *testing.T) {
 	cases := map[string]func(*Spec){
 		"bad metric":       func(s *Spec) { s.Metric = "bogus" },
+		"bad protocol":     func(s *Spec) { s.Protocol = "bogus" },
 		"no traffic":       func(s *Spec) { s.TrafficSeconds = 0 },
 		"no groups":        func(s *Spec) { s.Groups = nil },
 		"no nodes":         func(s *Spec) { s.Nodes = nil },

@@ -61,7 +61,7 @@ func TestSelfHealingAfterRelayCrash(t *testing.T) {
 	group := packet.GroupID(4)
 	nodes[3].Router.JoinGroup(group)
 	delivered := 0
-	nodes[3].Router.OnDeliver = func(*packet.Packet, packet.NodeID) { delivered++ }
+	nodes[3].Router.SetOnDeliver(func(*packet.Packet, packet.NodeID) { delivered++ })
 	engine.Schedule(20*time.Second, func() { nodes[0].Router.StartSource(group) })
 	send := sim.NewTicker(engine, 100*time.Millisecond, 0, nil, func() {
 		nodes[0].Router.SendData(group, 256)
@@ -119,9 +119,9 @@ func TestSelfHealingSchedulerDriven(t *testing.T) {
 	group := packet.GroupID(4)
 	nodes[3].Router.JoinGroup(group)
 	var deliveredAt []time.Duration
-	nodes[3].Router.OnDeliver = func(*packet.Packet, packet.NodeID) {
+	nodes[3].Router.SetOnDeliver(func(*packet.Packet, packet.NodeID) {
 		deliveredAt = append(deliveredAt, engine.Now())
-	}
+	})
 	engine.Schedule(20*time.Second, func() { nodes[0].Router.StartSource(group) })
 	send := sim.NewTicker(engine, 100*time.Millisecond, 0, nil, func() {
 		nodes[0].Router.SendData(group, 256)

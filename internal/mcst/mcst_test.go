@@ -1,0 +1,259 @@
+package mcst
+
+import (
+	"testing"
+	"time"
+
+	"meshcast/internal/linkquality"
+	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+	"meshcast/internal/packet"
+	"meshcast/internal/sim"
+)
+
+// fakeNet is a deterministic lossless network with per-link delivery delays,
+// mirroring the ODMRP test harness: protocol behavior is exercised without
+// PHY/MAC noise, and link qualities are pinned via static table estimates.
+type fakeNet struct {
+	engine  *sim.Engine
+	routers map[packet.NodeID]*Router
+	tables  map[packet.NodeID]*linkquality.Table
+	delays  map[multicast.Edge]time.Duration
+}
+
+func newFakeNet(seed uint64) *fakeNet {
+	return &fakeNet{
+		engine:  sim.NewEngine(seed),
+		routers: make(map[packet.NodeID]*Router),
+		tables:  make(map[packet.NodeID]*linkquality.Table),
+		delays:  make(map[multicast.Edge]time.Duration),
+	}
+}
+
+func (f *fakeNet) addNode(id packet.NodeID, kind metric.Kind, params Params) *Router {
+	table := linkquality.NewTable(512, 10, 0)
+	r := New(f.engine, id, metric.MustNew(kind), table, params)
+	f.routers[id] = r
+	f.tables[id] = table
+	r.Send = func(p *packet.Packet) bool {
+		for edge, delay := range f.delays {
+			if edge.From != id {
+				continue
+			}
+			to := f.routers[edge.To]
+			if to == nil {
+				continue
+			}
+			c := p.Clone()
+			f.engine.Schedule(delay, func() { to.Handle(c, id) })
+		}
+		return true
+	}
+	return r
+}
+
+func (f *fakeNet) connect(a, b packet.NodeID, delay time.Duration, dfAB, dfBA float64) {
+	f.delays[multicast.Edge{From: a, To: b}] = delay
+	f.delays[multicast.Edge{From: b, To: a}] = delay
+	f.tables[b].SetStatic(uint16(a), metric.LinkEstimate{
+		DeliveryProb: dfAB, PairDelaySeconds: 0.002 / dfAB, BandwidthBps: 2e6 * dfAB, PacketBytes: 512,
+	})
+	f.tables[a].SetStatic(uint16(b), metric.LinkEstimate{
+		DeliveryProb: dfBA, PairDelaySeconds: 0.002 / dfBA, BandwidthBps: 2e6 * dfBA, PacketBytes: 512,
+	})
+}
+
+// chain builds 1 — 2 — 3 with uniform good links.
+func chain(t *testing.T, params Params) (*fakeNet, *Router, *Router, *Router) {
+	t.Helper()
+	f := newFakeNet(7)
+	r1 := f.addNode(1, metric.SPP, params)
+	r2 := f.addNode(2, metric.SPP, params)
+	r3 := f.addNode(3, metric.SPP, params)
+	f.connect(1, 2, time.Millisecond, 0.9, 0.9)
+	f.connect(2, 3, time.Millisecond, 0.9, 0.9)
+	return f, r1, r2, r3
+}
+
+func TestCoreElectionLowestID(t *testing.T) {
+	f, r1, _, r3 := chain(t, DefaultParams())
+
+	// The higher-ID source starts first and assumes the core role.
+	r3.StartSource(1)
+	if _, acting := r3.announcers[1]; !acting {
+		t.Fatal("first source did not assume the core role")
+	}
+	f.engine.Run(time.Second)
+
+	// A lower-ID source then elects itself; on hearing its announce the
+	// higher-ID core steps down, suppressed.
+	r1.StartSource(1)
+	f.engine.Run(2 * time.Second)
+	if _, acting := r1.announcers[1]; !acting {
+		t.Fatal("lower-ID source did not take the core role")
+	}
+	if _, acting := r3.announcers[1]; acting {
+		t.Fatal("higher-ID core did not step down on hearing the lower ID")
+	}
+	if b := r3.cores[1]; b == nil || b.core != 1 {
+		t.Fatalf("suppressed source adopted core %+v, want 1", b)
+	}
+}
+
+func TestTreeFormationAndDelivery(t *testing.T) {
+	f, r1, r2, r3 := chain(t, DefaultParams())
+	r3.JoinGroup(1)
+	r1.StartSource(1)
+	f.engine.Run(2 * time.Second)
+
+	// The member's join named node 2 as parent; 2 is on-tree, and the core
+	// itself forwards by role.
+	if !r2.IsForwarder(1) {
+		t.Fatal("middle node not on the shared tree")
+	}
+	if !r1.IsForwarder(1) {
+		t.Fatal("acting core must report IsForwarder")
+	}
+	if r3.IsForwarder(1) {
+		t.Fatal("leaf member should not be on-tree (nobody named it parent)")
+	}
+
+	var got int
+	r3.OnDeliver = func(*packet.Packet, packet.NodeID) { got++ }
+	for i := 0; i < 10; i++ {
+		r1.SendData(1, 256)
+		f.engine.Run(f.engine.Now() + 50*time.Millisecond)
+	}
+	if got != 10 {
+		t.Fatalf("member delivered %d/10 packets over the tree", got)
+	}
+	if r2.Stats.DataForwarded == 0 {
+		t.Fatal("tree relay forwarded nothing")
+	}
+}
+
+// TestBidirectionalTree grafts a suppressed sender at one end of the chain
+// and a member at the other: the sender's data travels toward the core and
+// the shared tree carries it down the member branch.
+func TestBidirectionalTree(t *testing.T) {
+	f, r1, _, r3 := chain(t, DefaultParams())
+	r1.JoinGroup(1)
+	r1.StartSource(1) // core at node 1, also a member for this test
+	r3.StartSource(1) // suppressed sender at the far end
+	f.engine.Run(4 * time.Second)
+	if _, acting := r3.announcers[1]; acting {
+		t.Fatal("far sender was not suppressed by the lower-ID core")
+	}
+
+	var got int
+	r1.OnDeliver = func(*packet.Packet, packet.NodeID) { got++ }
+	for i := 0; i < 5; i++ {
+		r3.SendData(1, 256)
+		f.engine.Run(f.engine.Now() + 50*time.Millisecond)
+	}
+	if got != 5 {
+		t.Fatalf("core-side member delivered %d/5 packets from the grafted sender", got)
+	}
+}
+
+func TestTreeStateExpires(t *testing.T) {
+	p := DefaultParams()
+	f, r1, r2, r3 := chain(t, p)
+	r3.JoinGroup(1)
+	r1.StartSource(1)
+	f.engine.Run(2 * time.Second)
+	if !r2.IsForwarder(1) {
+		t.Fatal("middle node never joined the tree")
+	}
+
+	// Stop the core: no more announces, so no more join refreshes; the
+	// on-tree flag must lapse after TreeTimeout.
+	r1.StopSource(1)
+	f.engine.Run(f.engine.Now() + p.TreeTimeout + time.Second)
+	if r2.IsForwarder(1) {
+		t.Fatal("on-tree flag survived past TreeTimeout without refresh")
+	}
+}
+
+func TestCoreFailover(t *testing.T) {
+	p := DefaultParams()
+	f, r1, _, r3 := chain(t, p)
+	r3.StartSource(1)
+	f.engine.Run(time.Second)
+	r1.StartSource(1)
+	f.engine.Run(f.engine.Now() + 2*time.Second)
+	if _, acting := r3.announcers[1]; acting {
+		t.Fatal("precondition: node 3 should be suppressed")
+	}
+
+	// The core crashes. The suppressed source's watchdog must reclaim the
+	// role within CoreTimeout of the last announce heard.
+	r1.Reset()
+	f.engine.Run(f.engine.Now() + p.CoreTimeout + 2*p.AnnounceInterval)
+	if _, acting := r3.announcers[1]; !acting {
+		t.Fatal("suppressed source never reclaimed the core role after the core died")
+	}
+	if r3.Stats.CoreHandovers == 0 {
+		t.Fatal("failover did not count a core handover")
+	}
+}
+
+func TestResetPurgesSoftState(t *testing.T) {
+	f, r1, r2, r3 := chain(t, DefaultParams())
+	r3.JoinGroup(1)
+	r1.StartSource(1)
+	f.engine.Run(2 * time.Second)
+	r1.SendData(1, 256)
+	f.engine.Run(f.engine.Now() + 100*time.Millisecond)
+
+	seqBefore := r1.announceSeq[1]
+	if seqBefore == 0 {
+		t.Fatal("precondition: core announced at least once")
+	}
+	for _, r := range []*Router{r1, r2, r3} {
+		r.Reset()
+		if len(r.rounds) != 0 || len(r.dups) != 0 || len(r.treeUntil) != 0 ||
+			len(r.cores) != 0 || len(r.sources) != 0 || len(r.announcers) != 0 {
+			t.Fatalf("node %v retains soft state after Reset", r.ID())
+		}
+	}
+	// Sequence counters survive the crash so a restarted core cannot reuse
+	// round numbers its neighbors may remember.
+	if r1.announceSeq[1] != seqBefore {
+		t.Fatal("announce sequence counter reset — stale-round detection would break")
+	}
+	if !r3.IsMember(1) {
+		t.Fatal("membership is configuration and must survive Reset")
+	}
+}
+
+func TestStaleAnnounceIgnored(t *testing.T) {
+	f := newFakeNet(3)
+	r := f.addNode(2, metric.SPP, DefaultParams())
+	f.addNode(1, metric.SPP, DefaultParams())
+	f.connect(1, 2, time.Millisecond, 0.9, 0.9)
+
+	mk := func(seq uint32) *packet.Packet {
+		return &packet.Packet{
+			Kind: packet.TypeCoreAnnounce, Src: 1, PrevHop: 1, Group: 1,
+			Seq: seq, TTL: 8, Cost: r.pm.Initial(),
+		}
+	}
+	r.Handle(mk(5), 1)
+	if got := r.rounds[groupCore{1, 1}].seq; got != 5 {
+		t.Fatalf("round seq = %d, want 5", got)
+	}
+	r.Handle(mk(3), 1)
+	if got := r.rounds[groupCore{1, 1}].seq; got != 5 {
+		t.Fatalf("stale announce regressed round to %d", got)
+	}
+}
+
+func TestParamsForMetric(t *testing.T) {
+	if p := ParamsFor(metric.MinHop); p.JoinDelta != 0 || p.DupAlpha != 0 {
+		t.Fatalf("MinHop params = %+v, want first-copy (δ=0, α=0)", p)
+	}
+	if p := ParamsFor(metric.SPP); p.JoinDelta == 0 || p.DupAlpha == 0 {
+		t.Fatalf("link-quality params = %+v, want δ/α enabled", p)
+	}
+}

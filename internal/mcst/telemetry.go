@@ -1,0 +1,44 @@
+package mcst
+
+import "meshcast/internal/telemetry"
+
+// Telemetry holds the MCST layer's run-wide instruments, shared by every
+// router on the run. The zero value is fully disabled.
+type Telemetry struct {
+	// AnnouncesOriginated, AnnouncesForwarded, and DupAnnouncesForwarded
+	// count CORE ANNOUNCE activity; JoinsSent counts TREE JOIN activity;
+	// CoreHandovers counts core-binding changes.
+	AnnouncesOriginated, AnnouncesForwarded, DupAnnouncesForwarded *telemetry.Counter
+	JoinsSent, CoreHandovers                                       *telemetry.Counter
+	// DataOriginated, DataForwarded, and DataDelivered count data-plane
+	// activity; DupSuppressed counts data copies dropped by the duplicate
+	// window.
+	DataOriginated, DataForwarded, DataDelivered, DupSuppressed *telemetry.Counter
+	// ControlBytes counts MCST control bytes handed to the MAC.
+	ControlBytes *telemetry.Counter
+}
+
+// NewTelemetry returns MCST instruments registered under the "mcst."
+// prefix. A nil registry yields the disabled zero value.
+func NewTelemetry(reg *telemetry.Registry) Telemetry {
+	return Telemetry{
+		AnnouncesOriginated:   reg.Counter("mcst.announces_originated"),
+		AnnouncesForwarded:    reg.Counter("mcst.announces_forwarded"),
+		DupAnnouncesForwarded: reg.Counter("mcst.dup_announces_forwarded"),
+		JoinsSent:             reg.Counter("mcst.joins_sent"),
+		CoreHandovers:         reg.Counter("mcst.core_handovers"),
+		DataOriginated:        reg.Counter("mcst.data_originated"),
+		DataForwarded:         reg.Counter("mcst.data_forwarded"),
+		DataDelivered:         reg.Counter("mcst.data_delivered"),
+		DupSuppressed:         reg.Counter("mcst.dup_suppressed"),
+		ControlBytes:          reg.Counter("mcst.control_bytes"),
+	}
+}
+
+// RoundCount returns the number of live announce-round entries — the
+// router's main soft-state table, exposed for table-size gauges.
+func (r *Router) RoundCount() int { return len(r.rounds) }
+
+// DupWindowCount returns the number of per-(group, source) duplicate
+// windows held.
+func (r *Router) DupWindowCount() int { return len(r.dups) }

@@ -1,0 +1,262 @@
+package multicast_test
+
+// Protocol conformance suite: every protocol in the registry is run through
+// the same behavioral contract — membership bookkeeping, end-to-end delivery
+// with duplicate suppression, soft-state purge on Fail, and metric plumbing —
+// on a real node stack (PHY + MAC + prober + table), so a new protocol
+// cannot register without satisfying the multicast plane's expectations.
+
+import (
+	"testing"
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
+	"meshcast/internal/node"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+)
+
+func TestRegistryResolve(t *testing.T) {
+	names := multicast.Names()
+	if len(names) < 2 {
+		t.Fatalf("registry has %d protocols, want at least odmrp and mcst", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	got, err := multicast.Resolve("")
+	if err != nil || got != multicast.Default {
+		t.Fatalf("Resolve(\"\") = %q, %v; want %q", got, err, multicast.Default)
+	}
+	for _, name := range names {
+		if got, err := multicast.Resolve(name); err != nil || got != name {
+			t.Fatalf("Resolve(%q) = %q, %v", name, got, err)
+		}
+	}
+	if _, err := multicast.Resolve("bogus"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	} else {
+		for _, name := range names {
+			if !contains(err.Error(), name) {
+				t.Fatalf("Resolve error %q does not list %q", err, name)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegistryRejectsForeignTuning(t *testing.T) {
+	for _, name := range multicast.Names() {
+		engine := sim.NewEngine(1)
+		pm, err := metric.New(metric.SPP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := multicast.Env{Engine: engine, ID: 1, Metric: pm}
+		if _, err := multicast.New(name, env, struct{ bogus int }{1}); err == nil {
+			t.Fatalf("%s: foreign tuning type accepted", name)
+		}
+	}
+}
+
+// buildDiamond assembles S(0) — {R1(1), R2(2)} — M(3) for one protocol: the
+// source and member hear only the relays, so delivery crosses at least one,
+// and when both relays forward, the member sees duplicate data copies — the
+// dup-suppression contract's natural test topology.
+func buildDiamond(t *testing.T, protocol string) (*sim.Engine, []*node.Node) {
+	t.Helper()
+	engine := sim.NewEngine(11)
+	params := phy.DefaultParams()
+	medium := phy.NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, params)
+	allowed := map[[2]packet.NodeID]bool{}
+	link := func(a, b packet.NodeID) {
+		allowed[[2]packet.NodeID{a, b}] = true
+		allowed[[2]packet.NodeID{b, a}] = true
+	}
+	link(0, 1)
+	link(0, 2)
+	link(1, 3)
+	link(2, 3)
+	medium.SetLinkFunc(func(tx, rx packet.NodeID, _ time.Duration, _ *sim.RNG) float64 {
+		if allowed[[2]packet.NodeID{tx, rx}] {
+			return params.RxThresholdW * 100
+		}
+		return 0
+	})
+	nodes := make([]*node.Node, 4)
+	for i := range nodes {
+		cfg := node.DefaultConfig(metric.SPP)
+		cfg.Protocol = protocol
+		nd, err := node.New(engine, medium, packet.NodeID(i), geom.Point{X: float64(i) * 10}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		nd.Start()
+	}
+	return engine, nodes
+}
+
+func TestProtocolConformance(t *testing.T) {
+	for _, name := range multicast.Names() {
+		t.Run(name, func(t *testing.T) {
+			engine, nodes := buildDiamond(t, name)
+			group := packet.GroupID(7)
+			member := nodes[3]
+
+			// Identity and metric plumbing: the stack hands the protocol its
+			// node ID and the configured path metric.
+			for i, n := range nodes {
+				if n.Router.Name() != name {
+					t.Fatalf("node %d Name() = %q, want %q", i, n.Router.Name(), name)
+				}
+				if n.Router.ID() != packet.NodeID(i) {
+					t.Fatalf("node %d ID() = %v", i, n.Router.ID())
+				}
+				if got := n.Router.Metric().Kind(); got != metric.SPP {
+					t.Fatalf("node %d Metric().Kind() = %v, want SPP", i, got)
+				}
+			}
+
+			// Membership bookkeeping.
+			if member.Router.IsMember(group) {
+				t.Fatal("member before JoinGroup")
+			}
+			member.Router.JoinGroup(group)
+			if !member.Router.IsMember(group) {
+				t.Fatal("JoinGroup did not register membership")
+			}
+			member.Router.LeaveGroup(group)
+			if member.Router.IsMember(group) {
+				t.Fatal("LeaveGroup did not clear membership")
+			}
+			member.Router.JoinGroup(group)
+
+			// End-to-end delivery with duplicate suppression: every (seq)
+			// from the single source reaches the member at most once, even
+			// when both relays forward a copy.
+			perSeq := map[uint32]int{}
+			member.Router.SetOnDeliver(func(p *packet.Packet, _ packet.NodeID) {
+				perSeq[p.Seq]++
+			})
+			var sent int
+			var ticker *sim.Ticker
+			engine.Schedule(20*time.Second, func() { nodes[0].Router.StartSource(group) })
+			engine.Schedule(21*time.Second, func() {
+				ticker = sim.NewTicker(engine, 100*time.Millisecond, 0, nil, func() {
+					nodes[0].Router.SendData(group, 256)
+					sent++
+				})
+			})
+			engine.Run(60 * time.Second)
+			if ticker != nil {
+				ticker.Stop()
+			}
+			if len(perSeq) == 0 {
+				t.Fatalf("%s delivered nothing over the diamond (%d sent)", name, sent)
+			}
+			for seq, n := range perSeq {
+				if n > 1 {
+					t.Fatalf("seq %d delivered %d times — duplicate suppression broken", seq, n)
+				}
+			}
+			counters := nodes[0].Router.Counters()
+			if counters.DataOriginated == 0 || counters.ControlBytesSent == 0 {
+				t.Fatalf("source counters = %+v, want non-zero origination and control traffic", counters)
+			}
+
+			// The data plane used at least one relay, and the soft state is
+			// visible through the state-size accessors.
+			relayed := nodes[1].Router.IsForwarder(group) || nodes[2].Router.IsForwarder(group)
+			if !relayed {
+				t.Fatal("neither relay is in the forwarding state")
+			}
+			var state int
+			for _, n := range nodes {
+				state += n.Router.RoundCount() + n.Router.DupWindowCount()
+			}
+			if state == 0 {
+				t.Fatal("no live route soft state after an active run")
+			}
+
+			// Fail purge: a crash drops every piece of protocol soft state —
+			// forwarding role, route rounds, duplicate windows — while group
+			// membership (configuration, not soft state) survives.
+			for i := 1; i <= 2; i++ {
+				nodes[i].Fail()
+				r := nodes[i].Router
+				if r.IsForwarder(group) {
+					t.Fatalf("relay %d still a forwarder after Fail", i)
+				}
+				if r.RoundCount() != 0 || r.DupWindowCount() != 0 {
+					t.Fatalf("relay %d retains soft state after Fail: rounds=%d dups=%d",
+						i, r.RoundCount(), r.DupWindowCount())
+				}
+			}
+			member.Fail()
+			if !member.Router.IsMember(group) {
+				t.Fatal("group membership lost on Fail — it is configuration, not soft state")
+			}
+
+			// Edge accounting is per directed link and only ever counts
+			// edges into a node from elsewhere.
+			for e := range member.Router.EdgeUse() {
+				if e.To != member.ID {
+					t.Fatalf("member edge-use records foreign edge %v", e)
+				}
+			}
+		})
+	}
+}
+
+// TestProtocolsAreIndependent runs two protocols' StartSource/SendData on
+// separate engines to confirm registry factories build isolated instances
+// (no shared package state leaks between protocol families).
+func TestProtocolsAreIndependent(t *testing.T) {
+	names := multicast.Names()
+	routers := make([]multicast.Protocol, 0, len(names))
+	for i, name := range names {
+		engine := sim.NewEngine(uint64(i + 1))
+		pm, err := metric.New(metric.ETX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := multicast.New(name, multicast.Env{Engine: engine, ID: packet.NodeID(i + 1), Metric: pm}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetSend(func(*packet.Packet) bool { return true })
+		r.JoinGroup(1)
+		routers = append(routers, r)
+	}
+	for i, r := range routers {
+		if r.Name() != names[i] {
+			t.Fatalf("router %d Name() = %q, want %q", i, r.Name(), names[i])
+		}
+		if !r.IsMember(1) {
+			t.Fatalf("%s lost membership", names[i])
+		}
+		r.Reset()
+		if !r.IsMember(1) {
+			t.Fatalf("%s Reset cleared membership", names[i])
+		}
+		if r.RoundCount() != 0 || r.DupWindowCount() != 0 {
+			t.Fatalf("%s Reset left soft state", names[i])
+		}
+	}
+}

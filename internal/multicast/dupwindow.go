@@ -1,0 +1,43 @@
+package multicast
+
+// DupWindow is the sliding duplicate-suppression window for data packets of
+// one flow (typically keyed per group and source). It remembers the highest
+// sequence number seen plus a 64-packet bitmask behind it; sequence numbers
+// older than the window are treated as duplicates. The zero value is ready
+// to use.
+type DupWindow struct {
+	highest uint32
+	mask    uint64 // bit i set = seq (highest - i) seen
+	any     bool
+}
+
+// Seen marks seq and reports whether it was already present.
+func (w *DupWindow) Seen(seq uint32) bool {
+	if !w.any {
+		w.any = true
+		w.highest = seq
+		w.mask = 1
+		return false
+	}
+	switch {
+	case seq > w.highest:
+		shift := seq - w.highest
+		if shift >= 64 {
+			w.mask = 0
+		} else {
+			w.mask <<= shift
+		}
+		w.mask |= 1
+		w.highest = seq
+		return false
+	case w.highest-seq >= 64:
+		return true
+	default:
+		bit := uint64(1) << (w.highest - seq)
+		if w.mask&bit != 0 {
+			return true
+		}
+		w.mask |= bit
+		return false
+	}
+}

@@ -1,4 +1,4 @@
-package odmrp
+package multicast
 
 import (
 	"testing"
@@ -39,7 +39,7 @@ func (r *refDup) mark(seq uint32) bool {
 func TestDupWindowMatchesReference(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 300}
 	if err := quick.Check(func(raw []uint16) bool {
-		var w dupWindow
+		var w DupWindow
 		var ref refDup
 		base := uint32(1000)
 		for _, r := range raw {
@@ -52,7 +52,7 @@ func TestDupWindowMatchesReference(t *testing.T) {
 			if r%7 == 0 {
 				base += uint32(r % 5)
 			}
-			if w.seen(seq) != ref.mark(seq) {
+			if w.Seen(seq) != ref.mark(seq) {
 				return false
 			}
 		}
@@ -65,11 +65,11 @@ func TestDupWindowMatchesReference(t *testing.T) {
 func TestDupWindowMonotoneGrowth(t *testing.T) {
 	// Strictly increasing sequences are never duplicates.
 	if err := quick.Check(func(steps []uint8) bool {
-		var w dupWindow
+		var w DupWindow
 		seq := uint32(0)
 		for _, s := range steps {
 			seq += uint32(s%64) + 1
-			if w.seen(seq) {
+			if w.Seen(seq) {
 				return false
 			}
 		}
@@ -82,16 +82,16 @@ func TestDupWindowMonotoneGrowth(t *testing.T) {
 func TestDupWindowSecondSightingAlwaysDuplicate(t *testing.T) {
 	// Within the window, a second sighting of any seq must be flagged.
 	if err := quick.Check(func(offsets []uint8) bool {
-		var w dupWindow
-		w.seen(100)
+		var w DupWindow
+		w.Seen(100)
 		var inWindow []uint32
 		for _, off := range offsets {
 			seq := 100 + uint32(off%60)
-			w.seen(seq)
+			w.Seen(seq)
 			inWindow = append(inWindow, seq)
 		}
 		for _, seq := range inWindow {
-			if !w.seen(seq) {
+			if !w.Seen(seq) {
 				return false
 			}
 		}

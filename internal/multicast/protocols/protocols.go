@@ -1,0 +1,11 @@
+// Package protocols links every in-tree multicast protocol implementation
+// into the binary, populating the multicast registry as a side effect.
+// Anything that builds protocols by name (node assembly, daemons, command
+// flags) imports this package instead of enumerating concrete protocols.
+package protocols
+
+import (
+	// Registered protocol families.
+	_ "meshcast/internal/mcst"
+	_ "meshcast/internal/odmrp"
+)

@@ -1,0 +1,92 @@
+package multicast
+
+import (
+	"fmt"
+	"sort"
+
+	"meshcast/internal/linkquality"
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/sim"
+)
+
+// Default is the protocol used when no name is given: the paper's own
+// mesh-based ODMRP.
+const Default = "odmrp"
+
+// Env bundles the substrate a protocol instance is built against.
+type Env struct {
+	Engine *sim.Engine
+	ID     packet.NodeID
+	// Metric is the path metric instance routing decisions use.
+	Metric metric.PathMetric
+	// Table is the node's NEIGHBOR TABLE of probe-measured link qualities.
+	Table *linkquality.Table
+}
+
+// Factory builds a protocol instance. tuning optionally carries
+// protocol-specific parameters (e.g. *odmrp.Params); nil lets the protocol
+// derive its defaults from env.Metric. A factory must reject tuning values
+// of a foreign type with an error rather than ignore them.
+type Factory func(env Env, tuning any) (Protocol, error)
+
+var factories = map[string]Factory{}
+
+// Register installs a protocol factory under name. It panics on a duplicate
+// or empty name — registration happens in package init and a collision is a
+// programming error.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("multicast: Register with empty name or nil factory")
+	}
+	if _, dup := factories[name]; dup {
+		panic("multicast: duplicate protocol " + name)
+	}
+	factories[name] = f
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve canonicalizes a protocol name: "" means Default, anything not
+// registered is an error listing the valid names (the same fail-fast UX as
+// meshdump -kind).
+func Resolve(name string) (string, error) {
+	if name == "" {
+		name = Default
+	}
+	if _, ok := factories[name]; !ok {
+		return "", fmt.Errorf("unknown protocol %q (registered: %s)", name, namesList())
+	}
+	return name, nil
+}
+
+// New builds a protocol instance by registered name ("" selects Default).
+func New(name string, env Env, tuning any) (Protocol, error) {
+	name, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return factories[name](env, tuning)
+}
+
+func namesList() string {
+	s := ""
+	for i, name := range Names() {
+		if i > 0 {
+			s += ", "
+		}
+		s += name
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}

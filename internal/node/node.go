@@ -1,7 +1,7 @@
 // Package node assembles a complete mesh router from the substrate layers:
-// radio (phy), 802.11 MAC, link-quality prober + NEIGHBOR TABLE, and the
-// ODMRP router. It is the unit the simulation scenarios instantiate once per
-// mesh node.
+// radio (phy), 802.11 MAC, link-quality prober + NEIGHBOR TABLE, and a
+// multicast routing protocol selected from the multicast registry. It is the
+// unit the simulation scenarios instantiate once per mesh node.
 package node
 
 import (
@@ -11,7 +11,8 @@ import (
 	"meshcast/internal/linkquality"
 	"meshcast/internal/mac"
 	"meshcast/internal/metric"
-	"meshcast/internal/odmrp"
+	"meshcast/internal/multicast"
+	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/sim"
@@ -23,10 +24,15 @@ import (
 type Config struct {
 	// Metric selects the routing metric (and thereby the probing mode).
 	Metric metric.Kind
+	// Protocol selects the multicast routing protocol by registered name;
+	// empty means multicast.Default (ODMRP).
+	Protocol string
+	// Tuning optionally carries protocol-specific parameters (e.g.
+	// *odmrp.Params or *mcst.Params); nil lets the protocol derive the
+	// paper's defaults from Metric.
+	Tuning any
 	// MAC configures the 802.11 DCF parameters.
 	MAC mac.Params
-	// ODMRP configures the multicast protocol.
-	ODMRP odmrp.Params
 	// Probe configures probing; the zero value means "derive from Metric".
 	Probe linkquality.Config
 	// DataPacketBytes is the nominal data payload handed to ETT.
@@ -43,16 +49,14 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// DefaultConfig returns the paper's configuration for a given metric.
+// DefaultConfig returns the paper's configuration for a given metric. The
+// protocol's own parameters (δ, α, refresh timing) are derived from the
+// metric by its factory: original first-copy behavior for MinHop, the
+// paper's modified parameters otherwise.
 func DefaultConfig(k metric.Kind) Config {
-	op := odmrp.DefaultParams()
-	if k == metric.MinHop {
-		op = odmrp.OriginalParams()
-	}
 	return Config{
 		Metric:          k,
 		MAC:             mac.DefaultParams(),
-		ODMRP:           op,
 		Probe:           linkquality.ConfigFor(k),
 		DataPacketBytes: 512,
 		TableStaleAfter: 2 * time.Minute,
@@ -60,14 +64,15 @@ func DefaultConfig(k metric.Kind) Config {
 	}
 }
 
-// Node is one mesh router: radio + MAC + prober + neighbor table + ODMRP.
+// Node is one mesh router: radio + MAC + prober + neighbor table + a
+// multicast protocol instance.
 type Node struct {
 	ID     packet.NodeID
 	Radio  *phy.Radio
 	MAC    *mac.MAC
 	Table  *linkquality.Table
 	Prober *linkquality.Prober
-	Router *odmrp.Router
+	Router multicast.Protocol
 
 	engine *sim.Engine
 	down   bool
@@ -87,7 +92,15 @@ func New(engine *sim.Engine, medium *phy.Medium, id packet.NodeID, pos geom.Poin
 		probeCfg = linkquality.ConfigFor(cfg.Metric)
 	}
 	prober := linkquality.NewProber(engine, id, probeCfg)
-	router := odmrp.New(engine, id, pm, table, cfg.ODMRP)
+	router, err := multicast.New(cfg.Protocol, multicast.Env{
+		Engine: engine,
+		ID:     id,
+		Metric: pm,
+		Table:  table,
+	}, cfg.Tuning)
+	if err != nil {
+		return nil, err
+	}
 
 	n := &Node{
 		ID:     id,
@@ -99,8 +112,8 @@ func New(engine *sim.Engine, medium *phy.Medium, id packet.NodeID, pos geom.Poin
 		engine: engine,
 	}
 	prober.Send = m.SendBroadcast
-	router.Send = m.SendBroadcast
-	router.Tracer = cfg.Tracer
+	router.SetSend(m.SendBroadcast)
+	router.SetTracer(cfg.Tracer)
 	m.Deliver = n.dispatch
 	if reg := cfg.Telemetry; reg != nil {
 		// Get-or-create semantics make these idempotent: every node on the
@@ -111,7 +124,7 @@ func New(engine *sim.Engine, medium *phy.Medium, id packet.NodeID, pos geom.Poin
 		lq := linkquality.NewTelemetry(reg)
 		table.Telem = lq
 		prober.Telem = lq
-		router.Telem = odmrp.NewTelemetry(reg)
+		router.AttachTelemetry(reg)
 	}
 	return n, nil
 }
@@ -124,8 +137,8 @@ func (n *Node) dispatch(p *packet.Packet, from packet.NodeID) {
 	n.Router.Handle(p, from)
 }
 
-// Start begins background activity (probing). ODMRP sources and members are
-// registered separately via the Router.
+// Start begins background activity (probing). Multicast sources and members
+// are registered separately via the Router.
 func (n *Node) Start() { n.Prober.Start() }
 
 // Stop halts background activity.
@@ -136,11 +149,11 @@ func (n *Node) Stop() { n.Prober.Stop() }
 func (n *Node) Down() bool { return n.down }
 
 // Fail crashes the node: the radio powers off, the MAC drops its queue and
-// timers, probing stops, and the router loses all ODMRP soft state
-// (forwarding-group flags, query rounds, duplicate windows, active source
-// floods). Neighbors keep their estimates for this node until their own
-// StaleAfter expiry — they have no way to know it died. Fail on a node that
-// is already down is a no-op.
+// timers, probing stops, and the router loses all of its protocol soft state
+// (forwarding flags, route-establishment rounds, duplicate windows, active
+// source activity). Neighbors keep their estimates for this node until their
+// own StaleAfter expiry — they have no way to know it died. Fail on a node
+// that is already down is a no-op.
 func (n *Node) Fail() {
 	if n.down {
 		return

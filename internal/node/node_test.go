@@ -7,6 +7,7 @@ import (
 	"meshcast/internal/geom"
 	"meshcast/internal/linkquality"
 	"meshcast/internal/metric"
+	"meshcast/internal/odmrp"
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/propagation"
@@ -73,7 +74,7 @@ func TestFullStackMulticastDelivery(t *testing.T) {
 	engine, nodes := buildChain(t, metric.SPP, 4)
 	nodes[3].Router.JoinGroup(1)
 	delivered := 0
-	nodes[3].Router.OnDeliver = func(*packet.Packet, packet.NodeID) { delivered++ }
+	nodes[3].Router.SetOnDeliver(func(*packet.Packet, packet.NodeID) { delivered++ })
 	engine.Run(30 * time.Second) // probe warmup
 	nodes[0].Router.StartSource(1)
 	engine.Run(engine.Now() + 2*time.Second)
@@ -110,7 +111,7 @@ func TestDefaultConfigPerMetric(t *testing.T) {
 			if cfg.Probe.Mode != linkquality.ModeNone {
 				t.Fatalf("%v probe mode = %v, want none", k, cfg.Probe.Mode)
 			}
-			if cfg.ODMRP.MemberDelta != 0 {
+			if odmrp.ParamsFor(k).MemberDelta != 0 {
 				t.Fatalf("%v should use original ODMRP (δ=0)", k)
 			}
 		case metric.PP, metric.ETT:
@@ -140,7 +141,7 @@ func TestFailRestoreLifecycle(t *testing.T) {
 	group := packet.GroupID(7)
 	nodes[2].Router.JoinGroup(group)
 	delivered := 0
-	nodes[2].Router.OnDeliver = func(*packet.Packet, packet.NodeID) { delivered++ }
+	nodes[2].Router.SetOnDeliver(func(*packet.Packet, packet.NodeID) { delivered++ })
 	engine.Schedule(10*time.Second, func() { nodes[0].Router.StartSource(group) })
 	send := sim.NewTicker(engine, 100*time.Millisecond, 0, nil, func() {
 		nodes[0].Router.SendData(group, 256)

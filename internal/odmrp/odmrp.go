@@ -26,6 +26,7 @@ import (
 
 	"meshcast/internal/linkquality"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/sim"
 	"meshcast/internal/trace"
@@ -113,10 +114,8 @@ type Stats struct {
 }
 
 // Edge is a directed link used by delivered or forwarded data, for tree
-// analysis (paper Figure 5).
-type Edge struct {
-	From, To packet.NodeID
-}
+// analysis (paper Figure 5). It aliases the protocol-agnostic edge type.
+type Edge = multicast.Edge
 
 // groupSource keys per-(group, source) state.
 type groupSource struct {
@@ -149,46 +148,6 @@ type queryRound struct {
 	replied bool
 }
 
-// dupWindow is the sliding duplicate-suppression window for data packets of
-// one (group, source).
-type dupWindow struct {
-	highest uint32
-	mask    uint64 // bit i set = seq (highest - i) seen
-	any     bool
-}
-
-// seen marks seq and reports whether it was already present. Sequence
-// numbers older than the 64-packet window are treated as duplicates.
-func (w *dupWindow) seen(seq uint32) bool {
-	if !w.any {
-		w.any = true
-		w.highest = seq
-		w.mask = 1
-		return false
-	}
-	switch {
-	case seq > w.highest:
-		shift := seq - w.highest
-		if shift >= 64 {
-			w.mask = 0
-		} else {
-			w.mask <<= shift
-		}
-		w.mask |= 1
-		w.highest = seq
-		return false
-	case w.highest-seq >= 64:
-		return true
-	default:
-		bit := uint64(1) << (w.highest - seq)
-		if w.mask&bit != 0 {
-			return true
-		}
-		w.mask |= bit
-		return false
-	}
-}
-
 // Router is one node's ODMRP instance.
 type Router struct {
 	// Send broadcasts a packet via the node's MAC; reports acceptance.
@@ -217,7 +176,7 @@ type Router struct {
 
 	rounds  map[groupSource]*queryRound
 	fgUntil map[packet.GroupID]time.Duration
-	dups    map[groupSource]*dupWindow
+	dups    map[groupSource]*multicast.DupWindow
 	pending map[groupSource]*pendingReply
 
 	// edgeUse counts data packets carried per directed link into this node
@@ -242,7 +201,7 @@ func New(engine *sim.Engine, id packet.NodeID, pm metric.PathMetric, table *link
 		dataSeq: make(map[packet.GroupID]uint32),
 		rounds:  make(map[groupSource]*queryRound),
 		fgUntil: make(map[packet.GroupID]time.Duration),
-		dups:    make(map[groupSource]*dupWindow),
+		dups:    make(map[groupSource]*multicast.DupWindow),
 		pending: make(map[groupSource]*pendingReply),
 		edgeUse: make(map[Edge]uint64),
 	}
@@ -272,7 +231,7 @@ func (r *Router) Reset() {
 	}
 	r.rounds = make(map[groupSource]*queryRound)
 	r.fgUntil = make(map[packet.GroupID]time.Duration)
-	r.dups = make(map[groupSource]*dupWindow)
+	r.dups = make(map[groupSource]*multicast.DupWindow)
 }
 
 // Metric returns the router's path metric.
@@ -357,7 +316,7 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 		SentAt:       r.engine.Now(),
 	}
 	// Mark our own packet as seen so an echoed copy is not re-forwarded.
-	r.dupFor(groupSource{group, r.id}).seen(seq)
+	r.dupFor(groupSource{group, r.id}).Seen(seq)
 	if r.Send != nil && r.Send(p) {
 		r.Stats.DataOriginated++
 		r.Telem.DataOriginated.Inc()
@@ -365,10 +324,10 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 	}
 }
 
-func (r *Router) dupFor(key groupSource) *dupWindow {
+func (r *Router) dupFor(key groupSource) *multicast.DupWindow {
 	w, ok := r.dups[key]
 	if !ok {
-		w = &dupWindow{}
+		w = &multicast.DupWindow{}
 		r.dups[key] = w
 	}
 	return w
@@ -636,7 +595,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 		return
 	}
 	key := groupSource{p.Group, p.Src}
-	if r.dupFor(key).seen(p.Seq) {
+	if r.dupFor(key).Seen(p.Seq) {
 		r.Stats.DataDuplicates++
 		r.Telem.DupSuppressed.Inc()
 		return

@@ -6,6 +6,7 @@ import (
 
 	"meshcast/internal/linkquality"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/sim"
 )
@@ -66,44 +67,44 @@ func (f *fakeNet) connect(a, b packet.NodeID, delay time.Duration, dfAB, dfBA fl
 }
 
 func TestDupWindow(t *testing.T) {
-	var w dupWindow
-	if w.seen(5) {
+	var w multicast.DupWindow
+	if w.Seen(5) {
 		t.Fatal("first packet reported as duplicate")
 	}
-	if !w.seen(5) {
+	if !w.Seen(5) {
 		t.Fatal("repeat not detected")
 	}
-	if w.seen(6) || w.seen(4) {
+	if w.Seen(6) || w.Seen(4) {
 		t.Fatal("fresh nearby seqs reported as duplicates")
 	}
-	if !w.seen(4) {
+	if !w.Seen(4) {
 		t.Fatal("repeat of reordered seq not detected")
 	}
-	if w.seen(100) {
+	if w.Seen(100) {
 		t.Fatal("big jump forward reported as duplicate")
 	}
-	if !w.seen(5) {
+	if !w.Seen(5) {
 		t.Fatal("seq far behind the window must be treated as duplicate")
 	}
-	if w.seen(99) {
+	if w.Seen(99) {
 		t.Fatal("seq just inside the window reported as duplicate")
 	}
-	if !w.seen(99) {
+	if !w.Seen(99) {
 		t.Fatal("repeat inside window not detected")
 	}
 }
 
 func TestDupWindowShiftBeyond64(t *testing.T) {
-	var w dupWindow
-	w.seen(0)
-	if w.seen(64) {
+	var w multicast.DupWindow
+	w.Seen(0)
+	if w.Seen(64) {
 		t.Fatal("seq 64 is new")
 	}
 	// seq 0 is now exactly 64 behind: outside the window, counts duplicate.
-	if !w.seen(0) {
+	if !w.Seen(0) {
 		t.Fatal("seq aged out of window must count as duplicate")
 	}
-	if w.seen(63) {
+	if w.Seen(63) {
 		t.Fatal("seq 63 is inside the window and unseen")
 	}
 }

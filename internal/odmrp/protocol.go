@@ -1,0 +1,71 @@
+package odmrp
+
+import (
+	"fmt"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
+	"meshcast/internal/packet"
+	"meshcast/internal/telemetry"
+	"meshcast/internal/trace"
+)
+
+// Name is the registered protocol name.
+const Name = "odmrp"
+
+// ParamsFor returns the paper's ODMRP configuration for a metric: the
+// original (first-copy, no duplicate forwarding) parameters for MinHop, the
+// modified δ/α parameters for every link-quality metric.
+func ParamsFor(k metric.Kind) Params {
+	if k == metric.MinHop {
+		return OriginalParams()
+	}
+	return DefaultParams()
+}
+
+func init() {
+	multicast.Register(Name, func(env multicast.Env, tuning any) (multicast.Protocol, error) {
+		params := ParamsFor(env.Metric.Kind())
+		switch t := tuning.(type) {
+		case nil:
+		case Params:
+			params = t
+		case *Params:
+			if t != nil {
+				params = *t
+			}
+		default:
+			return nil, fmt.Errorf("odmrp: unsupported tuning type %T", tuning)
+		}
+		return New(env.Engine, env.ID, env.Metric, env.Table, params), nil
+	})
+}
+
+// Name implements multicast.Protocol.
+func (r *Router) Name() string { return Name }
+
+// SetSend implements multicast.Protocol.
+func (r *Router) SetSend(send func(p *packet.Packet) bool) { r.Send = send }
+
+// SetOnDeliver implements multicast.Protocol.
+func (r *Router) SetOnDeliver(fn func(p *packet.Packet, from packet.NodeID)) { r.OnDeliver = fn }
+
+// SetTracer implements multicast.Protocol.
+func (r *Router) SetTracer(t *trace.Tracer) { r.Tracer = t }
+
+// AttachTelemetry implements multicast.Protocol, registering the "odmrp."
+// instruments on reg.
+func (r *Router) AttachTelemetry(reg *telemetry.Registry) { r.Telem = NewTelemetry(reg) }
+
+// Counters implements multicast.Protocol.
+func (r *Router) Counters() multicast.Stats {
+	return multicast.Stats{
+		ControlBytesSent: r.Stats.ControlBytesSent,
+		DataOriginated:   r.Stats.DataOriginated,
+		DataForwarded:    r.Stats.DataForwarded,
+		DataDelivered:    r.Stats.DataDelivered,
+		DataDuplicates:   r.Stats.DataDuplicates,
+	}
+}
+
+var _ multicast.Protocol = (*Router)(nil)

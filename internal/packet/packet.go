@@ -53,6 +53,13 @@ const (
 	// TypeProbePairLarge is the second (large) packet of a packet-pair
 	// probe.
 	TypeProbePairLarge
+	// TypeCoreAnnounce is an MCST CORE ANNOUNCE flooded from a group's
+	// core, accumulating path cost like a JOIN QUERY.
+	TypeCoreAnnounce
+	// TypeTreeJoin is an MCST TREE JOIN propagated from members (and
+	// non-core senders) hop by hop toward the core, grafting the shared
+	// tree.
+	TypeTreeJoin
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +77,10 @@ func (t Type) String() string {
 		return "PAIR_SMALL"
 	case TypeProbePairLarge:
 		return "PAIR_LARGE"
+	case TypeCoreAnnounce:
+		return "CORE_ANNOUNCE"
+	case TypeTreeJoin:
+		return "TREE_JOIN"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -134,9 +145,11 @@ type Packet struct {
 func (p *Packet) SizeBytes() int {
 	size := NetHeaderBytes + p.PayloadBytes
 	switch p.Kind {
-	case TypeJoinQuery:
+	case TypeJoinQuery, TypeCoreAnnounce:
 		size += 16 // src, group, seq, hop, ttl, cost
 	case TypeJoinReply:
+		size += 8 + 4*len(p.Replies)
+	case TypeTreeJoin:
 		size += 8 + 4*len(p.Replies)
 	case TypeData:
 		size += 12 // group, src, seq
@@ -164,8 +177,13 @@ func (p *Packet) String() string {
 	case TypeJoinQuery:
 		return fmt.Sprintf("JOIN_QUERY{src=%v grp=%v seq=%d hops=%d cost=%.4g prev=%v}",
 			p.Src, p.Group, p.Seq, p.HopCount, p.Cost, p.PrevHop)
+	case TypeCoreAnnounce:
+		return fmt.Sprintf("CORE_ANNOUNCE{core=%v grp=%v seq=%d hops=%d cost=%.4g prev=%v}",
+			p.Src, p.Group, p.Seq, p.HopCount, p.Cost, p.PrevHop)
 	case TypeJoinReply:
 		return fmt.Sprintf("JOIN_REPLY{from=%v grp=%v seq=%d entries=%d}", p.Src, p.Group, p.Seq, len(p.Replies))
+	case TypeTreeJoin:
+		return fmt.Sprintf("TREE_JOIN{from=%v grp=%v seq=%d entries=%d}", p.Src, p.Group, p.Seq, len(p.Replies))
 	case TypeData:
 		return fmt.Sprintf("DATA{src=%v grp=%v seq=%d}", p.Src, p.Group, p.Seq)
 	default:

@@ -30,6 +30,9 @@ type Config struct {
 	Groups int
 	// Metric selects the routing metric (default metric.SPP).
 	Metric metric.Kind
+	// Protocol selects the multicast routing protocol by registered name;
+	// empty means multicast.Default (ODMRP).
+	Protocol string
 	// Seed drives floor generation, the medium, and protocol randomness.
 	Seed uint64
 	// SendInterval is each source's CBR gap (default 100 ms — soak runs
@@ -108,6 +111,7 @@ func New(cfg Config) (*Runner, error) {
 	fleet, err := emu.NewFleet(emu.FleetConfig{
 		Scenario:     scenario,
 		Metric:       cfg.Metric,
+		Protocol:     cfg.Protocol,
 		SendInterval: cfg.SendInterval,
 		StartStagger: cfg.StartStagger,
 		Seed:         cfg.Seed,

@@ -18,8 +18,8 @@ import (
 	"time"
 
 	"meshcast/internal/geom"
+	"meshcast/internal/multicast"
 	"meshcast/internal/node"
-	"meshcast/internal/odmrp"
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/propagation"
@@ -91,6 +91,9 @@ var Links = []Link{
 type Config struct {
 	// Metric selects the routing metric.
 	Metric metric.Kind
+	// Protocol selects the multicast protocol by registered name; empty
+	// means the default (ODMRP).
+	Protocol string
 	// Seed drives the loss processes and protocol randomness.
 	Seed uint64
 	// TrafficSeconds is the measured window (paper: 400 s per run).
@@ -181,7 +184,7 @@ type Result struct {
 	Summary   stats.Summary
 	PerMember []stats.MemberPDR
 	// EdgeUse merges data-carrying edge counters across nodes (Figure 5).
-	EdgeUse map[odmrp.Edge]uint64
+	EdgeUse map[multicast.Edge]uint64
 	// Sent maps each source to packets sent.
 	Sent map[packet.NodeID]uint64
 	// Series buckets delivery ratio over time (20 s buckets, by send
@@ -229,6 +232,7 @@ func RunScenario(cfg Config, sc Scenario) (*Result, error) {
 	})
 
 	nodeCfg := node.DefaultConfig(cfg.Metric)
+	nodeCfg.Protocol = cfg.Protocol
 	nodes := make(map[packet.NodeID]*node.Node, len(sc.Nodes))
 	for _, id := range sc.Nodes {
 		n, err := node.New(engine, medium, id, sc.Positions[id], nodeCfg)
@@ -250,11 +254,11 @@ func RunScenario(cfg Config, sc Scenario) (*Result, error) {
 			nodes[m].Router.JoinGroup(g.Group)
 			collector.Subscribe(m, g.Group, g.Source)
 			r := nodes[m].Router
-			r.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+			r.SetOnDeliver(func(p *packet.Packet, _ packet.NodeID) {
 				collector.RecordDelivered(r.ID(), p.Group, p.Src, p.PayloadBytes, engine.Now()-p.SentAt)
 				series.RecordDelivered(p.SentAt - warmup)
 				delays.Observe(engine.Now() - p.SentAt)
-			}
+			})
 		}
 		cbr := traffic.NewCBR(engine, nodes[g.Source].Router, traffic.CBRConfig{
 			Group:        g.Group,
@@ -278,7 +282,7 @@ func RunScenario(cfg Config, sc Scenario) (*Result, error) {
 	engine.Run(warmup + time.Duration(cfg.TrafficSeconds)*time.Second)
 
 	res := &Result{
-		EdgeUse: make(map[odmrp.Edge]uint64),
+		EdgeUse: make(map[multicast.Edge]uint64),
 		Sent:    make(map[packet.NodeID]uint64),
 	}
 	for i, g := range groups {
@@ -303,7 +307,7 @@ func RunScenario(cfg Config, sc Scenario) (*Result, error) {
 
 // TreeEdge is a heavily used data edge with its share of the traffic.
 type TreeEdge struct {
-	Edge  odmrp.Edge
+	Edge  multicast.Edge
 	Count uint64
 	Class LinkClass
 }

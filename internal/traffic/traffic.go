@@ -6,7 +6,6 @@ package traffic
 import (
 	"time"
 
-	"meshcast/internal/odmrp"
 	"meshcast/internal/packet"
 	"meshcast/internal/sim"
 )
@@ -39,6 +38,14 @@ func DefaultCBR(group packet.GroupID) CBRConfig {
 	}
 }
 
+// Source is the slice of the multicast protocol a traffic generator
+// drives: source registration and data emission.
+type Source interface {
+	StartSource(group packet.GroupID)
+	StopSource(group packet.GroupID)
+	SendData(group packet.GroupID, payloadBytes int)
+}
+
 // CBR drives a router as a multicast source.
 type CBR struct {
 	// Sent counts packets handed to the router.
@@ -46,7 +53,7 @@ type CBR struct {
 	// OnSend, when non-nil, observes each data packet's send time.
 	OnSend func(at time.Duration)
 
-	router  *odmrp.Router
+	router  Source
 	engine  *sim.Engine
 	rng     *sim.RNG
 	cfg     CBRConfig
@@ -56,7 +63,7 @@ type CBR struct {
 }
 
 // NewCBR creates a CBR source on router; call Start to begin.
-func NewCBR(engine *sim.Engine, router *odmrp.Router, cfg CBRConfig) *CBR {
+func NewCBR(engine *sim.Engine, router Source, cfg CBRConfig) *CBR {
 	return &CBR{
 		router: router,
 		engine: engine,
@@ -65,7 +72,7 @@ func NewCBR(engine *sim.Engine, router *odmrp.Router, cfg CBRConfig) *CBR {
 	}
 }
 
-// Start registers the router as an ODMRP source and schedules the flow.
+// Start registers the router as a multicast source and schedules the flow.
 func (c *CBR) Start() {
 	c.engine.Schedule(c.cfg.Start, func() {
 		c.started = true
@@ -100,8 +107,8 @@ func (c *CBR) Pause() {
 }
 
 // Resume restarts a paused flow. It re-registers the source with the router —
-// a crash wipes the router's source flood state (odmrp.Router.Reset), so the
-// JOIN QUERY refresh ticker must be rebuilt, not just the emission ticker.
+// a crash wipes the router's source state (Protocol.Reset), so the protocol's
+// route-refresh activity must be rebuilt, not just the emission ticker.
 func (c *CBR) Resume() {
 	if !c.paused {
 		return
@@ -124,7 +131,7 @@ func (c *CBR) emit() {
 	}
 }
 
-// StopNow halts the flow and the source's query floods.
+// StopNow halts the flow and the source's route-refresh activity.
 func (c *CBR) StopNow() {
 	if c.ticker != nil {
 		c.ticker.Stop()

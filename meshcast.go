@@ -29,8 +29,8 @@ import (
 	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
+	"meshcast/internal/multicast"
 	"meshcast/internal/node"
-	"meshcast/internal/odmrp"
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/propagation"
@@ -108,7 +108,7 @@ type MemberPDR = stats.MemberPDR
 type Percentiles = stats.Percentiles
 
 // Edge is a directed data-plane link (for tree analysis).
-type Edge = odmrp.Edge
+type Edge = multicast.Edge
 
 // TelemetrySnapshot is an instantaneous view of every telemetry
 // instrument: cumulative counters, current gauges and histogram state,
@@ -121,6 +121,9 @@ type SimulationConfig struct {
 	Seed uint64
 	// Metric selects the routing metric (default SPP).
 	Metric Metric
+	// Protocol selects the multicast routing protocol by registered name
+	// ("odmrp", "mcst"); empty means ODMRP.
+	Protocol string
 	// DisableFading switches off Rayleigh fading (links become on/off by
 	// distance). The paper's simulations keep fading on.
 	DisableFading bool
@@ -188,9 +191,18 @@ func (s *Simulation) AddNode(x, y float64) (NodeID, error) {
 
 func (s *Simulation) nodeConfig() node.Config {
 	cfg := node.DefaultConfig(s.cfg.Metric)
+	cfg.Protocol = s.cfg.Protocol
 	cfg.DataPacketBytes = s.cfg.PayloadBytes
 	cfg.Telemetry = s.telem
 	return cfg
+}
+
+// protocolName returns the resolved protocol name for instrument prefixes.
+func (s *Simulation) protocolName() string {
+	if s.cfg.Protocol != "" {
+		return s.cfg.Protocol
+	}
+	return multicast.Default
 }
 
 // EnableTelemetry attaches a cross-layer metrics registry to the
@@ -203,9 +215,9 @@ func (s *Simulation) EnableTelemetry() {
 	}
 	s.telem = telemetry.NewRegistry()
 	s.groups = make(map[GroupID]struct{})
-	// Forwarding-group size across every group with members or sources,
-	// evaluated lazily at snapshot time.
-	s.telem.GaugeFunc("odmrp.fg_size", func() float64 {
+	// Forwarder-set size (forwarding group / shared tree) across every
+	// group with members or sources, evaluated lazily at snapshot time.
+	s.telem.GaugeFunc(s.protocolName()+".fg_size", func() float64 {
 		n := 0
 		for _, nd := range s.nodes {
 			for g := range s.groups {
@@ -259,11 +271,11 @@ func (s *Simulation) Join(id NodeID, group GroupID) error {
 		s.groups[group] = struct{}{}
 	}
 	r := n.Router
-	r.OnDeliver = func(p *packet.Packet, _ packet.NodeID) {
+	r.SetOnDeliver(func(p *packet.Packet, _ packet.NodeID) {
 		delay := s.engine.Now() - p.SentAt
 		s.collector.RecordDelivered(r.ID(), p.Group, p.Src, p.PayloadBytes, delay)
 		s.delays.Observe(delay)
-	}
+	})
 	// Subscribe this member to every known source of the group.
 	for _, fk := range s.flowKeys {
 		if fk.group == group {
@@ -361,8 +373,8 @@ func (s *Simulation) DelayPercentiles() Percentiles {
 	return s.delays.Percentiles()
 }
 
-// IsForwarder reports whether a node currently holds the forwarding-group
-// flag for a group.
+// IsForwarder reports whether a node currently relays data for a group
+// (forwarding-group flag for ODMRP, on-tree flag for MCST).
 func (s *Simulation) IsForwarder(id NodeID, group GroupID) bool {
 	n, err := s.node(id)
 	if err != nil {
