@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"meshcast/internal/experiments"
+	"meshcast/internal/packet"
+	"meshcast/internal/trace"
+)
+
+// traceBenchReport is the BENCH_trace.json schema: the measured cost of
+// packet-journey tracing, at the span-call level (ns per Span call,
+// disabled vs enabled), the run level (the same scenario bare vs with a
+// span sink attached), and the analysis level (journeys reconstructed per
+// second from the captured spans). The disabled number is the acceptance
+// bar: with no span sink wired in, every Span call is a nil check and
+// packets carry a zero trace ID, so production sweeps pay nothing.
+type traceBenchReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	Cores       int    `json:"cores"`
+	// Span-call microbenchmarks (testing.Benchmark).
+	DisabledSpanNsPerOp float64 `json:"disabledSpanNsPerOp"`
+	EnabledSpanNsPerOp  float64 `json:"enabledSpanNsPerOp"`
+	// Whole-run comparison: bare (tracing disabled — the default) vs with
+	// an in-memory span sink attached. Best of Runs attempts each.
+	BareRunSeconds   float64 `json:"bareRunSeconds"`
+	TracedRunSeconds float64 `json:"tracedRunSeconds"`
+	// EnabledOverheadPct is the traced run's slowdown over the bare run.
+	EnabledOverheadPct float64 `json:"enabledOverheadPct"`
+	// Journey reconstruction throughput over the traced run's spans.
+	SpansCaptured      int     `json:"spansCaptured"`
+	JourneysPerRun     int     `json:"journeysPerRun"`
+	JourneysPerSecond  float64 `json:"journeysPerSecond"`
+	ReconstructNsPerOp float64 `json:"reconstructNsPerOp"`
+	Runs               int     `json:"runs"`
+	Config             string  `json:"config"`
+}
+
+// benchTraceOverhead measures packet-journey tracing's cost and writes the
+// report to out.
+func benchTraceOverhead(out string) error {
+	nsPerOp := func(f func(b *testing.B)) float64 {
+		r := testing.Benchmark(f)
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+
+	// Span-call microbenchmarks. The disabled case is the hot path every
+	// un-traced run takes: a nil tracer (or a zero trace ID) must cost a
+	// branch, not an allocation.
+	var nilTracer *trace.Tracer
+	enabled := trace.New(nil, func() time.Duration { return 0 })
+	enabled.SetSpanSink(discardSpans{})
+	p := &packet.Packet{Kind: packet.TypeData, Group: 1, Seq: 7, TraceID: 1}
+
+	rep := traceBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Cores:       runtime.NumCPU(),
+		Runs:        3,
+		Config:      "20 nodes, 1 group, 30 s traffic (+10 s warmup), SPP",
+		DisabledSpanNsPerOp: nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nilTracer.Span(trace.SpanForward, 1, 2, p)
+			}
+		}),
+		EnabledSpanNsPerOp: nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				enabled.Span(trace.SpanForward, 1, 2, p)
+			}
+		}),
+	}
+
+	timeRun := func(sink trace.SpanSink) (float64, error) {
+		cfg, err := benchScenario(nil)
+		if err != nil {
+			return 0, err
+		}
+		cfg.SpanSink = sink
+		start := time.Now()
+		if _, err := experiments.RunScenario(cfg); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	best := func(traced bool) (float64, *trace.SpanBuffer, error) {
+		min := 0.0
+		var buf *trace.SpanBuffer
+		for i := 0; i < rep.Runs; i++ {
+			var sink trace.SpanSink
+			var b *trace.SpanBuffer
+			if traced {
+				b = &trace.SpanBuffer{}
+				sink = b
+			}
+			s, err := timeRun(sink)
+			if err != nil {
+				return 0, nil, err
+			}
+			if min == 0 || s < min {
+				min = s
+			}
+			buf = b
+		}
+		return min, buf, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: %d bare runs...\n", rep.Runs)
+	var err error
+	if rep.BareRunSeconds, _, err = best(false); err != nil {
+		return fmt.Errorf("bench bare: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d span-traced runs...\n", rep.Runs)
+	var buf *trace.SpanBuffer
+	if rep.TracedRunSeconds, buf, err = best(true); err != nil {
+		return fmt.Errorf("bench traced: %w", err)
+	}
+	rep.EnabledOverheadPct = 100 * (rep.TracedRunSeconds - rep.BareRunSeconds) / rep.BareRunSeconds
+
+	// Journey reconstruction throughput over the real captured span set.
+	spans := buf.Spans()
+	rep.SpansCaptured = len(spans)
+	rep.JourneysPerRun = len(trace.Reconstruct(spans))
+	rep.ReconstructNsPerOp = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trace.Reconstruct(spans)
+		}
+	})
+	if rep.ReconstructNsPerOp > 0 {
+		rep.JourneysPerSecond = float64(rep.JourneysPerRun) / (rep.ReconstructNsPerOp / 1e9)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bench: disabled span %.2f ns/op (enabled %.2f), bare %.3fs vs traced %.3fs (%+.1f%%), %d spans -> %d journeys (%.0f journeys/s) -> %s\n",
+		rep.DisabledSpanNsPerOp, rep.EnabledSpanNsPerOp,
+		rep.BareRunSeconds, rep.TracedRunSeconds, rep.EnabledOverheadPct,
+		rep.SpansCaptured, rep.JourneysPerRun, rep.JourneysPerSecond, out)
+	return nil
+}
+
+// discardSpans is the cheapest possible sink, isolating the tracer's own
+// cost in the enabled-span microbenchmark.
+type discardSpans struct{}
+
+func (discardSpans) EmitSpan(trace.Span) {}

@@ -48,6 +48,7 @@ func main() {
 	benchOut := flag.String("bench-runner", "", "benchmark the job harness (serial vs -j parallel reduced sweep), write JSON here, and exit")
 	benchTelemetry := flag.String("bench-telemetry", "", "benchmark disabled-instrument overhead, write JSON here, and exit")
 	benchSim := flag.String("bench-simcore", "", "benchmark the simulation core (link cache on/off, transmit fan-out allocations), write JSON here, and exit")
+	benchTrace := flag.String("bench-trace", "", "benchmark packet-journey tracing overhead and reconstruction throughput, write JSON here, and exit")
 	telemetryDir := flag.String("telemetry", "", "record sweep-harness telemetry (cache hits/misses, job latency) to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,6 +64,8 @@ func main() {
 		err = benchSimcore(*benchSim)
 	case *benchTelemetry != "":
 		err = benchTelemetryOverhead(*benchTelemetry)
+	case *benchTrace != "":
+		err = benchTraceOverhead(*benchTrace)
 	case *benchOut != "":
 		err = benchRunner(*benchOut, *jobs, *cacheDir)
 	default:

@@ -50,6 +50,7 @@ type options struct {
 	NoFading  bool
 	Verbose   bool
 	TraceCats string
+	Spans     string
 	Capture   string
 
 	// Churn enables MTBF/MTTR node churn over this fraction of nodes
@@ -108,7 +109,8 @@ func main() {
 	flag.Float64Var(&opt.ProbeRate, "probe-rate", def.ProbeRate, "probing rate factor (5 = high-overhead column)")
 	flag.BoolVar(&opt.NoFading, "no-fading", def.NoFading, "disable Rayleigh fading")
 	flag.BoolVar(&opt.Verbose, "v", def.Verbose, "print per-member delivery ratios")
-	flag.StringVar(&opt.TraceCats, "trace", def.TraceCats, "comma-separated trace categories to print (query,reply,data,probe,mac)")
+	flag.StringVar(&opt.TraceCats, "trace", def.TraceCats, "comma-separated trace categories to print (query,reply,data,probe,mac,core,join)")
+	flag.StringVar(&opt.Spans, "spans", def.Spans, "record packet-journey spans to this JSONL file (see meshstat -journeys)")
 	flag.StringVar(&opt.Capture, "capture", def.Capture, "record every transmitted frame to this file (see cmd/meshdump)")
 	flag.Float64Var(&opt.Churn, "churn", def.Churn, "fraction of nodes subject to crash/restart churn (0 disables)")
 	flag.DurationVar(&opt.ChurnMTBF, "churn-mtbf", def.ChurnMTBF, "mean time between failures per churned node")
@@ -159,13 +161,48 @@ func runSpec(path string, opt options) error {
 	if cfg.Telemetry, err = newRecorder(opt); err != nil {
 		return err
 	}
+	closeSpans, err := attachSpans(&cfg, opt)
+	if err != nil {
+		return err
+	}
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
+		closeSpans()
+		return err
+	}
+	if err := closeSpans(); err != nil {
 		return err
 	}
 	printResult(res, opt.Verbose)
 	noteTelemetry(cfg.Telemetry)
 	return nil
+}
+
+// attachSpans wires -spans to the scenario: every packet-journey span goes
+// to a JSONL stream for meshstat -journeys. The returned close function
+// flushes and closes the file.
+func attachSpans(cfg *experiments.ScenarioConfig, opt options) (func() error, error) {
+	if opt.Spans == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(opt.Spans)
+	if err != nil {
+		return nil, fmt.Errorf("-spans: %w", err)
+	}
+	w := trace.NewSpanJSONLWriter(f)
+	cfg.SpanSink = w
+	return func() error {
+		flushErr := w.Flush()
+		closeErr := f.Close()
+		if flushErr != nil {
+			return fmt.Errorf("-spans: %w", flushErr)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("-spans: %w", closeErr)
+		}
+		fmt.Fprintf(os.Stderr, "spans: wrote %s (try: go run ./cmd/meshstat -journeys %s)\n", opt.Spans, opt.Spans)
+		return nil
+	}, nil
 }
 
 // noteTelemetry points the user at the artifacts on stderr (stdout stays
@@ -188,6 +225,8 @@ func parseTraceCats(s string) ([]trace.Category, error) {
 		"data":  trace.CatData,
 		"probe": trace.CatProbe,
 		"mac":   trace.CatMAC,
+		"core":  trace.CatCore,
+		"join":  trace.CatJoin,
 	}
 	var out []trace.Category
 	for _, part := range strings.Split(s, ",") {
@@ -275,10 +314,18 @@ func run(opt options) error {
 	if cfg.Telemetry, err = newRecorder(opt); err != nil {
 		return err
 	}
+	closeSpans, err := attachSpans(&cfg, opt)
+	if err != nil {
+		return err
+	}
 
 	start := time.Now()
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
+		closeSpans()
+		return err
+	}
+	if err := closeSpans(); err != nil {
 		return err
 	}
 

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"meshcast/internal/packet"
+	"meshcast/internal/trace"
+)
+
+// runJourneys loads a span stream (a spans.jsonl file, or a directory
+// containing one), reconstructs per-packet journeys, and renders the
+// report: totals, a per-packet-kind comparison, and the top-N slowest and
+// lossiest journeys with per-hop breakdowns.
+func runJourneys(w io.Writer, path string, topN int) error {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, "spans.jsonl")
+	}
+	spans, err := trace.LoadSpans(path)
+	if err != nil {
+		return fmt.Errorf("meshstat -journeys: %w", err)
+	}
+	journeys := trace.Reconstruct(spans)
+	if len(journeys) == 0 {
+		fmt.Fprintf(w, "no traced journeys in %s (%d spans)\n", path, len(spans))
+		return nil
+	}
+	renderJourneys(w, path, spans, journeys, topN)
+	return nil
+}
+
+// kindAgg aggregates journeys of one packet kind for the comparison table.
+type kindAgg struct {
+	kind       packet.Type
+	count      int
+	complete   int
+	deliveries int
+	losses     int
+	hopSum     int
+	latSum     time.Duration
+	latMax     time.Duration
+	latN       int
+}
+
+func renderJourneys(w io.Writer, path string, spans []trace.Span, journeys []*trace.Journey, topN int) {
+	complete := 0
+	for _, j := range journeys {
+		if j.Complete() {
+			complete++
+		}
+	}
+	fmt.Fprintf(w, "journeys: %d reconstructed from %d spans (%s)\n", len(journeys), len(spans), path)
+	fmt.Fprintf(w, "  complete forwarding trees: %d/%d\n", complete, len(journeys))
+
+	// Per-packet-kind comparison: data vs the control planes' floods.
+	byKind := make(map[packet.Type]*kindAgg)
+	var kinds []packet.Type
+	for _, j := range journeys {
+		a := byKind[j.PktKind]
+		if a == nil {
+			a = &kindAgg{kind: j.PktKind}
+			byKind[j.PktKind] = a
+			kinds = append(kinds, j.PktKind)
+		}
+		a.count++
+		if j.Complete() {
+			a.complete++
+		}
+		a.deliveries += len(j.Deliveries)
+		a.losses += j.Losses()
+		a.hopSum += int(j.MaxHopCount)
+		if lat := j.MaxLatency(); lat > 0 {
+			a.latSum += lat
+			a.latN++
+			if lat > a.latMax {
+				a.latMax = lat
+			}
+		}
+	}
+	sort.Slice(kinds, func(i, k int) bool { return kinds[i] < kinds[k] })
+	fmt.Fprintf(w, "\n%-14s %8s %9s %10s %7s %9s %10s %10s\n",
+		"kind", "count", "complete", "delivered", "losses", "mean hops", "mean lat", "max lat")
+	for _, k := range kinds {
+		a := byKind[k]
+		meanLat := time.Duration(0)
+		if a.latN > 0 {
+			meanLat = a.latSum / time.Duration(a.latN)
+		}
+		fmt.Fprintf(w, "%-14v %8d %9d %10d %7d %9.1f %10s %10s\n",
+			a.kind, a.count, a.complete, a.deliveries, a.losses,
+			float64(a.hopSum)/float64(a.count), fmtLat(meanLat), fmtLat(a.latMax))
+	}
+
+	if topN <= 0 {
+		return
+	}
+
+	// Slowest journeys by worst end-to-end delivery latency.
+	slow := make([]*trace.Journey, 0, len(journeys))
+	for _, j := range journeys {
+		if len(j.Deliveries) > 0 {
+			slow = append(slow, j)
+		}
+	}
+	sort.Slice(slow, func(i, k int) bool { return slow[i].MaxLatency() > slow[k].MaxLatency() })
+	if len(slow) > topN {
+		slow = slow[:topN]
+	}
+	if len(slow) > 0 {
+		fmt.Fprintf(w, "\nslowest %d journeys:\n", len(slow))
+		for _, j := range slow {
+			renderJourney(w, j)
+		}
+	}
+
+	// Lossiest journeys by attributable loss events.
+	lossy := make([]*trace.Journey, 0, len(journeys))
+	for _, j := range journeys {
+		if j.Losses() > 0 {
+			lossy = append(lossy, j)
+		}
+	}
+	sort.Slice(lossy, func(i, k int) bool { return lossy[i].Losses() > lossy[k].Losses() })
+	if len(lossy) > topN {
+		lossy = lossy[:topN]
+	}
+	if len(lossy) > 0 {
+		fmt.Fprintf(w, "\nlossiest %d journeys:\n", len(lossy))
+		for _, j := range lossy {
+			fmt.Fprintf(w, "  %v grp %d seq %d from node %d: %d lost tx, %d mac drops, %d/%d tx heard\n",
+				j.PktKind, j.Group, j.Seq, j.Origin, j.LostTx, j.MACDrops, j.TxCount-j.LostTx, j.TxCount)
+		}
+	}
+}
+
+// renderJourney writes one journey's identity line plus its per-hop
+// latency breakdown in arrival order.
+func renderJourney(w io.Writer, j *trace.Journey) {
+	status := "complete"
+	if !j.Complete() {
+		status = "incomplete"
+	}
+	fmt.Fprintf(w, "  %v grp %d seq %d from node %d @ %s: %d deliveries, max lat %s, %d hops, %s\n",
+		j.PktKind, j.Group, j.Seq, j.Origin, fmtLat(j.OriginAt), len(j.Deliveries),
+		fmtLat(j.MaxLatency()), len(j.Hops), status)
+	for _, h := range j.Hops {
+		fmt.Fprintf(w, "    %3d -> %-3d  hop %d  tx %-10s  lat %s\n",
+			h.From, h.To, h.HopCount, fmtLat(h.TxAt), fmtLat(h.Latency))
+	}
+}
+
+// fmtLat renders a latency with stable sub-millisecond precision.
+func fmtLat(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}

@@ -8,12 +8,20 @@
 //	go run ./cmd/meshstat out/                 # per-layer summary + sparklines
 //	go run ./cmd/meshstat -top 10 out/         # widen the top-counter table
 //	go run ./cmd/meshstat -diff outA/ outB/    # per-counter deltas, A vs B
-//	go run ./cmd/meshstat -watch 127.0.0.1:8420   # live control-plane poll
+//	go run ./cmd/meshstat -watch 127.0.0.1:8420   # live control-plane stream
+//	go run ./cmd/meshstat -journeys out/spans.jsonl  # packet-journey report
 //
-// -watch polls a running control plane (etherd -listen / -soak) and
-// renders one line per interval: node liveness, medium state, and the
-// windowed packet delivery ratio with a trailing sparkline — the live view
-// of a fleet dipping under injected faults and recovering.
+// -watch subscribes to a running control plane's /stats/stream SSE
+// endpoint (etherd -listen / -soak) and renders one line per server
+// window: node liveness, medium state, and the windowed packet delivery
+// ratio with a trailing sparkline — the live view of a fleet dipping
+// under injected faults and recovering. Anomaly events from the stream
+// interleave as their own lines, and a dropped connection reconnects
+// with Last-Event-ID so no window is shown twice.
+//
+// -journeys reconstructs per-packet forwarding trees from a span stream
+// (meshsim -spans) and reports the slowest and lossiest journeys with
+// per-hop latency breakdowns, plus a per-packet-kind comparison.
 package main
 
 import (
@@ -37,15 +45,24 @@ import (
 func main() {
 	topN := flag.Int("top", 5, "how many counters the top-counters table lists")
 	diff := flag.Bool("diff", false, "diff two runs: meshstat -diff A B")
-	watch := flag.String("watch", "", "control-plane base URL to poll live (host:port or http://...)")
-	interval := flag.Duration("interval", time.Second, "poll interval with -watch")
+	watch := flag.String("watch", "", "control-plane base URL to stream live (host:port or http://...)")
+	interval := flag.Duration("interval", time.Second, "unused with the stream; kept for compatibility")
+	journeys := flag.Bool("journeys", false, "packet-journey report from a span stream: meshstat -journeys SPANS")
+	journeyN := flag.Int("n", 5, "how many slowest/lossiest journeys -journeys details")
 	flag.Parse()
+	_ = interval
 	var err error
 	switch {
 	case *watch != "":
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		err = runWatch(ctx, os.Stdout, *watch, *interval)
+		err = runWatch(ctx, os.Stdout, *watch)
 		stop()
+	case *journeys:
+		if flag.NArg() != 1 {
+			err = fmt.Errorf("meshstat -journeys needs a spans.jsonl file or its directory")
+			break
+		}
+		err = runJourneys(os.Stdout, flag.Arg(0), *journeyN)
 	case *diff:
 		if flag.NArg() != 2 {
 			err = fmt.Errorf("meshstat -diff needs exactly two runs, got %d", flag.NArg())
@@ -55,7 +72,7 @@ func main() {
 	case flag.NArg() == 1:
 		err = runSummary(os.Stdout, flag.Arg(0), *topN)
 	default:
-		err = fmt.Errorf("usage: meshstat [-top N] DIR | meshstat -diff A B | meshstat -watch URL")
+		err = fmt.Errorf("usage: meshstat [-top N] DIR | meshstat -diff A B | meshstat -watch URL | meshstat -journeys SPANS")
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -93,11 +110,13 @@ func watchLine(s ctlplane.WatchSample, history []float64) string {
 	return line
 }
 
-// runWatch streams delta samples from a live control plane until ctx ends.
-func runWatch(ctx context.Context, w io.Writer, base string, interval time.Duration) error {
+// runWatch consumes the control plane's /stats/stream until ctx ends. The
+// server paces the windows and computes the deltas; reconnects resume via
+// Last-Event-ID, so restarts show as error lines, never duplicate data.
+func runWatch(ctx context.Context, w io.Writer, base string) error {
 	c := ctlplane.NewClient(normalizeBase(base))
 	// One probe up front so a wrong URL fails fast instead of printing
-	// poll errors forever.
+	// connection errors forever.
 	probeCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	h, err := c.Health(probeCtx)
 	cancel()
@@ -108,10 +127,14 @@ func runWatch(ctx context.Context, w io.Writer, base string, interval time.Durat
 	if proto == "" {
 		proto = "unknown"
 	}
-	fmt.Fprintf(w, "watching %s (health %s, protocol %s), interval %v\n", c.Base, h.Status, proto, interval)
+	fmt.Fprintf(w, "watching %s/stats/stream (health %s, protocol %s)\n", c.Base, h.Status, proto)
 	const sparkWindow = 30
 	var history []float64
-	for s := range ctlplane.Watch(ctx, c, interval) {
+	for s := range ctlplane.WatchStream(ctx, c) {
+		if s.Anomaly != "" {
+			fmt.Fprintf(w, "%s  ANOMALY  %s\n", s.T.Format("15:04:05"), s.Anomaly)
+			continue
+		}
 		if s.HasPDR {
 			history = append(history, s.PDR)
 			if len(history) > sparkWindow {
@@ -201,8 +224,12 @@ func gaugeValues(series []telemetry.SeriesSample, name string) []float64 {
 // per-layer instrument tables with sparklines, and the top-N counters.
 func render(w io.Writer, m *telemetry.Manifest, series []telemetry.SeriesSample, topN int) {
 	fmt.Fprintf(w, "run: %s\n", m.Label)
-	fmt.Fprintf(w, "  metric %s, seed %d, %.0fs simulated, %d samples @ %gs\n",
-		m.Metric, m.Seed, m.DurationSeconds, m.Samples, m.IntervalSeconds)
+	proto := ""
+	if m.Protocol != "" {
+		proto = fmt.Sprintf(", protocol %s", m.Protocol)
+	}
+	fmt.Fprintf(w, "  metric %s%s, seed %d, %.0fs simulated, %d samples @ %gs\n",
+		m.Metric, proto, m.Seed, m.DurationSeconds, m.Samples, m.IntervalSeconds)
 	if m.ConfigHash != "" {
 		fmt.Fprintf(w, "  config %s\n", m.ConfigHash)
 	}

@@ -2,12 +2,13 @@
 // fleet of live daemons (internal/soak — the same runner `etherd -soak`
 // uses), then mutates it mid-run exclusively through the ctlplane HTTP
 // API the way an operator would: killing nodes, partitioning the medium,
-// and injecting a fault script into the running fleet. It polls /stats
-// the whole time (the same windowed-PDR stream `meshstat -watch` renders)
-// and verifies the robustness contract:
+// and injecting a fault script into the running fleet. It subscribes to
+// the /stats/stream SSE feed the whole time (the same live stream
+// `meshstat -watch` renders) and verifies the robustness contract:
 //
 //   - killed daemons come back on their own (the supervisor watchdog),
 //   - delivery dips under the faults and resumes once they clear,
+//   - the anomaly flight recorder dumps the black box around the faults,
 //   - the run tears down without leaking goroutines.
 //
 // The harness exits nonzero when any criterion fails — CI runs it
@@ -54,6 +55,8 @@ type summary struct {
 	MinAlive     int     `json:"minAlive"`
 	FinalPDR     float64 `json:"finalPdr"`
 	Samples      int     `json:"samples"`
+	Anomalies    int     `json:"anomalies"`
+	FlightDumps  int     `json:"flightDumps"`
 	DurationS    float64 `json:"durationS"`
 }
 
@@ -96,6 +99,13 @@ func run(nodes, seconds int, seed uint64, telemetryDir, jsonOut string) error {
 		err = rerr
 	}
 	sum.DurationS = time.Since(start).Seconds()
+	sum.FlightDumps = r.FlightDumps()
+	// The faults must have tripped the anomaly flight recorder: the
+	// watchdog restarts of the killed daemons guarantee at least one dump
+	// whenever telemetry is on.
+	if telemetryDir != "" && sum.FlightDumps == 0 && err == nil {
+		err = fmt.Errorf("flight recorder never dumped despite kills and partition")
+	}
 	if err == nil {
 		err = checkGoroutines(baseline)
 	}
@@ -117,23 +127,30 @@ func run(nodes, seconds int, seed uint64, telemetryDir, jsonOut string) error {
 	return nil
 }
 
-// watcher accumulates the windowed-PDR stream in the background — the
-// same samples meshstat -watch renders.
+// watcher accumulates the live /stats/stream feed in the background — the
+// same SSE stream meshstat -watch renders. The server paces the windows
+// and computes the deltas; this side only aggregates.
 type watcher struct {
-	mu      sync.Mutex
-	samples []ctlplane.WatchSample
-	minPDR  float64
-	lastPDR float64
-	minAliv int
-	hasPDR  bool
+	mu        sync.Mutex
+	samples   []ctlplane.WatchSample
+	minPDR    float64
+	lastPDR   float64
+	minAliv   int
+	anomalies int
+	hasPDR    bool
 }
 
 func (w *watcher) run(ctx context.Context, c *ctlplane.Client) {
-	for s := range ctlplane.Watch(ctx, c, 500*time.Millisecond) {
+	for s := range ctlplane.WatchStream(ctx, c) {
 		if s.Err != nil {
 			continue
 		}
 		w.mu.Lock()
+		if s.Anomaly != "" {
+			w.anomalies++
+			w.mu.Unlock()
+			continue
+		}
 		w.samples = append(w.samples, s)
 		if s.Stats.NodesAlive < w.minAliv {
 			w.minAliv = s.Stats.NodesAlive
@@ -149,10 +166,10 @@ func (w *watcher) run(ctx context.Context, c *ctlplane.Client) {
 	}
 }
 
-func (w *watcher) snapshot() (minPDR, lastPDR float64, minAlive, n int) {
+func (w *watcher) snapshot() (minPDR, lastPDR float64, minAlive, n, anomalies int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.minPDR, w.lastPDR, w.minAliv, len(w.samples)
+	return w.minPDR, w.lastPDR, w.minAliv, len(w.samples), w.anomalies
 }
 
 // drive executes the smoke's fault sequence over the HTTP API and applies
@@ -225,15 +242,16 @@ func drive(ctx context.Context, c *ctlplane.Client, nodes int, sum *summary) err
 
 	stopWatch()
 	<-watchDone
-	minPDR, lastPDR, minAlive, n := w.snapshot()
+	minPDR, lastPDR, minAlive, n, anomalies := w.snapshot()
 	sum.DipPDR = minPDR
 	sum.FinalPDR = lastPDR
 	sum.MinAlive = minAlive
 	sum.Samples = n
+	sum.Anomalies = anomalies
 
-	// The watch stream must have seen the dip and the recovery.
+	// The live stream must have seen the dip and the recovery.
 	if n < 3 {
-		return fmt.Errorf("watch stream produced only %d samples", n)
+		return fmt.Errorf("stats stream produced only %d samples", n)
 	}
 	if minAlive >= nodes {
 		return fmt.Errorf("watch never observed a dead daemon (min alive %d of %d)", minAlive, nodes)

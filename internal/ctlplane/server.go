@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // Server defaults.
@@ -36,6 +37,17 @@ type ServerConfig struct {
 	// IdempotencyCapacity bounds the replay cache; the oldest entry is
 	// evicted past it (default 1024).
 	IdempotencyCapacity int
+	// StreamInterval is the /stats/stream sampling period (default 1s).
+	StreamInterval time.Duration
+	// StreamReplay bounds the server-side event ring used for
+	// Last-Event-ID resume (default 256 events).
+	StreamReplay int
+	// StreamHeartbeat is the idle keep-alive comment period on
+	// /stats/stream (default 15s).
+	StreamHeartbeat time.Duration
+	// MaxStreamClients bounds concurrent /stats/stream subscribers;
+	// excess connections are shed with 503 + Retry-After (default 32).
+	MaxStreamClients int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -47,6 +59,18 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.IdempotencyCapacity <= 0 {
 		c.IdempotencyCapacity = DefaultIdempotencyCapacity
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = time.Second
+	}
+	if c.StreamReplay <= 0 {
+		c.StreamReplay = 256
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.MaxStreamClients <= 0 {
+		c.MaxStreamClients = 32
 	}
 	return c
 }
@@ -72,6 +96,12 @@ type Server struct {
 	cfg ServerConfig
 	mux *http.ServeMux
 
+	// stream is the /stats/stream fan-out hub; done tears every open
+	// stream down on Close so an embedding http.Server can Shutdown.
+	stream    *streamHub
+	done      chan struct{}
+	closeOnce sync.Once
+
 	mu    sync.Mutex
 	idem  map[string]idemEntry
 	order []string // insertion order, for bounded eviction
@@ -89,7 +119,9 @@ func NewServer(ctl Controller, cfg ServerConfig) *Server {
 		cfg:  cfg.withDefaults(),
 		mux:  http.NewServeMux(),
 		idem: make(map[string]idemEntry),
+		done: make(chan struct{}),
 	}
+	s.stream = newStreamHub(ctl, s.cfg, s.done)
 	s.mux.HandleFunc("GET /nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.ctl.Nodes())
 	})
@@ -104,6 +136,7 @@ func NewServer(ctl Controller, cfg ServerConfig) *Server {
 		// failure. Enforcement happens on the mutation paths.
 		writeJSON(w, http.StatusOK, s.ctl.Health())
 	})
+	s.mux.HandleFunc("GET /stats/stream", s.handleStream)
 	s.mux.HandleFunc("POST /links/impair", s.mutation(s.postImpair))
 	s.mux.HandleFunc("POST /links/partition", s.mutation(s.postPartition))
 	s.mux.HandleFunc("POST /nodes/kill", s.mutation(s.postKill))
@@ -114,6 +147,15 @@ func NewServer(ctl Controller, cfg ServerConfig) *Server {
 
 // Handler returns the HTTP handler to serve.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close tears down every open /stats/stream connection and stops the
+// stream producer. Call it before shutting down the embedding http.Server:
+// SSE handlers otherwise never return and Shutdown would hang until its
+// deadline. Close is idempotent; the request/response endpoints keep
+// working.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
 
 // apiError is the JSON error body.
 type apiError struct {

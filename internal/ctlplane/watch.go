@@ -24,6 +24,9 @@ type WatchSample struct {
 	// on the first sample and in windows with no expected deliveries.
 	PDR    float64
 	HasPDR bool
+	// Anomaly is set on stream-sourced anomaly samples (WatchStream); the
+	// polling Watch never sets it.
+	Anomaly string
 }
 
 // Watch polls /stats at interval and streams delta samples until ctx is

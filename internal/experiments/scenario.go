@@ -78,6 +78,12 @@ type ScenarioConfig struct {
 	TraceSink trace.Sink
 	// TraceCats filters traced categories.
 	TraceCats []trace.Category
+	// SpanSink, when non-nil, enables packet-journey span tracing: every
+	// originated packet is stamped with a trace ID and phy/mac/routing
+	// emit typed span records to this sink (see trace.Reconstruct). Span
+	// tracing is independent of TraceSink and changes no protocol or RNG
+	// behavior, so results stay byte-identical either way.
+	SpanSink trace.SpanSink
 	// CapturePath, when non-empty, records every transmitted frame to this
 	// file in the capture format (see internal/capture, cmd/meshdump).
 	CapturePath string
@@ -248,8 +254,9 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	if cfg.PayloadBytes > 0 {
 		nodeCfg.DataPacketBytes = cfg.PayloadBytes
 	}
-	if cfg.TraceSink != nil {
+	if cfg.TraceSink != nil || cfg.SpanSink != nil {
 		nodeCfg.Tracer = trace.New(cfg.TraceSink, engine.Now, cfg.TraceCats...)
+		nodeCfg.Tracer.SetSpanSink(cfg.SpanSink)
 	}
 	var reg *telemetry.Registry
 	if cfg.Telemetry != nil {
@@ -456,6 +463,7 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 		hashCfg.Telemetry = nil
 		hashCfg.TraceSink = nil
 		hashCfg.TraceCats = nil
+		hashCfg.SpanSink = nil
 		hashCfg.CapturePath = ""
 		hash, _ := ScenarioKey(hashCfg)
 		if err := cfg.Telemetry.Finalize(telemetry.Manifest{
@@ -463,6 +471,7 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 			Seed:            cfg.Seed,
 			Label:           fmt.Sprintf("%s seed %d", cfg.Metric, cfg.Seed),
 			Metric:          cfg.Metric.String(),
+			Protocol:        proto,
 			DurationSeconds: cfg.Duration.Seconds(),
 			Derived: map[string]float64{
 				"pdr":                res.Summary.PDR,

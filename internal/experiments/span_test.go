@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/packet"
+	"meshcast/internal/trace"
+)
+
+// TestSpanSinkDoesNotChangeResults pins the zero-cost contract from the
+// consumer side: attaching a span sink must not perturb the simulation —
+// trace IDs are observability metadata, excluded from wire size and RNG.
+func TestSpanSinkDoesNotChangeResults(t *testing.T) {
+	bare, err := RunScenario(smallScenario(t, metric.SPP, 11, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallScenario(t, metric.SPP, 11, 20*time.Second)
+	cfg.SpanSink = &trace.SpanBuffer{}
+	traced, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Summary != traced.Summary {
+		t.Fatalf("span sink changed the summary:\n%+v\n%+v", bare.Summary, traced.Summary)
+	}
+	if bare.Events != traced.Events {
+		t.Fatalf("span sink changed the event count: %d vs %d", bare.Events, traced.Events)
+	}
+}
+
+// TestSpanSinkScenarioNotCached: runs with a span sink have side effects
+// beyond their RunResult and must never come from the result cache.
+func TestSpanSinkScenarioNotCached(t *testing.T) {
+	cfg := smallScenario(t, metric.SPP, 11, 20*time.Second)
+	if _, ok := ScenarioKey(cfg); !ok {
+		t.Fatal("bare scenario not cachable")
+	}
+	cfg.SpanSink = &trace.SpanBuffer{}
+	if _, ok := ScenarioKey(cfg); ok {
+		t.Fatal("span-sink scenario reported cachable")
+	}
+}
+
+// TestScenarioJourneysReconstruct runs a fixed-seed scenario with span
+// tracing on and verifies the captured spans rebuild complete forwarding
+// trees: every data delivery is explained by a chain of reconstructed
+// MAC-tx -> phy-arrive edges back to the source.
+func TestScenarioJourneysReconstruct(t *testing.T) {
+	cfg := smallScenario(t, metric.SPP, 7, 30*time.Second)
+	buf := &trace.SpanBuffer{}
+	cfg.SpanSink = buf
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PacketsDelivered == 0 {
+		t.Fatal("scenario delivered nothing; spans prove nothing")
+	}
+	if buf.Dropped() != 0 {
+		t.Fatalf("span buffer dropped %d spans", buf.Dropped())
+	}
+
+	journeys := trace.Reconstruct(buf.Spans())
+	if len(journeys) == 0 {
+		t.Fatal("no journeys reconstructed")
+	}
+	var data, complete, delivered int
+	for _, j := range journeys {
+		if j.PktKind != packet.TypeData {
+			continue
+		}
+		data++
+		delivered += len(j.Deliveries)
+		if j.Complete() {
+			complete++
+		}
+	}
+	if data == 0 {
+		t.Fatal("no data journeys reconstructed")
+	}
+	// Every data journey's forwarding tree must explain its deliveries.
+	if complete != data {
+		t.Fatalf("%d of %d data journeys have complete forwarding trees", complete, data)
+	}
+	// The journeys' deliveries are the scenario's deliveries: each traced
+	// delivery span corresponds to one counted member reception.
+	if uint64(delivered) != res.Summary.PacketsDelivered {
+		t.Fatalf("journeys explain %d deliveries, scenario counted %d",
+			delivered, res.Summary.PacketsDelivered)
+	}
+}

@@ -37,6 +37,9 @@ func TestRunScenarioTelemetryArtifacts(t *testing.T) {
 	if m.Seed != cfg.Seed || m.Metric != "spp" {
 		t.Fatalf("identity = seed %d metric %q", m.Seed, m.Metric)
 	}
+	if m.Protocol != "odmrp" {
+		t.Fatalf("protocol = %q, want odmrp (the scenario default)", m.Protocol)
+	}
 	clean := cfg
 	clean.Telemetry = nil
 	wantHash, ok := ScenarioKey(clean)

@@ -24,6 +24,7 @@ import (
 	"meshcast/internal/packet"
 	"meshcast/internal/phy"
 	"meshcast/internal/sim"
+	"meshcast/internal/trace"
 )
 
 // Params holds 802.11 DCF timing and behavior constants.
@@ -106,6 +107,9 @@ type MAC struct {
 	Stats Stats
 	// Telem holds the run-wide telemetry instruments (zero value disabled).
 	Telem Telemetry
+	// Tracer emits packet-journey spans for MAC transmissions and drops
+	// (nil disables).
+	Tracer *trace.Tracer
 
 	engine *sim.Engine
 	radio  *phy.Radio
@@ -179,6 +183,7 @@ func (m *MAC) enqueue(o outgoing) bool {
 	if len(m.queue) >= m.params.QueueCap {
 		m.Stats.QueueDrops++
 		m.Telem.QueueDrops.Inc()
+		m.Tracer.Span(trace.SpanMACDrop, m.radio.ID, m.radio.ID, o.pkt)
 		return false
 	}
 	m.Stats.Enqueued++
@@ -310,6 +315,7 @@ func (m *MAC) transmitBroadcast(o outgoing) {
 	m.state = stateTx
 	f := &packet.Frame{Kind: packet.FrameData, Src: m.radio.ID, Dst: packet.Broadcast, Payload: o.pkt}
 	airtime := m.radio.Transmit(f)
+	m.Tracer.Span(trace.SpanMACTx, m.radio.ID, m.radio.ID, o.pkt)
 	m.Stats.BroadcastsSent++
 	m.Telem.BroadcastsSent.Inc()
 	m.Stats.BytesSent += uint64(f.SizeBytes())
@@ -359,6 +365,7 @@ func (m *MAC) sendUnicastData(o outgoing) {
 	m.state = stateWaitACK
 	f := &packet.Frame{Kind: packet.FrameData, Src: m.radio.ID, Dst: o.dst, Payload: o.pkt}
 	at := m.radio.Transmit(f)
+	m.Tracer.Span(trace.SpanMACTx, m.radio.ID, m.radio.ID, o.pkt)
 	m.Stats.UnicastsSent++
 	m.Telem.UnicastsSent.Inc()
 	m.Stats.BytesSent += uint64(f.SizeBytes())
@@ -382,6 +389,9 @@ func (m *MAC) retryHead() {
 	if m.retries > m.params.RetryLimit {
 		m.Stats.RetryDrops++
 		m.Telem.RetryDrops.Inc()
+		if len(m.queue) > 0 {
+			m.Tracer.Span(trace.SpanMACDrop, m.radio.ID, m.radio.ID, m.queue[0].pkt)
+		}
 		m.dequeueHead()
 		return
 	}

@@ -340,11 +340,13 @@ func (r *Router) floodAnnounce(group packet.GroupID) {
 		TTL:     r.params.TTL,
 		Cost:    r.pm.Initial(),
 		SentAt:  r.engine.Now(),
+		TraceID: r.Tracer.NewTraceID(r.id),
 	}
 	if r.send(a) {
 		r.Stats.AnnouncesOriginated++
 		r.Telem.AnnouncesOriginated.Inc()
-		r.Tracer.Emit(r.id, trace.CatQuery, "announce grp=%v seq=%d", group, seq)
+		r.Tracer.Emit(r.id, trace.CatCore, "announce grp=%v seq=%d", group, seq)
+		r.Tracer.Span(trace.SpanOriginate, r.id, r.id, a)
 	}
 }
 
@@ -363,6 +365,7 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 		TTL:          r.params.TTL,
 		PayloadBytes: payloadBytes,
 		SentAt:       r.engine.Now(),
+		TraceID:      r.Tracer.NewTraceID(r.id),
 	}
 	// Mark our own packet as seen so an echoed copy is not re-forwarded.
 	r.dupFor(groupSource{group, r.id}).Seen(seq)
@@ -370,6 +373,7 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 		r.Stats.DataOriginated++
 		r.Telem.DataOriginated.Inc()
 		r.Tracer.Emit(r.id, trace.CatData, "originate grp=%v seq=%d", group, seq)
+		r.Tracer.Span(trace.SpanOriginate, r.id, r.id, p)
 	}
 }
 
@@ -439,7 +443,7 @@ func (r *Router) adoptCore(group packet.GroupID, core packet.NodeID) bool {
 	if t, acting := r.announcers[group]; acting && core < r.id {
 		t.Stop()
 		delete(r.announcers, group)
-		r.Tracer.Emit(r.id, trace.CatQuery, "core-stepdown grp=%v core=%v", group, core)
+		r.Tracer.Emit(r.id, trace.CatCore, "core-stepdown grp=%v core=%v", group, core)
 		if r.sources[group] {
 			r.armFailover(group)
 		}
@@ -471,7 +475,7 @@ func (r *Router) armFailover(group packet.GroupID) {
 		}
 		r.Stats.CoreHandovers++
 		r.Telem.CoreHandovers.Inc()
-		r.Tracer.Emit(r.id, trace.CatQuery, "core-failover grp=%v", group)
+		r.Tracer.Emit(r.id, trace.CatCore, "core-failover grp=%v", group)
 		r.becomeCore(group)
 	})
 }
@@ -564,13 +568,14 @@ func (r *Router) onAnnounce(p *packet.Packet, from packet.NodeID) {
 	fwd.HopCount = hops
 	fwd.TTL = p.TTL - 1
 	r.jitterSend(fwd, r.params.AnnounceJitter, func() {
+		r.Tracer.Span(trace.SpanForward, r.id, from, fwd)
 		if wasFirst {
 			r.Stats.AnnouncesForwarded++
 			r.Telem.AnnouncesForwarded.Inc()
-			r.Tracer.Emit(r.id, trace.CatQuery, "announce-fwd grp=%v core=%v seq=%d cost=%.4g",
+			r.Tracer.Emit(r.id, trace.CatCore, "announce-fwd grp=%v core=%v seq=%d cost=%.4g",
 				fwd.Group, fwd.Src, fwd.Seq, fwd.Cost)
 		} else {
-			r.Tracer.Emit(r.id, trace.CatQuery, "announce-fwd-dup grp=%v core=%v seq=%d cost=%.4g",
+			r.Tracer.Emit(r.id, trace.CatCore, "announce-fwd-dup grp=%v core=%v seq=%d cost=%.4g",
 				fwd.Group, fwd.Src, fwd.Seq, fwd.Cost)
 		}
 	})
@@ -601,11 +606,13 @@ func (r *Router) sendJoin(group packet.GroupID, core packet.NodeID, seq uint32, 
 		Seq:     seq,
 		SentAt:  r.engine.Now(),
 		Replies: []packet.ReplyEntry{{Source: core, NextHop: parent}},
+		TraceID: r.Tracer.NewTraceID(r.id),
 	}
 	r.jitterSend(join, r.params.JoinJitter, func() {
 		r.Stats.JoinsSent++
 		r.Telem.JoinsSent.Inc()
-		r.Tracer.Emit(r.id, trace.CatReply, "join grp=%v core=%v seq=%d parent=%v", group, core, seq, parent)
+		r.Tracer.Emit(r.id, trace.CatJoin, "join grp=%v core=%v seq=%d parent=%v", group, core, seq, parent)
+		r.Tracer.Span(trace.SpanOriginate, r.id, r.id, join)
 	})
 }
 
@@ -618,7 +625,7 @@ func (r *Router) onJoin(p *packet.Packet, from packet.NodeID) {
 		until := r.engine.Now() + r.params.TreeTimeout
 		if until > r.treeUntil[p.Group] {
 			if r.engine.Now() >= r.treeUntil[p.Group] {
-				r.Tracer.Emit(r.id, trace.CatReply, "tree-set grp=%v (from %v)", p.Group, from)
+				r.Tracer.Emit(r.id, trace.CatJoin, "tree-set grp=%v (from %v)", p.Group, from)
 			}
 			r.treeUntil[p.Group] = until
 		}
@@ -646,6 +653,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 	if r.dupFor(key).Seen(p.Seq) {
 		r.Stats.DataDuplicates++
 		r.Telem.DupSuppressed.Inc()
+		r.Tracer.Span(trace.SpanDupSuppress, r.id, from, p)
 		return
 	}
 	carried := false
@@ -654,6 +662,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 		r.Telem.DataDelivered.Inc()
 		carried = true
 		r.Tracer.Emit(r.id, trace.CatData, "deliver grp=%v src=%v seq=%d from=%v", p.Group, p.Src, p.Seq, from)
+		r.Tracer.Span(trace.SpanDeliver, r.id, from, p)
 		if r.OnDeliver != nil {
 			r.OnDeliver(p, from)
 		}
@@ -667,6 +676,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 			r.Stats.DataForwarded++
 			r.Telem.DataForwarded.Inc()
 			r.Tracer.Emit(r.id, trace.CatData, "forward grp=%v src=%v seq=%d", fwd.Group, fwd.Src, fwd.Seq)
+			r.Tracer.Span(trace.SpanForward, r.id, from, fwd)
 		})
 	}
 	if carried {

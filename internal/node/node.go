@@ -114,6 +114,11 @@ func New(engine *sim.Engine, medium *phy.Medium, id packet.NodeID, pos geom.Poin
 	prober.Send = m.SendBroadcast
 	router.SetSend(m.SendBroadcast)
 	router.SetTracer(cfg.Tracer)
+	// The MAC and medium emit packet-journey spans through the same
+	// tracer; every node on a run shares one, so re-assigning the
+	// medium's is harmless.
+	m.Tracer = cfg.Tracer
+	medium.Tracer = cfg.Tracer
 	m.Deliver = n.dispatch
 	if reg := cfg.Telemetry; reg != nil {
 		// Get-or-create semantics make these idempotent: every node on the

@@ -291,11 +291,13 @@ func (r *Router) floodQuery(group packet.GroupID) {
 		TTL:     r.params.TTL,
 		Cost:    r.pm.Initial(),
 		SentAt:  r.engine.Now(),
+		TraceID: r.Tracer.NewTraceID(r.id),
 	}
 	if r.send(q) {
 		r.Stats.QueriesOriginated++
 		r.Telem.QueriesOriginated.Inc()
 		r.Tracer.Emit(r.id, trace.CatQuery, "originate grp=%v seq=%d", group, seq)
+		r.Tracer.Span(trace.SpanOriginate, r.id, r.id, q)
 	}
 }
 
@@ -314,6 +316,7 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 		TTL:          r.params.TTL,
 		PayloadBytes: payloadBytes,
 		SentAt:       r.engine.Now(),
+		TraceID:      r.Tracer.NewTraceID(r.id),
 	}
 	// Mark our own packet as seen so an echoed copy is not re-forwarded.
 	r.dupFor(groupSource{group, r.id}).Seen(seq)
@@ -321,6 +324,7 @@ func (r *Router) SendData(group packet.GroupID, payloadBytes int) {
 		r.Stats.DataOriginated++
 		r.Telem.DataOriginated.Inc()
 		r.Tracer.Emit(r.id, trace.CatData, "originate grp=%v seq=%d", group, seq)
+		r.Tracer.Span(trace.SpanOriginate, r.id, r.id, p)
 	}
 }
 
@@ -448,6 +452,7 @@ func (r *Router) onQuery(p *packet.Packet, from packet.NodeID) {
 	fwd.HopCount = hops
 	fwd.TTL = p.TTL - 1
 	r.jitterSend(fwd, r.params.QueryJitter, func() {
+		r.Tracer.Span(trace.SpanForward, r.id, from, fwd)
 		if wasFirst {
 			r.Stats.QueriesForwarded++
 			r.Telem.QueriesForwarded.Inc()
@@ -474,11 +479,13 @@ func (r *Router) sendReply(group packet.GroupID, src packet.NodeID, seq uint32, 
 		Seq:     seq,
 		SentAt:  r.engine.Now(),
 		Replies: []packet.ReplyEntry{{Source: src, NextHop: nextHop}},
+		TraceID: r.Tracer.NewTraceID(r.id),
 	}
 	r.jitterSend(reply, r.params.ReplyJitter, func() {
 		r.Stats.RepliesSent++
 		r.Telem.RepliesSent.Inc()
 		r.Tracer.Emit(r.id, trace.CatReply, "reply grp=%v src=%v seq=%d nexthop=%v", group, src, seq, nextHop)
+		r.Tracer.Span(trace.SpanOriginate, r.id, r.id, reply)
 		r.armReplyAck(group, src, seq, nextHop, reply)
 	})
 }
@@ -598,6 +605,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 	if r.dupFor(key).Seen(p.Seq) {
 		r.Stats.DataDuplicates++
 		r.Telem.DupSuppressed.Inc()
+		r.Tracer.Span(trace.SpanDupSuppress, r.id, from, p)
 		return
 	}
 	carried := false
@@ -606,6 +614,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 		r.Telem.DataDelivered.Inc()
 		carried = true
 		r.Tracer.Emit(r.id, trace.CatData, "deliver grp=%v src=%v seq=%d from=%v", p.Group, p.Src, p.Seq, from)
+		r.Tracer.Span(trace.SpanDeliver, r.id, from, p)
 		if r.OnDeliver != nil {
 			r.OnDeliver(p, from)
 		}
@@ -619,6 +628,7 @@ func (r *Router) onData(p *packet.Packet, from packet.NodeID) {
 			r.Stats.DataForwarded++
 			r.Telem.DataForwarded.Inc()
 			r.Tracer.Emit(r.id, trace.CatData, "forward grp=%v src=%v seq=%d", fwd.Group, fwd.Src, fwd.Seq)
+			r.Tracer.Span(trace.SpanForward, r.id, from, fwd)
 		})
 	}
 	if carried {

@@ -137,6 +137,11 @@ type Packet struct {
 	// SentAt is the virtual time the packet left its originator
 	// (end-to-end delay accounting).
 	SentAt time.Duration
+	// TraceID links every copy of an originated packet for packet-journey
+	// tracing. Zero means untraced; it is stamped only when span tracing
+	// is enabled, carried unchanged by forwarders, and excluded from
+	// SizeBytes (observability metadata, not protocol state).
+	TraceID uint64
 }
 
 // SizeBytes returns the on-air network-layer size: payload plus network

@@ -87,6 +87,7 @@ func TestWireRoundTrip(t *testing.T) {
 		Cost:         3.14159,
 		PayloadBytes: 512,
 		SentAt:       1234567 * time.Microsecond,
+		TraceID:      0xdead00beef01,
 		Replies:      []ReplyEntry{{Source: 1, NextHop: 2}, {Source: 3, NextHop: 4}},
 	}
 	data, err := p.MarshalBinary()
@@ -99,7 +100,8 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 	if q.Kind != p.Kind || q.Src != p.Src || q.PrevHop != p.PrevHop || q.Group != p.Group ||
 		q.Seq != p.Seq || q.HopCount != p.HopCount || q.TTL != p.TTL ||
-		q.Cost != p.Cost || q.PayloadBytes != p.PayloadBytes || q.SentAt != p.SentAt {
+		q.Cost != p.Cost || q.PayloadBytes != p.PayloadBytes || q.SentAt != p.SentAt ||
+		q.TraceID != p.TraceID {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, *p)
 	}
 	if len(q.Replies) != 2 || q.Replies[0] != p.Replies[0] || q.Replies[1] != p.Replies[1] {

@@ -21,8 +21,9 @@ import (
 //	bytes 13-20  cost (IEEE 754)
 //	bytes 21-28  sentAt (ns)
 //	bytes 29-30  payloadBytes
-//	bytes 31-32  number of reply entries, then 4 bytes each (source, nextHop)
-const wireFixedLen = 33
+//	bytes 31-38  traceID (0 = untraced)
+//	bytes 39-40  number of reply entries, then 4 bytes each (source, nextHop)
+const wireFixedLen = 41
 
 // ErrTruncated reports a datagram too short to decode.
 var ErrTruncated = errors.New("packet: truncated wire data")
@@ -46,7 +47,8 @@ func (p *Packet) MarshalBinary() ([]byte, error) {
 	binary.BigEndian.PutUint64(buf[13:], math.Float64bits(p.Cost))
 	binary.BigEndian.PutUint64(buf[21:], uint64(p.SentAt))
 	binary.BigEndian.PutUint16(buf[29:], uint16(p.PayloadBytes))
-	binary.BigEndian.PutUint16(buf[31:], uint16(len(p.Replies)))
+	binary.BigEndian.PutUint64(buf[31:], p.TraceID)
+	binary.BigEndian.PutUint16(buf[39:], uint16(len(p.Replies)))
 	off := wireFixedLen
 	for _, e := range p.Replies {
 		binary.BigEndian.PutUint16(buf[off:], uint16(e.Source))
@@ -71,7 +73,8 @@ func (p *Packet) UnmarshalBinary(data []byte) error {
 	p.Cost = math.Float64frombits(binary.BigEndian.Uint64(data[13:]))
 	p.SentAt = time.Duration(binary.BigEndian.Uint64(data[21:]))
 	p.PayloadBytes = int(binary.BigEndian.Uint16(data[29:]))
-	n := int(binary.BigEndian.Uint16(data[31:]))
+	p.TraceID = binary.BigEndian.Uint64(data[31:])
+	n := int(binary.BigEndian.Uint16(data[39:]))
 	if len(data) < wireFixedLen+4*n {
 		return ErrTruncated
 	}

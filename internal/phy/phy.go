@@ -23,6 +23,7 @@ import (
 	"meshcast/internal/packet"
 	"meshcast/internal/propagation"
 	"meshcast/internal/sim"
+	"meshcast/internal/trace"
 )
 
 // Params configures all radios on a medium.
@@ -109,6 +110,10 @@ type Medium struct {
 	// Telem holds the medium-wide telemetry instruments, shared by every
 	// attached radio. The zero value is disabled.
 	Telem Telemetry
+
+	// Tracer emits packet-journey spans for decoded arrivals (nil
+	// disables). Shared by every attached radio, like Telem.
+	Tracer *trace.Tracer
 }
 
 // LinkFunc computes the instantaneous received power in watts for one
@@ -486,6 +491,7 @@ func (r *Radio) endArrival(a *arrival) {
 		if !a.corrupted {
 			r.Stats.FramesDelivered++
 			r.medium.Telem.FramesDelivered.Inc()
+			r.medium.Tracer.Span(trace.SpanPhyArrive, r.ID, a.frame.Src, a.frame.Payload)
 			if r.ReceiveFrame != nil {
 				r.ReceiveFrame(a.frame)
 			}

@@ -88,12 +88,15 @@ func (c Config) withDefaults() Config {
 
 // Runner owns one soak run's moving parts.
 type Runner struct {
-	cfg      Config
-	fleet    *emu.Fleet
-	sup      *emu.FleetSupervisor
-	rec      *telemetry.Recorder
-	listener net.Listener
-	httpSrv  *http.Server
+	cfg       Config
+	fleet     *emu.Fleet
+	sup       *emu.FleetSupervisor
+	rec       *telemetry.Recorder
+	flight    *telemetry.FlightRecorder
+	coreWatch *telemetry.CounterWatch
+	srv       *ctlplane.Server
+	listener  net.Listener
+	httpSrv   *http.Server
 }
 
 // New builds the fleet, supervisor, control listener, and telemetry
@@ -126,14 +129,14 @@ func New(cfg Config) (*Runner, error) {
 	}
 	if cfg.Listen != "" {
 		ctl := ctlplane.NewFleetController(fleet, r.sup, ctlplane.FleetControllerConfig{})
-		srv := ctlplane.NewServer(ctl, ctlplane.ServerConfig{})
+		r.srv = ctlplane.NewServer(ctl, ctlplane.ServerConfig{})
 		ln, err := net.Listen("tcp", cfg.Listen)
 		if err != nil {
 			fleet.Close()
 			return nil, fmt.Errorf("soak: control listener: %w", err)
 		}
 		r.listener = ln
-		r.httpSrv = &http.Server{Handler: srv.Handler()}
+		r.httpSrv = &http.Server{Handler: r.srv.Handler()}
 	}
 	if cfg.TelemetryDir != "" {
 		rec, err := telemetry.NewRecorder(cfg.TelemetryDir, cfg.SampleInterval)
@@ -143,6 +146,13 @@ func New(cfg Config) (*Runner, error) {
 		}
 		emu.InstrumentFleet(rec.Registry(), fleet, nil, r.sup)
 		r.rec = rec
+		// The flight recorder keeps the black box around anomalies: recent
+		// stats windows and supervisor events, dumped into the telemetry
+		// directory when a trigger fires. Its core-handover watch must
+		// touch the registry here, before Run's sampler goroutine starts
+		// reading it — instrument creation mutates the registry map.
+		r.flight = telemetry.NewFlightRecorder(cfg.TelemetryDir, 0)
+		r.coreWatch = telemetry.NewCounterWatch(rec.Registry().Counter("mcst.core_handovers"))
 	}
 	return r, nil
 }
@@ -157,6 +167,10 @@ func (r *Runner) Addr() string {
 
 // Fleet exposes the underlying fleet (result collection, tests).
 func (r *Runner) Fleet() *emu.Fleet { return r.fleet }
+
+// FlightDumps reports how many anomaly flight dumps this run has written
+// (0 when telemetry is disabled).
+func (r *Runner) FlightDumps() int { return r.flight.Dumps() }
 
 // Report summarizes supervision outcomes for the given elapsed run time.
 func (r *Runner) Report(elapsed time.Duration) emu.SupervisorReport {
@@ -225,6 +239,20 @@ func (r *Runner) Run(ctx context.Context) error {
 		rotateC = rotate.C
 	}
 
+	// Anomaly watch: each tick records the stats window into the flight
+	// recorder's ring and fires a dump on a windowed PDR dip, a core
+	// handover, or a supervisor watchdog restart. Dumps are best-effort
+	// (cooldown-suppressed, never fail the run).
+	var anomalyC <-chan time.Time
+	var dip telemetry.PDRDipDetector
+	var prevExpected, prevDelivered uint64
+	seenEvents := 0
+	if r.flight != nil {
+		watch := time.NewTicker(r.cfg.SampleInterval)
+		defer watch.Stop()
+		anomalyC = watch.C
+	}
+
 	var firstErr error
 loop:
 	for {
@@ -235,6 +263,29 @@ loop:
 			if _, err := r.rec.Rotate(); err != nil && firstErr == nil {
 				firstErr = err
 			}
+		case <-anomalyC:
+			expected, delivered := r.fleet.DeliveryEstimate()
+			dExp, dDel := expected-prevExpected, delivered-prevDelivered
+			prevExpected, prevDelivered = expected, delivered
+			if dExp > 0 {
+				pdr := float64(dDel) / float64(dExp)
+				r.flight.Record("stats", "window expected=%d delivered=%d pdr=%.3f", dExp, dDel, pdr)
+				if dip.Observe(pdr) {
+					r.flight.Trigger(fmt.Sprintf("pdr-dip window pdr=%.3f", pdr))
+				}
+			}
+			if d := r.coreWatch.Delta(); d > 0 {
+				r.flight.Record("mcst", "core handovers +%d", d)
+				r.flight.Trigger(fmt.Sprintf("core-handover +%d", d))
+			}
+			events := r.sup.Events()
+			for _, ev := range events[seenEvents:] {
+				r.flight.Record("supervisor", "%s node=%d at=%.1fs", ev.Kind, ev.Node, ev.At.Seconds())
+				if ev.Kind == "watchdog-restart" {
+					r.flight.Trigger(fmt.Sprintf("watchdog-restart node=%d", ev.Node))
+				}
+			}
+			seenEvents = len(events)
 		case err := <-serveDone:
 			serveDone = nil
 			if err != nil && err != http.ErrServerClosed && firstErr == nil {
@@ -243,8 +294,14 @@ loop:
 		}
 	}
 
-	// (1) Stop the control plane: no mutation may race the teardown.
+	// (1) Stop the control plane: no mutation may race the teardown. Open
+	// /stats/stream connections must be torn down first — their handlers
+	// never return on their own, so Shutdown would otherwise hang until
+	// its deadline.
 	r.traceStep("control-stop")
+	if r.srv != nil {
+		r.srv.Close()
+	}
 	if r.httpSrv != nil {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		r.httpSrv.Shutdown(shutCtx)
@@ -289,6 +346,7 @@ loop:
 			Seed:            r.cfg.Seed,
 			Label:           r.cfg.Label,
 			Metric:          r.cfg.Metric.String(),
+			Protocol:        r.fleet.Protocol(),
 			DurationSeconds: elapsed.Seconds(),
 			Derived: map[string]float64{
 				"pdr":          res.PDR,

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"meshcast/internal/trace"
+)
+
+// FlightSchema identifies the flight-recorder dump format.
+const FlightSchema = "meshcast/flight/v1"
+
+// FlightRecord is one entry in the flight recorder's ring: a compact,
+// already-rendered observation (a stats window, a supervisor event, a
+// packet-journey span).
+type FlightRecord struct {
+	// T is seconds since the recorder started.
+	T float64 `json:"t"`
+	// Source names the producing layer ("stats", "supervisor", "span",
+	// "mcst", ...).
+	Source string `json:"source"`
+	// Msg is the rendered observation.
+	Msg string `json:"msg"`
+}
+
+// FlightDump is the on-disk shape of one anomaly dump.
+type FlightDump struct {
+	Schema        string         `json:"schema"`
+	Reason        string         `json:"reason"`
+	At            time.Time      `json:"at"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	Dropped       uint64         `json:"dropped"`
+	Records       []FlightRecord `json:"records"`
+}
+
+// FlightRecorder keeps a bounded ring of recent observations and writes the
+// whole ring to disk when an anomaly trigger fires — the black box around a
+// failure, instead of everything. A nil *FlightRecorder discards records
+// and triggers, so callers can hold one unconditionally. All methods are
+// safe for concurrent use (live fleets feed it from several goroutines).
+type FlightRecorder struct {
+	// Cooldown suppresses triggers that fire within this long of the
+	// previous dump (default 10s; anomalies tend to arrive in bursts).
+	Cooldown time.Duration
+
+	mu      sync.Mutex
+	dir     string
+	cap     int
+	start   time.Time
+	ring    []FlightRecord // oldest-first once full
+	next    int            // ring write cursor
+	full    bool
+	dropped uint64 // records overwritten since the last dump
+	dumps   int
+	lastDmp time.Time
+}
+
+// NewFlightRecorder creates a recorder dumping into dir, retaining up to
+// capacity records (default 512 when <= 0).
+func NewFlightRecorder(dir string, capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &FlightRecorder{
+		Cooldown: 10 * time.Second,
+		dir:      dir,
+		cap:      capacity,
+		start:    time.Now(),
+		ring:     make([]FlightRecord, 0, capacity),
+	}
+}
+
+// Record appends one observation to the ring, evicting the oldest when
+// full. No-op on a nil recorder.
+func (f *FlightRecorder) Record(source, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	rec := FlightRecord{Source: source, Msg: fmt.Sprintf(format, args...)}
+	f.mu.Lock()
+	rec.T = time.Since(f.start).Seconds()
+	if len(f.ring) < f.cap {
+		f.ring = append(f.ring, rec)
+	} else {
+		f.ring[f.next] = rec
+		f.next = (f.next + 1) % f.cap
+		f.full = true
+		f.dropped++
+	}
+	f.mu.Unlock()
+}
+
+// EmitSpan implements trace.SpanSink, so the recorder can retain recent
+// packet-journey spans from a live run.
+func (f *FlightRecorder) EmitSpan(s trace.Span) {
+	f.Record("span", "%s id=%x node=%v peer=%v pkt=%v grp=%v seq=%d hop=%d at=%.4fs",
+		s.Kind, s.TraceID, s.Node, s.Peer, s.PktKind, s.Group, s.Seq, s.Hop, s.At.Seconds())
+}
+
+// Dumps returns how many anomaly dumps have been written.
+func (f *FlightRecorder) Dumps() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// Trigger dumps the current ring to flight-NNNN.json in the recorder's
+// directory and returns the file path. Triggers within Cooldown of the
+// previous dump are suppressed (empty path, nil error). No-op on a nil
+// recorder.
+func (f *FlightRecorder) Trigger(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	now := time.Now()
+	if !f.lastDmp.IsZero() && now.Sub(f.lastDmp) < f.Cooldown {
+		f.mu.Unlock()
+		return "", nil
+	}
+	dump := FlightDump{
+		Schema:        FlightSchema,
+		Reason:        reason,
+		At:            now,
+		UptimeSeconds: now.Sub(f.start).Seconds(),
+		Dropped:       f.dropped,
+		Records:       make([]FlightRecord, 0, len(f.ring)),
+	}
+	if f.full {
+		dump.Records = append(dump.Records, f.ring[f.next:]...)
+		dump.Records = append(dump.Records, f.ring[:f.next]...)
+	} else {
+		dump.Records = append(dump.Records, f.ring...)
+	}
+	f.lastDmp = now
+	f.dumps++
+	f.dropped = 0
+	seq := f.dumps
+	f.mu.Unlock()
+
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: flight dump: %w", err)
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%04d.json", seq))
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("telemetry: flight dump: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("telemetry: flight dump: %w", err)
+	}
+	return path, nil
+}
+
+// PDRDipDetector turns a stream of windowed PDR observations into dip
+// triggers. It arms once a healthy baseline is seen, tracks the best PDR
+// since arming, and fires when a window drops below DipFraction of that
+// baseline; a firing disarms the detector until the mesh looks healthy
+// again, so one outage produces one trigger.
+type PDRDipDetector struct {
+	// ArmAbove is the PDR required to (re-)arm (default 0.5).
+	ArmAbove float64
+	// DipFraction is the fraction of the armed baseline below which a
+	// window counts as a dip (default 0.6).
+	DipFraction float64
+
+	baseline float64
+	armed    bool
+}
+
+// Observe feeds one windowed PDR and reports whether a dip fired.
+func (d *PDRDipDetector) Observe(pdr float64) bool {
+	arm, frac := d.ArmAbove, d.DipFraction
+	if arm == 0 {
+		arm = 0.5
+	}
+	if frac == 0 {
+		frac = 0.6
+	}
+	if !d.armed {
+		if pdr >= arm {
+			d.armed = true
+			d.baseline = pdr
+		}
+		return false
+	}
+	if pdr > d.baseline {
+		d.baseline = pdr
+	}
+	if pdr <= d.baseline*frac {
+		d.armed = false
+		return true
+	}
+	return false
+}
+
+// CounterWatch fires whenever a watched counter increments between polls
+// (e.g. mcst.core_handovers: every core failover is anomalous enough to
+// keep the black box).
+type CounterWatch struct {
+	c    *Counter
+	last uint64
+}
+
+// NewCounterWatch starts watching c (which may be nil: never fires).
+func NewCounterWatch(c *Counter) *CounterWatch {
+	w := &CounterWatch{c: c}
+	if c != nil {
+		w.last = c.Value()
+	}
+	return w
+}
+
+// Delta returns the increment since the previous poll.
+func (w *CounterWatch) Delta() uint64 {
+	if w == nil || w.c == nil {
+		return 0
+	}
+	v := w.c.Value()
+	d := v - w.last
+	w.last = v
+	return d
+}

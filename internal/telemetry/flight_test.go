@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"meshcast/internal/trace"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("stats", "window pdr=%.2f", 0.5)
+	f.EmitSpan(trace.Span{})
+	if path, err := f.Trigger("anything"); err != nil || path != "" {
+		t.Fatalf("nil Trigger = %q, %v", path, err)
+	}
+	if f.Dumps() != 0 {
+		t.Fatal("nil recorder reports dumps")
+	}
+}
+
+func TestFlightRecorderRingBoundAndDumpOrder(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(dir, 4)
+	for i := 0; i < 10; i++ {
+		f.Record("test", "record %d", i)
+	}
+	path, err := f.Trigger("test-trigger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "flight-0001.json" {
+		t.Fatalf("dump path = %s", path)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Schema != FlightSchema || dump.Reason != "test-trigger" {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	// Ring of 4: only the last four records survive, oldest first.
+	if len(dump.Records) != 4 {
+		t.Fatalf("dump holds %d records, want 4", len(dump.Records))
+	}
+	for i, want := range []string{"record 6", "record 7", "record 8", "record 9"} {
+		if dump.Records[i].Msg != want {
+			t.Fatalf("record %d = %q, want %q", i, dump.Records[i].Msg, want)
+		}
+	}
+	if dump.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dump.Dropped)
+	}
+}
+
+func TestFlightRecorderCooldown(t *testing.T) {
+	f := NewFlightRecorder(t.TempDir(), 8)
+	f.Record("test", "one")
+	if path, err := f.Trigger("first"); err != nil || path == "" {
+		t.Fatalf("first trigger = %q, %v", path, err)
+	}
+	// Within the cooldown the trigger is suppressed, not an error.
+	if path, err := f.Trigger("second"); err != nil || path != "" {
+		t.Fatalf("cooled-down trigger = %q, %v", path, err)
+	}
+	if f.Dumps() != 1 {
+		t.Fatalf("dumps = %d, want 1", f.Dumps())
+	}
+
+	f.Cooldown = time.Nanosecond
+	time.Sleep(time.Millisecond)
+	if path, err := f.Trigger("third"); err != nil || path == "" {
+		t.Fatalf("post-cooldown trigger = %q, %v", path, err)
+	}
+	if f.Dumps() != 2 {
+		t.Fatalf("dumps = %d, want 2", f.Dumps())
+	}
+}
+
+func TestFlightRecorderAsSpanSink(t *testing.T) {
+	f := NewFlightRecorder(t.TempDir(), 8)
+	var sink trace.SpanSink = f
+	sink.EmitSpan(trace.Span{At: time.Second, Kind: trace.SpanDeliver, TraceID: 0x7, Node: 3, Peer: 3})
+	path, err := f.Trigger("span-check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Records) != 1 || dump.Records[0].Source != "span" {
+		t.Fatalf("records = %+v", dump.Records)
+	}
+}
+
+func TestPDRDipDetector(t *testing.T) {
+	var d PDRDipDetector
+	if d.Observe(0.3) {
+		t.Fatal("fired while unarmed")
+	}
+	if d.Observe(0.9) { // arms, baseline 0.9
+		t.Fatal("fired on the arming observation")
+	}
+	if d.Observe(0.95) { // baseline rises
+		t.Fatal("fired on improvement")
+	}
+	if d.Observe(0.7) { // above 0.6 * 0.95
+		t.Fatal("fired above the dip threshold")
+	}
+	if !d.Observe(0.3) { // below 0.57: dip
+		t.Fatal("did not fire on the dip")
+	}
+	// Disarmed after firing: the continuing outage stays one trigger.
+	if d.Observe(0.1) {
+		t.Fatal("fired twice for one outage")
+	}
+	// Recovery re-arms, and a second outage fires again.
+	if d.Observe(0.8) {
+		t.Fatal("fired on recovery")
+	}
+	if !d.Observe(0.2) {
+		t.Fatal("did not fire on the second outage")
+	}
+}
+
+func TestCounterWatch(t *testing.T) {
+	if w := NewCounterWatch(nil); w.Delta() != 0 {
+		t.Fatal("nil counter watch fired")
+	}
+	reg := NewRegistry()
+	c := reg.Counter("mcst.core_handovers")
+	c.Add(3)
+	w := NewCounterWatch(c) // baseline absorbs pre-existing increments
+	if d := w.Delta(); d != 0 {
+		t.Fatalf("initial delta = %d, want 0", d)
+	}
+	c.Add(2)
+	if d := w.Delta(); d != 2 {
+		t.Fatalf("delta = %d, want 2", d)
+	}
+	if d := w.Delta(); d != 0 {
+		t.Fatalf("repeat delta = %d, want 0", d)
+	}
+}

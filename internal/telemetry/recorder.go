@@ -71,8 +71,11 @@ type Manifest struct {
 	// Label names the run for humans ("spp seed 3", "etx -telemetry run").
 	Label string `json:"label,omitempty"`
 	// Metric is the routing metric's name, when the run has one.
-	Metric string    `json:"metric,omitempty"`
-	Build  BuildInfo `json:"build"`
+	Metric string `json:"metric,omitempty"`
+	// Protocol is the multicast routing protocol's registered name, when
+	// the run has one — it makes ODMRP-vs-MCST A/B diffs self-describing.
+	Protocol string    `json:"protocol,omitempty"`
+	Build    BuildInfo `json:"build"`
 	// DurationSeconds is the simulated (virtual) duration;
 	// IntervalSeconds and Samples describe the series stream.
 	DurationSeconds float64 `json:"durationSeconds,omitempty"`

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"meshcast/internal/packet"
+)
+
+// SpanKind classifies one step in a packet's journey through the stack.
+type SpanKind uint8
+
+// Span kinds, in rough lifecycle order.
+const (
+	// SpanOriginate marks a packet entering the network at its source.
+	SpanOriginate SpanKind = iota + 1
+	// SpanMACTx marks the MAC putting the packet on the air.
+	SpanMACTx
+	// SpanMACDrop marks the MAC discarding the packet (queue overflow,
+	// retry exhaustion).
+	SpanMACDrop
+	// SpanPhyArrive marks a radio decoding the packet off the air.
+	SpanPhyArrive
+	// SpanDupSuppress marks the routing layer discarding a duplicate.
+	SpanDupSuppress
+	// SpanForward marks a relay re-transmitting the packet.
+	SpanForward
+	// SpanDeliver marks delivery to a group member.
+	SpanDeliver
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanOriginate:
+		return "originate"
+	case SpanMACTx:
+		return "mac-tx"
+	case SpanMACDrop:
+		return "mac-drop"
+	case SpanPhyArrive:
+		return "phy-arrive"
+	case SpanDupSuppress:
+		return "dup-suppress"
+	case SpanForward:
+		return "forward"
+	case SpanDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("span(%d)", uint8(k))
+	}
+}
+
+// Span is one typed step in a packet journey. Spans sharing a TraceID
+// belong to the same originated packet; the journey reconstructor stitches
+// them back into a forwarding tree.
+type Span struct {
+	// At is the virtual time of the step.
+	At time.Duration
+	// Kind classifies the step.
+	Kind SpanKind
+	// TraceID links the step to the originated packet (never zero).
+	TraceID uint64
+	// Node is where the step happened.
+	Node packet.NodeID
+	// Peer is the transmitting node for SpanPhyArrive (who we heard),
+	// and equals Node otherwise.
+	Peer packet.NodeID
+	// PktKind, Group, Seq and Hop snapshot the packet at this step.
+	PktKind packet.Type
+	Group   packet.GroupID
+	Seq     uint32
+	Hop     uint8
+}
+
+// SpanSink consumes spans. Implementations run on the single simulation
+// goroutine (or a single daemon receive loop); the Tracer adds no locking.
+type SpanSink interface {
+	EmitSpan(s Span)
+}
+
+// SetSpanSink enables span tracing through s (nil disables it again).
+func (t *Tracer) SetSpanSink(s SpanSink) {
+	t.spans = s
+}
+
+// SpanEnabled reports whether span tracing is active. The nil receiver is
+// valid, so hot paths pay one check.
+func (t *Tracer) SpanEnabled() bool {
+	return t != nil && t.spans != nil
+}
+
+// NewTraceID allocates a trace ID for a packet originated by node, or 0
+// when span tracing is disabled (zero means "untraced" on the wire). The
+// node occupies the high bits so IDs from independently-counting live
+// daemons never collide.
+func (t *Tracer) NewTraceID(node packet.NodeID) uint64 {
+	if !t.SpanEnabled() {
+		return 0
+	}
+	t.nextTraceID++
+	return (uint64(node)+1)<<40 | t.nextTraceID
+}
+
+// Span records one journey step for the packet p. It is a no-op on a nil
+// tracer, a disabled span sink, or an untraced packet (TraceID zero), and
+// allocates nothing in those cases.
+func (t *Tracer) Span(kind SpanKind, node, peer packet.NodeID, p *packet.Packet) {
+	if t == nil || t.spans == nil || p == nil || p.TraceID == 0 {
+		return
+	}
+	t.spans.EmitSpan(Span{
+		At:      t.now(),
+		Kind:    kind,
+		TraceID: p.TraceID,
+		Node:    node,
+		Peer:    peer,
+		PktKind: p.Kind,
+		Group:   p.Group,
+		Seq:     p.Seq,
+		Hop:     p.HopCount,
+	})
+}
+
+// SpanBuffer is a SpanSink retaining spans in memory (bounded), for tests,
+// benchmarks and in-process journey reconstruction.
+type SpanBuffer struct {
+	// Cap bounds retained spans; 0 means unbounded.
+	Cap int
+
+	spans   []Span
+	dropped uint64
+}
+
+var _ SpanSink = (*SpanBuffer)(nil)
+
+// EmitSpan implements SpanSink.
+func (b *SpanBuffer) EmitSpan(s Span) {
+	if b.Cap > 0 && len(b.spans) >= b.Cap {
+		b.dropped++
+		return
+	}
+	b.spans = append(b.spans, s)
+}
+
+// Spans returns a snapshot of the retained spans.
+func (b *SpanBuffer) Spans() []Span {
+	out := make([]Span, len(b.spans))
+	copy(out, b.spans)
+	return out
+}
+
+// Dropped returns the number of discarded spans.
+func (b *SpanBuffer) Dropped() uint64 { return b.dropped }
+
+// spanRecord is the JSONL persistence schema for a Span. Times are
+// seconds of virtual time; kinds are the SpanKind strings.
+type spanRecord struct {
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	ID   uint64  `json:"id"`
+	Node uint16  `json:"node"`
+	Peer uint16  `json:"peer"`
+	Pkt  string  `json:"pkt"`
+	Grp  uint16  `json:"grp"`
+	Seq  uint32  `json:"seq"`
+	Hop  uint8   `json:"hop"`
+}
+
+var spanKindByName = map[string]SpanKind{
+	SpanOriginate.String():   SpanOriginate,
+	SpanMACTx.String():       SpanMACTx,
+	SpanMACDrop.String():     SpanMACDrop,
+	SpanPhyArrive.String():   SpanPhyArrive,
+	SpanDupSuppress.String(): SpanDupSuppress,
+	SpanForward.String():     SpanForward,
+	SpanDeliver.String():     SpanDeliver,
+}
+
+// SpanJSONLWriter is a SpanSink streaming spans as JSON lines (one object
+// per line) to a buffered writer; call Flush before closing the
+// underlying file.
+type SpanJSONLWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+var _ SpanSink = (*SpanJSONLWriter)(nil)
+
+// NewSpanJSONLWriter wraps w in a SpanJSONLWriter.
+func NewSpanJSONLWriter(w io.Writer) *SpanJSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &SpanJSONLWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// EmitSpan implements SpanSink. Encoding errors are sticky and reported by
+// Flush.
+func (w *SpanJSONLWriter) EmitSpan(s Span) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(spanRecord{
+		T:    s.At.Seconds(),
+		Kind: s.Kind.String(),
+		ID:   s.TraceID,
+		Node: uint16(s.Node),
+		Peer: uint16(s.Peer),
+		Pkt:  s.PktKind.String(),
+		Grp:  uint16(s.Group),
+		Seq:  s.Seq,
+		Hop:  s.Hop,
+	})
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (w *SpanJSONLWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// ReadSpans decodes a spans JSONL stream written by SpanJSONLWriter.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for {
+		var rec spanRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: bad span record %d: %w", len(out), err)
+		}
+		kind, ok := spanKindByName[rec.Kind]
+		if !ok {
+			return out, fmt.Errorf("trace: bad span record %d: unknown kind %q", len(out), rec.Kind)
+		}
+		out = append(out, Span{
+			At:      time.Duration(rec.T * float64(time.Second)),
+			Kind:    kind,
+			TraceID: rec.ID,
+			Node:    packet.NodeID(rec.Node),
+			Peer:    packet.NodeID(rec.Peer),
+			PktKind: pktTypeByName(rec.Pkt),
+			Group:   packet.GroupID(rec.Grp),
+			Seq:     rec.Seq,
+			Hop:     rec.Hop,
+		})
+	}
+}
+
+// LoadSpans reads a spans.jsonl file from disk.
+func LoadSpans(path string) ([]Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpans(bufio.NewReader(f))
+}
+
+func pktTypeByName(name string) packet.Type {
+	for k := packet.TypeData; k <= packet.TypeTreeJoin; k++ {
+		if k.String() == name {
+			return k
+		}
+	}
+	return 0
+}

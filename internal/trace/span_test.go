@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"meshcast/internal/packet"
+)
+
+func spanTracer(sink SpanSink) (*Tracer, *time.Duration) {
+	now := new(time.Duration)
+	t := New(nil, func() time.Duration { return *now })
+	t.SetSpanSink(sink)
+	return t, now
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var nilTracer *Tracer
+	p := &packet.Packet{TraceID: 1}
+	nilTracer.Span(SpanMACTx, 1, 2, p) // must not panic
+	if nilTracer.SpanEnabled() {
+		t.Fatal("nil tracer reports spans enabled")
+	}
+	if id := nilTracer.NewTraceID(3); id != 0 {
+		t.Fatalf("nil tracer allocated trace ID %d, want 0", id)
+	}
+
+	// A tracer without a span sink behaves the same.
+	noSink := New(nil, func() time.Duration { return 0 })
+	noSink.Span(SpanMACTx, 1, 2, p)
+	if noSink.SpanEnabled() {
+		t.Fatal("sink-less tracer reports spans enabled")
+	}
+	if id := noSink.NewTraceID(3); id != 0 {
+		t.Fatalf("sink-less tracer allocated trace ID %d, want 0", id)
+	}
+
+	// Nil packets (control frames) and untraced packets are discarded.
+	buf := &SpanBuffer{}
+	traced, _ := spanTracer(buf)
+	traced.Span(SpanPhyArrive, 1, 2, nil)
+	traced.Span(SpanMACTx, 1, 2, &packet.Packet{})
+	if n := len(buf.Spans()); n != 0 {
+		t.Fatalf("untraced packets emitted %d spans, want 0", n)
+	}
+}
+
+// TestSpanDisabledPathAllocationFree pins the acceptance bar: with span
+// tracing off, every instrumentation call is a nil check.
+func TestSpanDisabledPathAllocationFree(t *testing.T) {
+	var nilTracer *Tracer
+	noSink := New(nil, func() time.Duration { return 0 })
+	p := &packet.Packet{TraceID: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		nilTracer.Span(SpanForward, 1, 2, p)
+		noSink.Span(SpanForward, 1, 2, p)
+		nilTracer.NewTraceID(1)
+		noSink.NewTraceID(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestNewTraceIDUniqueAcrossNodes(t *testing.T) {
+	tr, _ := spanTracer(&SpanBuffer{})
+	seen := map[uint64]bool{}
+	for node := packet.NodeID(0); node < 3; node++ {
+		for i := 0; i < 4; i++ {
+			id := tr.NewTraceID(node)
+			if id == 0 {
+				t.Fatal("enabled tracer returned zero trace ID")
+			}
+			if seen[id] {
+				t.Fatalf("trace ID %x repeated", id)
+			}
+			seen[id] = true
+			if got := packet.NodeID(id>>40) - 1; got != node {
+				t.Fatalf("trace ID %x encodes node %d, want %d", id, got, node)
+			}
+		}
+	}
+
+	// Two tracers on different daemons must not collide either: the node
+	// component differs even when counters align.
+	other, _ := spanTracer(&SpanBuffer{})
+	if id := other.NewTraceID(7); seen[id] {
+		t.Fatalf("cross-tracer trace ID %x collided", id)
+	}
+}
+
+func TestSpanEmission(t *testing.T) {
+	buf := &SpanBuffer{}
+	tr, now := spanTracer(buf)
+	p := &packet.Packet{Kind: packet.TypeData, Group: 2, Seq: 9, HopCount: 3, TraceID: tr.NewTraceID(5)}
+	*now = 42 * time.Millisecond
+	tr.Span(SpanForward, 6, 5, p)
+
+	spans := buf.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Kind != SpanForward || s.Node != 6 || s.Peer != 5 || s.TraceID != p.TraceID ||
+		s.PktKind != packet.TypeData || s.Group != 2 || s.Seq != 9 || s.Hop != 3 ||
+		s.At != 42*time.Millisecond {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestSpanBufferBounded(t *testing.T) {
+	buf := &SpanBuffer{Cap: 3}
+	tr, _ := spanTracer(buf)
+	p := &packet.Packet{TraceID: tr.NewTraceID(0)}
+	for i := 0; i < 10; i++ {
+		tr.Span(SpanMACTx, 1, 1, p)
+	}
+	if n := len(buf.Spans()); n != 3 {
+		t.Fatalf("buffer holds %d spans, want cap 3", n)
+	}
+	if d := buf.Dropped(); d != 7 {
+		t.Fatalf("dropped = %d, want 7", d)
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	w := NewSpanJSONLWriter(&out)
+	want := []Span{
+		{At: 1500 * time.Millisecond, Kind: SpanOriginate, TraceID: 0x42, Node: 3, Peer: 3,
+			PktKind: packet.TypeData, Group: 2, Seq: 17, Hop: 0},
+		{At: 1503 * time.Millisecond, Kind: SpanPhyArrive, TraceID: 0x42, Node: 4, Peer: 3,
+			PktKind: packet.TypeData, Group: 2, Seq: 17, Hop: 1},
+		{At: 1600 * time.Millisecond, Kind: SpanDeliver, TraceID: 0x42, Node: 4, Peer: 4,
+			PktKind: packet.TypeTreeJoin, Group: 2, Seq: 17, Hop: 2},
+	}
+	for _, s := range want {
+		w.EmitSpan(s)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadSpans(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-tripped %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// buildJourneySpans fabricates one packet's life: 0 originates, floods to
+// 1 and 2, 1 relays to 3 (delivered there), 2 suppresses a duplicate, and
+// one transmission from 3 dies in the air.
+func buildJourneySpans() []Span {
+	id := uint64(0x99)
+	at := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+	mk := func(kind SpanKind, t time.Duration, node, peer packet.NodeID, hop uint8) Span {
+		return Span{At: t, Kind: kind, TraceID: id, Node: node, Peer: peer,
+			PktKind: packet.TypeData, Group: 1, Seq: 5, Hop: hop}
+	}
+	return []Span{
+		mk(SpanOriginate, at(10), 0, 0, 0),
+		mk(SpanMACTx, at(11), 0, 0, 0),
+		mk(SpanPhyArrive, at(13), 1, 0, 0),
+		mk(SpanPhyArrive, at(13), 2, 0, 0),
+		mk(SpanForward, at(13), 1, 0, 0),
+		mk(SpanMACTx, at(14), 1, 1, 1),
+		mk(SpanPhyArrive, at(16), 3, 1, 1),
+		mk(SpanPhyArrive, at(16), 2, 1, 1),
+		mk(SpanDupSuppress, at(16), 2, 1, 1),
+		mk(SpanDeliver, at(16), 3, 3, 1),
+		mk(SpanMACTx, at(17), 3, 3, 2), // never heard: lost in the air
+	}
+}
+
+func TestReconstructJourney(t *testing.T) {
+	js := Reconstruct(buildJourneySpans())
+	if len(js) != 1 {
+		t.Fatalf("got %d journeys, want 1", len(js))
+	}
+	j := js[0]
+	if j.Origin != 0 || j.OriginAt != 10*time.Millisecond {
+		t.Fatalf("origin %d @ %v", j.Origin, j.OriginAt)
+	}
+	if j.TxCount != 3 || j.LostTx != 1 || j.Forwards != 1 || j.DupSuppressed != 1 {
+		t.Fatalf("tx=%d lost=%d fwd=%d dup=%d", j.TxCount, j.LostTx, j.Forwards, j.DupSuppressed)
+	}
+	if len(j.Hops) != 4 {
+		t.Fatalf("got %d hops, want 4", len(j.Hops))
+	}
+	// The 1->3 hop pairs the arrival with node 1's transmission at 14 ms.
+	var hop13 *Hop
+	for i := range j.Hops {
+		if j.Hops[i].From == 1 && j.Hops[i].To == 3 {
+			hop13 = &j.Hops[i]
+		}
+	}
+	if hop13 == nil {
+		t.Fatal("no 1->3 hop reconstructed")
+	}
+	if hop13.TxAt != 14*time.Millisecond || hop13.Latency != 2*time.Millisecond {
+		t.Fatalf("1->3 hop tx %v latency %v, want 14ms / 2ms", hop13.TxAt, hop13.Latency)
+	}
+	if len(j.Deliveries) != 1 || j.Deliveries[0].Node != 3 ||
+		j.Deliveries[0].Latency != 6*time.Millisecond {
+		t.Fatalf("deliveries = %+v", j.Deliveries)
+	}
+	if !j.Complete() {
+		t.Fatal("journey with a connected tree reports incomplete")
+	}
+	if j.Losses() != 1 {
+		t.Fatalf("losses = %d, want 1", j.Losses())
+	}
+}
+
+func TestJourneyIncompleteWhenDeliveryUnexplained(t *testing.T) {
+	spans := buildJourneySpans()
+	// A delivery at a node no reconstructed edge reaches.
+	spans = append(spans, Span{At: 20 * time.Millisecond, Kind: SpanDeliver,
+		TraceID: 0x99, Node: 9, Peer: 9, PktKind: packet.TypeData, Group: 1, Seq: 5})
+	js := Reconstruct(spans)
+	if len(js) != 1 {
+		t.Fatalf("got %d journeys, want 1", len(js))
+	}
+	if js[0].Complete() {
+		t.Fatal("journey with an unexplained delivery reports complete")
+	}
+}
+
+func TestReconstructOrdersByOrigination(t *testing.T) {
+	mk := func(id uint64, at time.Duration) Span {
+		return Span{At: at, Kind: SpanOriginate, TraceID: id, Node: 1, Peer: 1, PktKind: packet.TypeData}
+	}
+	js := Reconstruct([]Span{
+		mk(7, 30*time.Millisecond),
+		mk(5, 10*time.Millisecond),
+		mk(6, 20*time.Millisecond),
+		{At: 0, Kind: SpanMACTx}, // untraced: skipped
+	})
+	if len(js) != 3 {
+		t.Fatalf("got %d journeys, want 3", len(js))
+	}
+	for i, want := range []uint64{5, 6, 7} {
+		if js[i].TraceID != want {
+			t.Fatalf("journey %d has trace ID %d, want %d", i, js[i].TraceID, want)
+		}
+	}
+}

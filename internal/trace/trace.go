@@ -28,6 +28,11 @@ const (
 	CatProbe
 	// CatMAC covers MAC transmissions and drops.
 	CatMAC
+	// CatCore covers MCST CORE ANNOUNCE traffic, core election and
+	// failover.
+	CatCore
+	// CatJoin covers MCST TREE JOIN traffic and tree-set transitions.
+	CatJoin
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +48,10 @@ func (c Category) String() string {
 		return "PROBE"
 	case CatMAC:
 		return "MAC"
+	case CatCore:
+		return "CORE"
+	case CatJoin:
+		return "JOIN"
 	default:
 		return fmt.Sprintf("CAT(%d)", uint8(c))
 	}
@@ -78,17 +87,27 @@ type Tracer struct {
 	sink Sink
 	mask uint16 // bit per category
 	now  func() time.Duration
+
+	// spans receives typed per-packet span records; nil disables span
+	// tracing independently of event tracing.
+	spans SpanSink
+	// nextTraceID backs NewTraceID. Only touched from the single
+	// simulation goroutine (or a single daemon's receive loop).
+	nextTraceID uint64
 }
 
 // New creates a tracer feeding sink, enabled for the given categories (all
-// categories when none are listed). now supplies virtual time.
+// categories when none are listed). A nil sink disables event tracing but
+// still allows span tracing via SetSpanSink. now supplies virtual time.
 func New(sink Sink, now func() time.Duration, cats ...Category) *Tracer {
 	var mask uint16
-	if len(cats) == 0 {
-		mask = ^uint16(0)
-	}
-	for _, c := range cats {
-		mask |= 1 << c
+	if sink != nil {
+		if len(cats) == 0 {
+			mask = ^uint16(0)
+		}
+		for _, c := range cats {
+			mask |= 1 << c
+		}
 	}
 	return &Tracer{sink: sink, mask: mask, now: now}
 }
