@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"meshcast/internal/experiments"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+)
+
+// scaleTier is one node-count row of BENCH_scale.json.
+type scaleTier struct {
+	Nodes int     `json:"nodes"`
+	SideM float64 `json:"sideM"`
+	// SetupSeconds is medium construction + radio attach + priming every
+	// transmitter's candidate list — the part incremental invalidation and
+	// the indexed builder turn from quadratic into near-linear.
+	SetupSeconds float64 `json:"setupSeconds"`
+	// Whole-run numbers for the metro scenario at this tier.
+	RunSeconds   float64 `json:"runSeconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+	// UncachedRunSeconds/EventsPerSec compare the recompute-everything
+	// fan-out at this tier; only measured where feasible (small tiers), zero
+	// otherwise.
+	UncachedRunSeconds   float64 `json:"uncachedRunSeconds,omitempty"`
+	UncachedEventsPerSec float64 `json:"uncachedEventsPerSec,omitempty"`
+	// TransmitNsPerOp is the steady-state cost of one broadcast fan-out
+	// (fully drained) on this tier's topology. With the cell index this
+	// tracks local density, not total N — the flatness ratio below is the
+	// acceptance check.
+	TransmitNsPerOp float64 `json:"transmitNsPerOp"`
+}
+
+// scaleBenchReport is the BENCH_scale.json schema: the metro-scale growth
+// trend of the simulation core with the spatial cell index.
+type scaleBenchReport struct {
+	GeneratedAt string      `json:"generatedAt"`
+	Cores       int         `json:"cores"`
+	Tiers       []scaleTier `json:"tiers"`
+	// TransmitFlatness is largest-tier transmit ns/op over smallest-tier
+	// ns/op. Density is constant across tiers, so a value near 1 means
+	// per-transmit cost no longer scales with total N (pre-index it tracked
+	// the O(N) candidate scan).
+	TransmitFlatness float64 `json:"transmitFlatness"`
+	Config           string  `json:"config"`
+}
+
+// benchScale measures the metro scenario at each node count and writes the
+// trend to out. nodeCsv is a comma-separated node-count list.
+func benchScale(out, nodeCsv string) error {
+	var tiers []int
+	for _, f := range strings.Split(nodeCsv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 30 {
+			return fmt.Errorf("-scale-nodes: bad node count %q", f)
+		}
+		tiers = append(tiers, n)
+	}
+	rep := scaleBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Cores:       runtime.NumCPU(),
+		Config: fmt.Sprintf("clustered metro at paper density (%d nodes/km²), 2 km gateway lattice, "+
+			"MinHop, 2 groups×10 members, 512 B CBR @ 20 pkt/s, 2 s traffic (+1 s warmup), seed 1; "+
+			"uncached comparison at ≤1k nodes", topology.PaperDensityPerKm2),
+	}
+
+	for _, n := range tiers {
+		fmt.Fprintf(os.Stderr, "bench-scale: %d nodes: setup...\n", n)
+		tier := scaleTier{Nodes: n}
+
+		// Setup: attach every radio and prime every candidate list.
+		cfg, err := experiments.MetroScenario(n, 1)
+		if err != nil {
+			return err
+		}
+		tier.SideM = cfg.Topology.Area.Width()
+		start := time.Now()
+		engine := sim.NewEngine(1)
+		medium := phy.NewMedium(engine, propagation.NewTwoRay(), propagation.Rayleigh{}, phy.DefaultParams())
+		radios := make([]*phy.Radio, cfg.Topology.NodeCount())
+		for i, pos := range cfg.Topology.Positions {
+			radios[i] = medium.AttachRadio(packet.NodeID(i), pos)
+		}
+		for _, r := range radios {
+			r.Transmit(scaleFrame(r.ID))
+			engine.RunAll()
+		}
+		tier.SetupSeconds = time.Since(start).Seconds()
+
+		fmt.Fprintf(os.Stderr, "bench-scale: %d nodes: full run...\n", n)
+		seconds, events, err := timeScaleRun(n, false)
+		if err != nil {
+			return err
+		}
+		tier.RunSeconds = seconds
+		tier.Events = events
+		tier.EventsPerSec = float64(events) / seconds
+
+		if n <= 1000 {
+			fmt.Fprintf(os.Stderr, "bench-scale: %d nodes: uncached run...\n", n)
+			seconds, events, err := timeScaleRun(n, true)
+			if err != nil {
+				return err
+			}
+			tier.UncachedRunSeconds = seconds
+			tier.UncachedEventsPerSec = float64(events) / seconds
+		}
+
+		fmt.Fprintf(os.Stderr, "bench-scale: %d nodes: transmit microbenchmark...\n", n)
+		tier.TransmitNsPerOp = benchMetroTransmit(cfg.Topology)
+		rep.Tiers = append(rep.Tiers, tier)
+	}
+
+	first, last := rep.Tiers[0], rep.Tiers[len(rep.Tiers)-1]
+	if first.TransmitNsPerOp > 0 {
+		rep.TransmitFlatness = last.TransmitNsPerOp / first.TransmitNsPerOp
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, tr := range rep.Tiers {
+		fmt.Fprintf(os.Stderr, "bench-scale: %6d nodes: setup %.2fs, run %.1fs, %.0f events/s, transmit %.0f ns/op\n",
+			tr.Nodes, tr.SetupSeconds, tr.RunSeconds, tr.EventsPerSec, tr.TransmitNsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "bench-scale: transmit flatness %dx nodes -> %.2fx cost -> %s\n",
+		last.Nodes/first.Nodes, rep.TransmitFlatness, out)
+	return nil
+}
+
+// timeScaleRun executes the metro scenario end to end and returns wall time
+// and event count. uncached disables the static link cache via the
+// environment toggle (RunScenario owns its Medium).
+func timeScaleRun(n int, uncached bool) (float64, uint64, error) {
+	if uncached {
+		os.Setenv("MESHCAST_NO_LINK_CACHE", "1")
+		defer os.Unsetenv("MESHCAST_NO_LINK_CACHE")
+	}
+	cfg, err := experiments.MetroScenario(n, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Seconds(), res.Events, nil
+}
+
+// benchMetroTransmit measures one steady-state broadcast fan-out (fully
+// drained) on the given topology. Transmitters rotate over a fixed 64-radio
+// prefix so candidate lists go warm after the first rotation and the measured
+// cost is the per-frame fan-out, not list (re)builds.
+func benchMetroTransmit(topo *topology.Topology) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		engine := sim.NewEngine(7)
+		medium := phy.NewMedium(engine, propagation.NewTwoRay(), propagation.Rayleigh{}, phy.DefaultParams())
+		radios := make([]*phy.Radio, topo.NodeCount())
+		for i, pos := range topo.Positions {
+			radios[i] = medium.AttachRadio(packet.NodeID(i), pos)
+		}
+		rotate := len(radios)
+		if rotate > 64 {
+			rotate = 64
+		}
+		frame := scaleFrame(0)
+		for i := 0; i < rotate; i++ { // warm the rotated lists
+			frame.Src = radios[i].ID
+			radios[i].Transmit(frame)
+			engine.RunAll()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := radios[i%rotate]
+			frame.Src = src.ID
+			src.Transmit(frame)
+			engine.RunAll()
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func scaleFrame(src packet.NodeID) *packet.Frame {
+	return &packet.Frame{
+		Kind:    packet.FrameData,
+		Src:     src,
+		Dst:     packet.Broadcast,
+		Payload: &packet.Packet{Kind: packet.TypeData, Src: src, PayloadBytes: 512},
+	}
+}

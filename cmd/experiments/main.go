@@ -49,6 +49,8 @@ func main() {
 	benchTelemetry := flag.String("bench-telemetry", "", "benchmark disabled-instrument overhead, write JSON here, and exit")
 	benchSim := flag.String("bench-simcore", "", "benchmark the simulation core (link cache on/off, transmit fan-out allocations), write JSON here, and exit")
 	benchTrace := flag.String("bench-trace", "", "benchmark packet-journey tracing overhead and reconstruction throughput, write JSON here, and exit")
+	benchScaleOut := flag.String("bench-scale", "", "benchmark metro-scale growth (events/sec, setup time, per-transmit cost per -scale-nodes tier), write JSON here, and exit")
+	scaleNodes := flag.String("scale-nodes", "1000,5000,10000", "comma-separated node counts for -bench-scale")
 	telemetryDir := flag.String("telemetry", "", "record sweep-harness telemetry (cache hits/misses, job latency) to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -66,6 +68,8 @@ func main() {
 		err = benchTelemetryOverhead(*benchTelemetry)
 	case *benchTrace != "":
 		err = benchTraceOverhead(*benchTrace)
+	case *benchScaleOut != "":
+		err = benchScale(*benchScaleOut, *scaleNodes)
 	case *benchOut != "":
 		err = benchRunner(*benchOut, *jobs, *cacheDir)
 	default:

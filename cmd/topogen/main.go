@@ -6,6 +6,8 @@
 //
 //	go run ./cmd/topogen -nodes 50 -side 1000 -seed 1
 //	go run ./cmd/topogen -nodes 50 -csv > topo.csv
+//	go run ./cmd/topogen -metro -nodes 5000 -gateway-spacing 2000
+//	go run ./cmd/topogen -metro -nodes 2000 -hotspots 8 -sigma 300 -map
 package main
 
 import (
@@ -22,51 +24,79 @@ import (
 func main() {
 	var (
 		nodes     = flag.Int("nodes", 50, "number of nodes")
-		side      = flag.Float64("side", 1000, "square side in metres")
+		side      = flag.Float64("side", 1000, "square side in metres (uniform mode; metro derives it from -density)")
 		rangeM    = flag.Float64("range", 250, "radio range in metres")
 		seed      = flag.Uint64("seed", 1, "random seed")
-		connected = flag.Bool("connected", true, "redraw until connected")
+		connected = flag.Bool("connected", true, "redraw until connected (uniform mode only)")
 		csv       = flag.Bool("csv", false, "emit node positions as CSV")
 		asMap     = flag.Bool("map", false, "render an ASCII map with range-graph edges")
 		width     = flag.Int("width", 100, "map width in characters")
+
+		metro      = flag.Bool("metro", false, "clustered metro placement (hotspots + gateways) instead of uniform")
+		density    = flag.Float64("density", topology.PaperDensityPerKm2, "metro: nodes per km² (sets the area side)")
+		hotspots   = flag.Int("hotspots", 0, "metro: hotspot centers (0 = one per 250 nodes, min 4)")
+		sigma      = flag.Float64("sigma", 0, "metro: hotspot Gaussian spread in metres (0 = auto from hotspot pitch)")
+		background = flag.Float64("background", 0, "metro: uniform background fraction (0 = default 0.25, negative = none)")
+		gwSpacing  = flag.Float64("gateway-spacing", 0, "metro: gateway lattice pitch in metres (0 = no gateways)")
 	)
 	flag.Parse()
-	if err := run(*nodes, *side, *rangeM, *seed, *connected, *csv, *asMap, *width); err != nil {
+	cfg := topology.MetroConfig{
+		Nodes:           *nodes,
+		DensityPerKm2:   *density,
+		Hotspots:        *hotspots,
+		SigmaM:          *sigma,
+		BackgroundFrac:  *background,
+		GatewaySpacingM: *gwSpacing,
+	}
+	if err := run(*nodes, *side, *rangeM, *seed, *connected, *csv, *asMap, *width, *metro, cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nodes int, side, rangeM float64, seed uint64, connected, csv, asMap bool, width int) error {
+func run(nodes int, side, rangeM float64, seed uint64, connected, csv, asMap bool, width int, metro bool, metroCfg topology.MetroConfig) error {
 	rng := sim.NewRNG(seed)
 	var topo *topology.Topology
-	if connected {
+	var gateways []int
+	switch {
+	case metro:
+		topo, gateways = topology.Metro(rng, metroCfg)
+		side = topo.Area.Width()
+	case connected:
 		t, err := topology.RandomConnected(rng, nodes, geom.Square(side), rangeM, 1000)
 		if err != nil {
 			return err
 		}
 		topo = t
-	} else {
+	default:
 		topo = topology.Random(rng, nodes, geom.Square(side))
+	}
+	isGateway := make(map[int]bool, len(gateways))
+	for _, g := range gateways {
+		isGateway[g] = true
 	}
 
 	if csv {
-		fmt.Println("node,x,y")
+		fmt.Println("node,x,y,gateway")
 		for i, p := range topo.Positions {
-			fmt.Printf("%d,%.2f,%.2f\n", i, p.X, p.Y)
+			fmt.Printf("%d,%.2f,%.2f,%v\n", i, p.X, p.Y, isGateway[i])
 		}
 		return nil
 	}
 	if asMap {
 		nodesViz := make([]viz.Node, topo.NodeCount())
 		for i, p := range topo.Positions {
-			nodesViz[i] = viz.Node{Label: fmt.Sprintf("%d", i), Pos: p}
+			label := fmt.Sprintf("%d", i)
+			if isGateway[i] {
+				label = "G" + label
+			}
+			nodesViz[i] = viz.Node{Label: label, Pos: p}
 		}
 		var edges []viz.Edge
 		for i, ns := range topo.Neighbors(rangeM) {
 			for _, j := range ns {
 				if j > i {
 					edges = append(edges, viz.Edge{
-						From: fmt.Sprintf("%d", i), To: fmt.Sprintf("%d", j), Style: viz.Solid,
+						From: nodesViz[i].Label, To: nodesViz[j].Label, Style: viz.Solid,
 					})
 				}
 			}
@@ -75,8 +105,15 @@ func run(nodes int, side, rangeM float64, seed uint64, connected, csv, asMap boo
 		return nil
 	}
 
-	fmt.Printf("topology: %d nodes in %.0fx%.0f m, range %.0f m, seed %d\n",
-		nodes, side, side, rangeM, seed)
+	kind := "uniform"
+	if metro {
+		kind = "metro"
+	}
+	fmt.Printf("topology: %d nodes (%s) in %.0fx%.0f m, range %.0f m, seed %d\n",
+		nodes, kind, side, side, rangeM, seed)
+	if metro {
+		fmt.Printf("gateways: %d\n", len(gateways))
+	}
 	fmt.Printf("connected: %v\n", topo.IsConnected(rangeM))
 	fmt.Printf("mean degree: %.2f\n", topo.MeanDegree(rangeM))
 	maxHops := 0
@@ -86,8 +123,14 @@ func run(nodes int, side, rangeM float64, seed uint64, connected, csv, asMap boo
 		}
 	}
 	fmt.Printf("eccentricity of node 0: %d hops\n", maxHops)
-	for i, p := range topo.Positions {
-		fmt.Printf("  n%-3d %v\n", i, p)
+	if topo.NodeCount() <= 200 {
+		for i, p := range topo.Positions {
+			marker := ""
+			if isGateway[i] {
+				marker = " (gateway)"
+			}
+			fmt.Printf("  n%-3d %v%s\n", i, p, marker)
+		}
 	}
 	return nil
 }

@@ -303,3 +303,35 @@ func TestEnqueueWhileBusyDefers(t *testing.T) {
 		t.Fatalf("delivered = %d, want 2", delivered)
 	}
 }
+
+func TestPowerDownUnblocksDeferringMAC(t *testing.T) {
+	// Regression for the SetDown carrier-sense bug: a MAC deferring on a
+	// neighbor's frame whose radio is powered down mid-frame must learn the
+	// (now unsensed) channel is idle immediately. Pre-fix, SetDown flipped
+	// only the down flag, so the MAC kept lastBusy=true and stayed deferring
+	// until the neighbor's frame-end event — this test fails there because
+	// the broadcast has not left by the 5 ms horizon.
+	engine, macs := testNet(t, 21,
+		geom.Point{X: 0, Y: 0},   // blocker
+		geom.Point{X: 400, Y: 0}) // sender: CS range of blocker, beyond decode
+	sender := macs[1]
+	// The blocker's frame goes straight onto the air (no MAC contention, so
+	// its start time is exact): 2000 B payload is on air ~8.3 ms.
+	blockFrame := &packet.Frame{
+		Kind: packet.FrameData, Src: 0, Dst: packet.Broadcast, Payload: dataPkt(0, 1, 2000),
+	}
+	engine.Schedule(0, func() { macs[0].radio.Transmit(blockFrame) })
+	// Sender enqueues mid-frame and defers on carrier sense.
+	engine.Schedule(time.Millisecond, func() { sender.SendBroadcast(dataPkt(1, 1, 64)) })
+	// Sender's radio dies at 2 ms: carrier sense must re-derive to idle and
+	// release the MAC. (The radio then drops the frame on the floor, but the
+	// MAC-level send completes — that is the unblock under test.)
+	engine.Schedule(2*time.Millisecond, func() { sender.radio.SetDown(true) })
+	// 5 ms is well past DIFS + max backoff (~0.7 ms after the unblock) and
+	// well before the blocker's frame ends (~8.3 ms).
+	engine.Run(5 * time.Millisecond)
+	if sender.Stats.BroadcastsSent != 1 {
+		t.Fatalf("BroadcastsSent = %d at 5 ms; MAC still deferring on a powered-down radio's stale carrier sense",
+			sender.Stats.BroadcastsSent)
+	}
+}

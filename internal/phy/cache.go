@@ -30,8 +30,10 @@ import (
 // a down radio still receives arrivals and discards them at delivery, same
 // as the uncached path.
 //
-// The cache is invalidated by AttachRadio (every transmitter gains a
-// candidate) and by SetLinkFunc (the skip set changes shape).
+// The cache is invalidated by SetLinkFunc (the skip set changes shape) and,
+// incrementally, by AttachRadio: only transmitters within the interference
+// radius of the new radio can gain it as a candidate, so only their lists
+// are discarded (see invalidateLinksAround in grid.go).
 
 // link is one precomputed (tx, rx) entry: the receiver, its mean (pre-fading)
 // received power — zero and unused when a LinkFunc is active — and the
@@ -55,8 +57,21 @@ func (m *Medium) linksFrom(src *Radio) []link {
 	return ls
 }
 
-// buildLinks computes src's candidate list in radio-attach order.
+// buildLinks computes src's candidate list in radio-attach order. Under the
+// physics models it probes the spatial cell index when one is available
+// (grid.go); under a LinkFunc oracle every other radio is a candidate, so
+// the index cannot narrow anything and the brute-force scan runs.
 func (m *Medium) buildLinks(src *Radio) []link {
+	if m.linkFunc == nil && m.grid != nil && !m.gridOff {
+		return m.buildLinksIndexed(src)
+	}
+	return m.buildLinksBrute(src)
+}
+
+// buildLinksBrute is the reference all-radios scan the cell index replaced;
+// it stays as the fallback (LinkFunc, no computable interference radius,
+// MESHCAST_NO_CELL_INDEX) and as the oracle the index is tested against.
+func (m *Medium) buildLinksBrute(src *Radio) []link {
 	ls := make([]link, 0, len(m.radios)-1)
 	for _, rx := range m.radios {
 		if rx == src {

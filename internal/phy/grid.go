@@ -1,0 +1,175 @@
+package phy
+
+import (
+	"math"
+	"sort"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/propagation"
+)
+
+// The spatial cell index.
+//
+// buildLinks (cache.go) originally scanned every attached radio to assemble
+// one transmitter's candidate-receiver list, making list construction O(N)
+// per transmitter — O(N²) across a whole topology — and full-cache
+// invalidation on AttachRadio O(N·k) to recover from. Both are invisible at
+// the paper's 50 nodes and dominant at metro scale (ROADMAP: 10k–100k
+// nodes).
+//
+// The index buckets radios into square cells whose side is the medium's
+// *interference radius*: the largest distance at which the path-loss model
+// still yields mean power ≥ ignoreBelowW. Any radio farther away than that
+// is exactly the pair the candidate list drops up front (too weak even for
+// carrier sense), so every candidate of a transmitter lives in the 3×3 cell
+// block around it, and buildLinks probes ~9 cells instead of N radios.
+//
+// Determinism contract addendum (see cache.go): the merged cell probe must
+// reproduce the brute-force scan bit for bit. The probe therefore sorts the
+// gathered radios by attach index before applying the *same* mean-power
+// filter, so the resulting list has the same members in the same attach
+// order — same RNG draw sequence per frame, byte-identical output. The
+// property test TestCellIndexMatchesBruteForce compares the two builders
+// link by link on random topologies; the golden scenario is additionally
+// pinned with the index on, off, and with the whole cache off.
+//
+// The index assumes mean received power is nonincreasing in distance beyond
+// the interference radius — true for Friis and two-ray, the models this
+// repository ships. A custom PathLoss for which no such radius can be found
+// (the floor is never crossed within 10^7 m, or ignoreBelowW is zero)
+// disables the index and buildLinks falls back to the brute-force scan.
+//
+// The index also bounds AttachRadio invalidation: a new radio can only
+// appear in the candidate lists of transmitters inside its own 3×3
+// neighborhood, so only those lists are discarded instead of every list —
+// attach-as-you-go setups (live testbeds, incremental fleets) stay linear
+// instead of quadratic.
+
+// cellKey addresses one grid cell; cells are cellSize × cellSize squares
+// anchored at the origin (negative coordinates are fine).
+type cellKey struct{ x, y int32 }
+
+// cellIndex is the spatial bucket structure. Radios are appended in attach
+// order and never removed (positions are fixed and radios only power down,
+// never detach).
+type cellIndex struct {
+	size  float64 // cell side in metres, ≥ the interference radius
+	cells map[cellKey][]*Radio
+}
+
+func newCellIndex(size float64) *cellIndex {
+	return &cellIndex{size: size, cells: make(map[cellKey][]*Radio)}
+}
+
+func (ci *cellIndex) keyFor(p geom.Point) cellKey {
+	return cellKey{
+		x: int32(math.Floor(p.X / ci.size)),
+		y: int32(math.Floor(p.Y / ci.size)),
+	}
+}
+
+// add buckets r into its cell. Within a cell, radios stay in attach order.
+func (ci *cellIndex) add(r *Radio) {
+	k := ci.keyFor(r.Pos)
+	ci.cells[k] = append(ci.cells[k], r)
+}
+
+// neighborhood appends every radio in the 3×3 cell block around p to dst and
+// returns it. Cell iteration order is fixed but the result is not globally
+// sorted; callers needing attach order sort by Radio.index.
+func (ci *cellIndex) neighborhood(p geom.Point, dst []*Radio) []*Radio {
+	k := ci.keyFor(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			dst = append(dst, ci.cells[cellKey{x: k.x + dx, y: k.y + dy}]...)
+		}
+	}
+	return dst
+}
+
+// interferenceRadius returns the smallest distance beyond which the
+// path-loss model keeps mean received power below floor — the range outside
+// which buildLinks' skip set drops a pair unconditionally. It assumes power
+// is nonincreasing in distance (true for Friis and two-ray) and reports 0
+// when no such radius exists within 10^7 m (or floor is not positive),
+// which disables the cell index.
+func interferenceRadius(pl propagation.PathLoss, txPowerW, floor float64) float64 {
+	if floor <= 0 {
+		return 0
+	}
+	hi := 1.0
+	for pl.ReceivedPower(txPowerW, hi) >= floor {
+		hi *= 2
+		if hi > 1e7 {
+			return 0
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if pl.ReceivedPower(txPowerW, mid) >= floor {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// buildLinksIndexed assembles src's candidate list from the 3×3 cell probe.
+// It must produce exactly buildLinksBrute's output (see the determinism
+// contract above); callers guarantee the physics models are active and the
+// index is enabled.
+func (m *Medium) buildLinksIndexed(src *Radio) []link {
+	cand := m.grid.neighborhood(src.Pos, m.scratch[:0])
+	sort.Slice(cand, func(i, j int) bool { return cand[i].index < cand[j].index })
+	ls := make([]link, 0, len(cand))
+	for _, rx := range cand {
+		if rx == src {
+			continue
+		}
+		d := src.Pos.Distance(rx.Pos)
+		mean := m.pathLoss.ReceivedPower(m.params.TxPowerW, d)
+		if mean < m.ignoreBelowW {
+			continue
+		}
+		ls = append(ls, link{rx: rx, meanPower: mean, propDelay: propagation.Delay(d)})
+	}
+	m.scratch = cand[:0]
+	return ls
+}
+
+// invalidateLinksAround discards only the candidate lists the newly attached
+// radio r can appear in: transmitters within the interference radius of r,
+// all of which live in r's 3×3 cell neighborhood. The cache also grows a
+// (nil, lazily built) slot for r itself. Falls back to full invalidation
+// when the affected set cannot be bounded (no index, index disabled, or a
+// LinkFunc oracle, under which every list contains every radio).
+func (m *Medium) invalidateLinksAround(r *Radio) {
+	if m.links == nil {
+		return
+	}
+	if m.grid == nil || m.gridOff || m.linkFunc != nil {
+		m.invalidateLinks()
+		return
+	}
+	m.links = append(m.links, nil)
+	near := m.grid.neighborhood(r.Pos, m.scratch[:0])
+	for _, other := range near {
+		if other != r {
+			m.links[other.index] = nil
+		}
+	}
+	m.scratch = near[:0]
+}
+
+// SetCellIndex enables or disables the spatial cell index inside the cached
+// fan-out (enabled by default when an interference radius exists; the
+// MESHCAST_NO_CELL_INDEX environment variable disables it at construction).
+// Both builders produce byte-identical candidate lists; the brute-force
+// builder exists as the reference for the determinism regression tests and
+// the scale benchmark.
+func (m *Medium) SetCellIndex(enabled bool) {
+	m.gridOff = !enabled
+	m.invalidateLinks()
+}

@@ -99,6 +99,16 @@ type Medium struct {
 	links    [][]link
 	cacheOff bool
 
+	// grid is the spatial cell index (see grid.go): radios bucketed into
+	// cells sized to the interference radius implied by ignoreBelowW, so
+	// candidate-list construction probes ~9 cells instead of every radio.
+	// nil when no interference radius exists for the path-loss model;
+	// gridOff forces the brute-force builder while keeping the cache.
+	grid    *cellIndex
+	gridOff bool
+	// scratch is a reusable buffer for cell-neighborhood probes.
+	scratch []*Radio
+
 	// arrivalPool recycles arrival objects between frames (cached path
 	// only); arrivals live from transmit until their endArrival event.
 	arrivalPool []*arrival
@@ -154,7 +164,7 @@ func (m *Medium) SetImpairment(f ImpairFunc) { m.impair = f }
 // NewMedium creates a medium using the engine's clock, the given propagation
 // and fading models, and radio parameters.
 func NewMedium(engine *sim.Engine, pathLoss propagation.PathLoss, fading propagation.Fading, params Params) *Medium {
-	return &Medium{
+	m := &Medium{
 		engine:       engine,
 		pathLoss:     pathLoss,
 		fading:       fading,
@@ -162,7 +172,12 @@ func NewMedium(engine *sim.Engine, pathLoss propagation.PathLoss, fading propaga
 		params:       params,
 		ignoreBelowW: params.CSThresholdW / 200,
 		cacheOff:     os.Getenv("MESHCAST_NO_LINK_CACHE") != "",
+		gridOff:      os.Getenv("MESHCAST_NO_CELL_INDEX") != "",
 	}
+	if radius := interferenceRadius(pathLoss, params.TxPowerW, m.ignoreBelowW); radius > 0 {
+		m.grid = newCellIndex(radius)
+	}
+	return m
 }
 
 // Params returns the radio parameters shared by all radios on the medium.
@@ -179,7 +194,10 @@ func (m *Medium) AttachRadio(id packet.NodeID, pos geom.Point) *Radio {
 		index:  len(m.radios),
 	}
 	m.radios = append(m.radios, r)
-	m.invalidateLinks()
+	if m.grid != nil {
+		m.grid.add(r)
+	}
+	m.invalidateLinksAround(r)
 	return r
 }
 
@@ -193,9 +211,21 @@ func (m *Medium) MeanPower(d float64) float64 {
 }
 
 // DeliveryProbability returns the analytic per-packet delivery probability
-// between two positions under the medium's fading model, ignoring
-// interference. Used by topology tools and tests.
+// between two positions under the medium's path-loss and fading models.
+// Used by topology tools and optimal-route analysis.
+//
+// Contract: the answer covers the *unimpaired physics* only — interference
+// and any SetImpairment hook are deliberately ignored (impairments are
+// per-(node, node, time) faults; a position pair has no well-defined answer
+// under them). When a LinkFunc oracle replaces the physics models there is
+// no analytic answer at all — the medium no longer delivers according to
+// position-based path loss — so rather than silently reporting connectivity
+// the medium won't deliver, the call panics; query the oracle itself, or
+// restore the physics models with SetLinkFunc(nil) first.
 func (m *Medium) DeliveryProbability(a, b geom.Point) float64 {
+	if m.linkFunc != nil {
+		panic("phy: DeliveryProbability is undefined while a LinkFunc oracle is active; query the oracle or SetLinkFunc(nil) first")
+	}
 	mean := m.MeanPower(a.Distance(b))
 	if _, ok := m.fading.(propagation.NoFading); ok {
 		if mean >= m.params.RxThresholdW {
@@ -252,13 +282,18 @@ func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration
 // replaced, kept as the reference path for determinism tests and benchmarks
 // (SetLinkCache(false), MESHCAST_NO_LINK_CACHE).
 func (m *Medium) transmitUncached(src *Radio, frame *packet.Frame, airtime time.Duration) {
+	// One clock read for the whole fan-out, like the cached path: the two
+	// loops must hand LinkFunc/ImpairFunc the same timestamps so they cannot
+	// diverge if a hook ever advances the clock, and the reference path
+	// should not pay N redundant Now() calls either.
+	now := m.engine.Now()
 	for _, rx := range m.radios {
 		if rx == src {
 			continue
 		}
 		var power float64
 		if m.linkFunc != nil {
-			power = m.linkFunc(src.ID, rx.ID, m.engine.Now(), m.rng)
+			power = m.linkFunc(src.ID, rx.ID, now, m.rng)
 		} else {
 			mean := m.pathLoss.ReceivedPower(m.params.TxPowerW, src.Pos.Distance(rx.Pos))
 			if mean < m.ignoreBelowW {
@@ -267,7 +302,7 @@ func (m *Medium) transmitUncached(src *Radio, frame *packet.Frame, airtime time.
 			power = m.fading.Apply(mean, m.rng)
 		}
 		if m.impair != nil {
-			imp := m.impair(src.ID, rx.ID, m.engine.Now())
+			imp := m.impair(src.ID, rx.ID, now)
 			if imp.DropProb >= 1 || (imp.DropProb > 0 && m.rng.Float64() < imp.DropProb) {
 				continue
 			}
@@ -354,12 +389,19 @@ func (r *Radio) AirTime(sizeBytes int) time.Duration {
 // neither transmits nor decodes: in-flight arrivals are abandoned and later
 // ones pass through as if the antenna were disconnected. Fault injection
 // uses this to model node crashes.
+//
+// Both transitions re-derive physical carrier sense immediately: powering
+// down while the channel is busy must release a MAC deferring on a stale
+// busy report, and powering up amid in-flight arrivals must report the busy
+// channel at once — not at the next arrival edge, which could be a whole
+// frame away.
 func (r *Radio) SetDown(down bool) {
 	r.down = down
 	if down && r.locked != nil {
 		r.locked.corrupted = true
 		r.locked = nil
 	}
+	r.notifyBusy(r.CarrierBusy())
 }
 
 // Down reports whether the radio is powered off.

@@ -668,6 +668,154 @@ func miniScenarioTrace(t *testing.T, cached bool) string {
 	return log.String()
 }
 
+// TestSetDownRederivesCarrierSense is the regression test for the power-state
+// carrier-sense bug: SetDown used to flip only the `down` flag, so a radio
+// powered down while sensing carrier kept lastBusy=true (the MAC believed the
+// channel busy until the next unrelated arrival edge), and a radio powered up
+// amid in-flight arrivals reported idle until the same. Both transitions must
+// notify immediately. This test fails on the pre-fix code: the busy=false and
+// busy=true edges below only appear at the frame-end event (~2.43 ms).
+func TestSetDownRederivesCarrierSense(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	// Sensor at 400m: beyond receive range (250m) but within CS range (550m),
+	// so the frame is pure carrier with no decode path involved.
+	sensor := medium.AttachRadio(1, geom.Point{X: 400, Y: 0})
+	type edge struct {
+		busy bool
+		at   time.Duration
+	}
+	var edges []edge
+	sensor.BusyChanged = func(busy bool) { edges = append(edges, edge{busy, engine.Now()}) }
+	// 512 B frame: on air 2.24 ms, occupying the sensor's channel for
+	// (prop, prop+2.24ms] — comfortably past both SetDown calls below.
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { sensor.SetDown(true) })
+	engine.Schedule(1500*time.Microsecond, func() { sensor.SetDown(false) })
+	engine.RunAll()
+	want := []edge{
+		{true, 0},                        // frame reaches the sensor (after prop delay)
+		{false, time.Millisecond},        // power-down mid-frame: idle NOW, not at frame end
+		{true, 1500 * time.Microsecond},  // power-up mid-frame: busy NOW, not at next edge
+		{false, 2440 * time.Microsecond}, // frame leaves the air
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("busy edges = %+v, want %d edges", edges, len(want))
+	}
+	for i := 1; i < 3; i++ { // the two SetDown-driven edges must be instant
+		if edges[i].busy != want[i].busy || edges[i].at != want[i].at {
+			t.Fatalf("edge %d = %+v, want %+v (SetDown must re-derive carrier sense immediately)",
+				i, edges[i], want[i])
+		}
+	}
+	if edges[0].busy != true || edges[3].busy != false {
+		t.Fatalf("busy edges = %+v, want busy/idle bracket around the frame", edges)
+	}
+	if edges[3].at < 2240*time.Microsecond {
+		t.Fatalf("final idle edge at %v, before the frame left the air", edges[3].at)
+	}
+}
+
+func TestDeliveryProbabilityPanicsUnderLinkFunc(t *testing.T) {
+	_, medium := newTestMedium(t, propagation.NoFading{})
+	medium.SetLinkFunc(func(_, _ packet.NodeID, _ time.Duration, _ *sim.RNG) float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DeliveryProbability answered from physics while a LinkFunc oracle was active")
+		}
+	}()
+	medium.DeliveryProbability(geom.Point{}, geom.Point{X: 100})
+}
+
+// assertPoolClean verifies every pooled arrival had its fields reset by
+// freeArrival — a stale rx/frame/power/corrupted here would leak into the
+// next frame that draws the object from the pool.
+func assertPoolClean(t *testing.T, m *Medium) {
+	t.Helper()
+	for i, a := range m.arrivalPool {
+		if a.rx != nil || a.frame != nil || a.power != 0 || a.corrupted {
+			t.Fatalf("pooled arrival %d not reset: %+v", i, *a)
+		}
+	}
+}
+
+// TestArrivalPoolReuseAcrossSetDownMidFlight powers the receiver down while
+// an arrival is locked (corrupting it), lets the arrival return to the pool,
+// and reuses the pool for a clean delivery: the corrupted flag from the
+// aborted frame must not leak into the recycled arrival.
+func TestArrivalPoolReuseAcrossSetDownMidFlight(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	// Frame 1: rx powers down mid-flight. SetDown corrupts the locked
+	// arrival; endArrival still runs and returns it to the pool.
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { rx.SetDown(true) })
+	engine.RunAll()
+	if delivered != 0 {
+		t.Fatal("frame delivered despite mid-flight power-down")
+	}
+	if len(medium.arrivalPool) == 0 {
+		t.Fatal("aborted arrival not returned to the pool")
+	}
+	assertPoolClean(t, medium)
+	// Frame 2: the recycled arrival must deliver cleanly.
+	rx.SetDown(false)
+	poolBefore := len(medium.arrivalPool)
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d reusing the pooled arrival, want 1", delivered)
+	}
+	if len(medium.arrivalPool) != poolBefore {
+		t.Fatalf("pool size %d after reuse cycle, want %d", len(medium.arrivalPool), poolBefore)
+	}
+	assertPoolClean(t, medium)
+}
+
+// TestArrivalPoolAcrossSetLinkCacheToggle toggles the cache off and back on
+// while frames are in flight. Arrivals allocated by the cached path but ending
+// with the cache off are simply not pooled; arrivals allocated uncached but
+// ending with the cache back on do get pooled — either way no stale fields
+// may survive into later frames.
+func TestArrivalPoolAcrossSetLinkCacheToggle(t *testing.T) {
+	engine, medium := newTestMedium(t, propagation.NoFading{})
+	tx := medium.AttachRadio(0, geom.Point{X: 0, Y: 0})
+	rx := medium.AttachRadio(1, geom.Point{X: 200, Y: 0})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	// Cached frame in flight; cache switched off mid-flight.
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { medium.SetLinkCache(false) })
+	engine.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d with cache disabled mid-flight, want 1", delivered)
+	}
+	if n := len(medium.arrivalPool); n != 0 {
+		t.Fatalf("pool grew to %d while the cache was off at frame end", n)
+	}
+	// Uncached frame in flight; cache switched back on mid-flight. Its
+	// arrival lands in the pool at frame end.
+	engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+	engine.Schedule(time.Millisecond, func() { medium.SetLinkCache(true) })
+	engine.RunAll()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d with cache re-enabled mid-flight, want 2", delivered)
+	}
+	assertPoolClean(t, medium)
+	// Steady state after the churn: pooled arrivals recycle cleanly.
+	for i := 0; i < 3; i++ {
+		engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 512)) })
+		engine.RunAll()
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered = %d after cache toggles settled, want 5", delivered)
+	}
+	assertPoolClean(t, medium)
+}
+
 func TestLinkCacheByteIdenticalToUncached(t *testing.T) {
 	// The determinism contract: same seed, same delivery trace, same
 	// counters, same event count — with the cache on or off.
