@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"meshcast/internal/experiments"
+	"meshcast/internal/geom"
+	"meshcast/internal/mobility"
+	"meshcast/internal/packet"
+	"meshcast/internal/phy"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+	"meshcast/internal/topology"
+)
+
+// mobilityBenchReport is the BENCH_mobility.json schema: what radio motion
+// costs the simulation core, and what the incremental link-cache
+// invalidation buys over dropping every cached candidate list per move.
+type mobilityBenchReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	Cores       int    `json:"cores"`
+	Nodes       int    `json:"nodes"`
+
+	// End-to-end: the 1k-node metro scenario with a 10 m/s waypoint mover.
+	ScenarioSeconds float64 `json:"scenarioSeconds"`
+	Moves           uint64  `json:"moves"`
+	MovesPerSec     float64 `json:"movesPerSec"`
+	LinkBreaks      uint64  `json:"linkBreaks"`
+	LinkForms       uint64  `json:"linkForms"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"eventsPerSec"`
+
+	// Microbenchmark: one MoveRadio plus one steady-state broadcast fan-out,
+	// with the incremental 3×3-neighborhood invalidation vs discarding every
+	// cached candidate list after each move.
+	IncrementalNsPerMove float64 `json:"incrementalNsPerMove"`
+	FullNsPerMove        float64 `json:"fullNsPerMove"`
+	InvalidationSpeedup  float64 `json:"invalidationSpeedup"`
+	// MoveNsPerOp is the bare MoveRadio cost (rebucket + invalidate, no
+	// traffic) — the ceiling on sustainable position-update rate.
+	MoveNsPerOp float64 `json:"moveNsPerOp"`
+
+	// ByteIdentical reports whether the mobility scenario's full result is
+	// bit-for-bit identical with the link cache disabled entirely (the
+	// recompute-everything reference the incremental path must match).
+	ByteIdentical bool   `json:"byteIdentical"`
+	Config        string `json:"config"`
+}
+
+const benchMobilityNodes = 1000
+
+// benchMobility measures radio motion on the 1k-node metro topology and
+// writes the trend to out.
+func benchMobility(out string) error {
+	rep := mobilityBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Cores:       runtime.NumCPU(),
+		Nodes:       benchMobilityNodes,
+		Config: fmt.Sprintf("clustered metro (%d nodes/km²), waypoint mover at 10 m/s from traffic start, "+
+			"2 groups×10 members, 512 B CBR @ 20 pkt/s, 2 s traffic (+1 s warmup), seed 1",
+			topology.PaperDensityPerKm2),
+	}
+
+	fmt.Fprintf(os.Stderr, "bench-mobility: %d nodes: scenario run...\n", benchMobilityNodes)
+	res, seconds, err := timeMobilityRun(false)
+	if err != nil {
+		return err
+	}
+	rep.ScenarioSeconds = seconds
+	rep.Events = res.Events
+	rep.EventsPerSec = float64(res.Events) / seconds
+	if res.Mobility != nil {
+		rep.Moves = res.Mobility.Moves
+		rep.MovesPerSec = float64(res.Mobility.Moves) / seconds
+		rep.LinkBreaks = res.Mobility.LinkBreaks
+		rep.LinkForms = res.Mobility.LinkForms
+	}
+
+	fmt.Fprintf(os.Stderr, "bench-mobility: %d nodes: uncached reference run...\n", benchMobilityNodes)
+	uncached, _, err := timeMobilityRun(true)
+	if err != nil {
+		return err
+	}
+	cachedJSON, err := mobilityFingerprint(res)
+	if err != nil {
+		return err
+	}
+	uncachedJSON, err := mobilityFingerprint(uncached)
+	if err != nil {
+		return err
+	}
+	rep.ByteIdentical = bytes.Equal(cachedJSON, uncachedJSON)
+
+	fmt.Fprintf(os.Stderr, "bench-mobility: %d nodes: move+transmit microbenchmark (incremental)...\n", benchMobilityNodes)
+	rep.IncrementalNsPerMove = benchMoveTransmit(false)
+	fmt.Fprintf(os.Stderr, "bench-mobility: %d nodes: move+transmit microbenchmark (full invalidation)...\n", benchMobilityNodes)
+	rep.FullNsPerMove = benchMoveTransmit(true)
+	if rep.IncrementalNsPerMove > 0 {
+		rep.InvalidationSpeedup = rep.FullNsPerMove / rep.IncrementalNsPerMove
+	}
+	fmt.Fprintf(os.Stderr, "bench-mobility: %d nodes: bare MoveRadio microbenchmark...\n", benchMobilityNodes)
+	rep.MoveNsPerOp = benchBareMove()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-mobility: scenario %.1fs (%.0f moves/s, %.0f events/s), "+
+		"move+transmit %.0f ns incremental vs %.0f ns full (%.2fx), bare move %.0f ns, byte-identical=%v -> %s\n",
+		rep.ScenarioSeconds, rep.MovesPerSec, rep.EventsPerSec,
+		rep.IncrementalNsPerMove, rep.FullNsPerMove, rep.InvalidationSpeedup,
+		rep.MoveNsPerOp, rep.ByteIdentical, out)
+	return nil
+}
+
+// mobilityBenchScenario is the metro scenario with a waypoint mover.
+func mobilityBenchScenario() (experiments.ScenarioConfig, error) {
+	cfg, err := experiments.MetroScenario(benchMobilityNodes, 1)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Mobility = &mobility.Config{
+		Model:       mobility.ModelWaypoint,
+		MaxSpeedMps: 10,
+		Start:       cfg.TrafficStart,
+	}
+	return cfg, nil
+}
+
+// timeMobilityRun executes the mobility metro scenario end to end. uncached
+// disables the link cache via the environment toggle — the
+// recompute-everything reference for the byte-identity check.
+func timeMobilityRun(uncached bool) (*experiments.RunResult, float64, error) {
+	if uncached {
+		os.Setenv("MESHCAST_NO_LINK_CACHE", "1")
+		defer os.Unsetenv("MESHCAST_NO_LINK_CACHE")
+	}
+	cfg, err := mobilityBenchScenario()
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start).Seconds(), nil
+}
+
+// mobilityFingerprint serializes every deterministic outcome of a run —
+// summary, delay distribution, traffic counters, event count, and the full
+// mobility result — for the cached-vs-uncached identity check. (The raw
+// RunResult holds a map keyed by struct and cannot marshal directly.)
+func mobilityFingerprint(res *experiments.RunResult) ([]byte, error) {
+	return json.Marshal(struct {
+		Summary       any
+		PerMember     any
+		Delay         any
+		ControlBytes  uint64
+		ProbeBytes    uint64
+		MACCollisions uint64
+		DataForwards  uint64
+		Events        uint64
+		Mobility      any
+	}{
+		res.Summary, res.PerMember, res.Delay,
+		res.ControlBytes, res.ProbeBytes, res.MACCollisions, res.DataForwards,
+		res.Events, res.Mobility,
+	})
+}
+
+// benchWorld attaches the metro fleet to a fresh medium and warms a 64-radio
+// transmitter rotation, mirroring bench_scale's steady-state setup.
+func benchWorld() (*sim.Engine, *phy.Medium, []*phy.Radio, int) {
+	topoRNG := sim.NewRNG(1 ^ 0x9e3779b97f4a7c15)
+	topo, _ := topology.Metro(topoRNG, topology.MetroConfig{
+		Nodes:           benchMobilityNodes,
+		GatewaySpacingM: 2000,
+	})
+	engine := sim.NewEngine(7)
+	medium := phy.NewMedium(engine, propagation.NewTwoRay(), propagation.Rayleigh{}, phy.DefaultParams())
+	radios := make([]*phy.Radio, topo.NodeCount())
+	for i, pos := range topo.Positions {
+		radios[i] = medium.AttachRadio(packet.NodeID(i), pos)
+	}
+	rotate := len(radios)
+	if rotate > 64 {
+		rotate = 64
+	}
+	frame := scaleFrame(0)
+	for i := 0; i < rotate; i++ {
+		frame.Src = radios[i].ID
+		radios[i].Transmit(frame)
+		engine.RunAll()
+	}
+	return engine, medium, radios, rotate
+}
+
+// benchMoveTransmit measures one MoveRadio plus one broadcast fan-out from a
+// rotating warm transmitter. With incremental invalidation only candidate
+// lists near the moved radio go cold, so most fan-outs stay warm; full
+// invalidation (discarding the whole cache per move, the pre-incremental
+// behavior) makes every fan-out rebuild its list.
+func benchMoveTransmit(full bool) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		engine, medium, radios, rotate := benchWorld()
+		frame := scaleFrame(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mover := radios[i%len(radios)]
+			medium.MoveRadio(mover, benchMovePos(mover.Pos, i))
+			if full {
+				medium.SetLinkCache(true) // drops every cached list
+			}
+			src := radios[i%rotate]
+			frame.Src = src.ID
+			src.Transmit(frame)
+			engine.RunAll()
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// benchBareMove measures MoveRadio alone: cell rebucketing plus incremental
+// invalidation, no traffic.
+func benchBareMove() float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		_, medium, radios, _ := benchWorld()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mover := radios[i%len(radios)]
+			medium.MoveRadio(mover, benchMovePos(mover.Pos, i))
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// benchMovePos displaces a position by a deterministic sub-cell step that
+// alternates direction, keeping the fleet near its original placement.
+func benchMovePos(p geom.Point, i int) geom.Point {
+	dx := float64(7+i%13) * 1.5
+	dy := float64(5+i%11) * 1.5
+	if i%2 == 0 {
+		dx, dy = -dx, -dy
+	}
+	return geom.Point{X: p.X + dx, Y: p.Y + dy}
+}

@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,6 +52,9 @@ func main() {
 	benchTrace := flag.String("bench-trace", "", "benchmark packet-journey tracing overhead and reconstruction throughput, write JSON here, and exit")
 	benchScaleOut := flag.String("bench-scale", "", "benchmark metro-scale growth (events/sec, setup time, per-transmit cost per -scale-nodes tier), write JSON here, and exit")
 	scaleNodes := flag.String("scale-nodes", "1000,5000,10000", "comma-separated node counts for -bench-scale")
+	mobilitySweep := flag.Bool("mobility", false, "run the ODMRP-vs-MCST mobility speed sweep and exit")
+	mobilitySpeeds := flag.String("mobility-speeds", "0,1,5,10,20", "comma-separated max speeds (m/s) for -mobility; 0 is the static control")
+	benchMobilityOut := flag.String("bench-mobility", "", "benchmark radio motion (moves/sec, incremental vs full link-cache invalidation), write JSON here, and exit")
 	telemetryDir := flag.String("telemetry", "", "record sweep-harness telemetry (cache hits/misses, job latency) to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -68,6 +72,10 @@ func main() {
 		err = benchTelemetryOverhead(*benchTelemetry)
 	case *benchTrace != "":
 		err = benchTraceOverhead(*benchTrace)
+	case *benchMobilityOut != "":
+		err = benchMobility(*benchMobilityOut)
+	case *mobilitySweep:
+		err = runMobilitySweep(*mobilitySpeeds, *out, *full, *jobs, *cacheDir)
 	case *benchScaleOut != "":
 		err = benchScale(*benchScaleOut, *scaleNodes)
 	case *benchOut != "":
@@ -124,6 +132,49 @@ func runProtocolComparison(protocol, out string, full bool, jobs int, cacheDir s
 	}
 	report := experiments.NewReport(opts, 0, 0)
 	report.ProtocolSection(cmp)
+	report.Elapsed(time.Since(start))
+	if out == "" {
+		fmt.Print(report.String())
+		return nil
+	}
+	return os.WriteFile(out, []byte(report.String()), 0o644)
+}
+
+// runMobilitySweep executes the ODMRP-vs-MCST waypoint speed sweep and
+// renders the mobility section. speedCsv is a comma-separated m/s list.
+func runMobilitySweep(speedCsv, out string, full bool, jobs int, cacheDir string) error {
+	var speeds []float64
+	for _, f := range strings.Split(speedCsv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("-mobility-speeds: bad speed %q", f)
+		}
+		speeds = append(speeds, v)
+	}
+	start := time.Now()
+	opts := experiments.QuickOptions()
+	if full {
+		opts = experiments.FullOptions()
+	}
+	opts.Workers = jobs
+	opts.CacheDir = cacheDir
+	opts.Progress = func(p runner.Progress) {
+		suffix := ""
+		if p.Cached {
+			suffix = " (cached)"
+		}
+		if p.Err != nil {
+			suffix = " FAILED: " + p.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "[%7s] [%d/%d] %s done%s\n",
+			time.Since(start).Round(time.Second), p.Done, p.Total, p.Label, suffix)
+	}
+	sweep, err := experiments.RunMobilitySweep(opts, []string{"odmrp", "mcst"}, speeds)
+	if err != nil {
+		return err
+	}
+	report := experiments.NewReport(opts, 0, 0)
+	report.MobilitySection(sweep)
 	report.Elapsed(time.Since(start))
 	if out == "" {
 		fmt.Print(report.String())

@@ -24,6 +24,7 @@ import (
 	"meshcast/internal/faults"
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
+	"meshcast/internal/mobility"
 	"meshcast/internal/multicast"
 	_ "meshcast/internal/multicast/protocols" // populate the protocol registry
 	"meshcast/internal/prof"
@@ -62,6 +63,14 @@ type options struct {
 	// partitions, churn) from a file; combinable with Churn.
 	FaultScript string
 
+	// Mobility selects a mobility model (waypoint, rpgm, corridor; empty
+	// disables motion). Speed is the maximum node speed in m/s and Pause
+	// the waypoint dwell time. Motion starts when traffic starts (after
+	// warmup) so metrics converge on the static topology first.
+	Mobility string
+	Speed    float64
+	Pause    time.Duration
+
 	// Telemetry, when non-empty, writes the run's series.jsonl and
 	// manifest.json to this directory (see cmd/meshstat);
 	// TelemetryInterval is the virtual-time sampling interval.
@@ -88,6 +97,7 @@ func defaultOptions() options {
 		ProbeRate: 1,
 		ChurnMTBF: 60 * time.Second,
 		ChurnMTTR: 15 * time.Second,
+		Speed:     5,
 
 		TelemetryInterval: telemetry.DefaultSampleInterval,
 	}
@@ -116,6 +126,9 @@ func main() {
 	flag.DurationVar(&opt.ChurnMTBF, "churn-mtbf", def.ChurnMTBF, "mean time between failures per churned node")
 	flag.DurationVar(&opt.ChurnMTTR, "churn-mttr", def.ChurnMTTR, "mean time to repair per churned node")
 	flag.StringVar(&opt.FaultScript, "fault-script", def.FaultScript, "JSON fault plan (outages, link faults, partitions, churn)")
+	flag.StringVar(&opt.Mobility, "mobility", def.Mobility, "mobility model: waypoint, rpgm, corridor (empty disables motion)")
+	flag.Float64Var(&opt.Speed, "speed", def.Speed, "maximum node speed in m/s for -mobility")
+	flag.DurationVar(&opt.Pause, "pause", def.Pause, "waypoint pause time for -mobility")
 	flag.StringVar(&opt.Telemetry, "telemetry", def.Telemetry, "write telemetry artifacts (series.jsonl, manifest.json) to this directory (see cmd/meshstat)")
 	flag.DurationVar(&opt.TelemetryInterval, "telemetry-interval", def.TelemetryInterval, "virtual-time sampling interval for -telemetry")
 	flag.StringVar(&opt.CPUProfile, "cpuprofile", def.CPUProfile, "write a CPU profile to this file")
@@ -303,6 +316,14 @@ func run(opt options) error {
 		TrafficStart:    time.Duration(opt.Warmup) * time.Second,
 		Faults:          plan,
 	}
+	if opt.Mobility != "" {
+		cfg.Mobility = &mobility.Config{
+			Model:       opt.Mobility,
+			MaxSpeedMps: opt.Speed,
+			Pause:       opt.Pause,
+			Start:       cfg.TrafficStart,
+		}
+	}
 	if opt.NoFading {
 		cfg.Fading = propagation.NoFading{}
 	}
@@ -355,6 +376,14 @@ func printResult(res *experiments.RunResult, verbose bool) {
 	if res.Health != nil {
 		fmt.Printf("faults: %d outage episodes\n", res.Faulted)
 		for _, g := range res.Health {
+			fmt.Printf("  %v\n", g)
+		}
+	}
+	if res.Mobility != nil {
+		m := res.Mobility
+		fmt.Printf("mobility: model=%s max-speed=%.1fm/s moves=%d link breaks=%d (%.2f/s) forms=%d\n",
+			m.Model, m.MaxSpeedMps, m.Moves, m.LinkBreaks, m.BreakRatePerSec, m.LinkForms)
+		for _, g := range m.Groups {
 			fmt.Printf("  %v\n", g)
 		}
 	}

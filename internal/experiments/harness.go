@@ -96,7 +96,7 @@ func ScenarioKey(cfg ScenarioConfig) (string, bool) {
 		return "", false
 	}
 	w := hashWriter{sha256.New()}
-	w.str("meshcast/scenario/v2\n")
+	w.str("meshcast/scenario/v3\n")
 	w.str("proto=%s;", cfg.Protocol)
 	w.str("seed=%d;metric=%s;dur=%d;payload=%d;interval=%d;start=%d;win=%d;",
 		cfg.Seed, cfg.Metric, cfg.Duration, cfg.PayloadBytes, cfg.SendInterval,
@@ -152,6 +152,17 @@ func ScenarioKey(cfg ScenarioConfig) (string, bool) {
 			w.f64("att", lf.AttenuationDB)
 		}
 	}
+
+	w.str("\nmobility:")
+	if cfg.Mobility != nil {
+		c := cfg.Mobility
+		w.str("model=%s;pause=%d;tick=%d;start=%d;end=%d;groups=%d;corridors=%d;",
+			c.Model, c.Pause, c.Tick, c.Start, c.End, c.Groups, c.Corridors)
+		w.f64("min", c.MinSpeedMps)
+		w.f64("max", c.MaxSpeedMps)
+		w.f64("range", c.LinkRangeM)
+		w.f64("gradius", c.GroupRadiusM)
+	}
 	return hex.EncodeToString(w.h.Sum(nil)), true
 }
 
@@ -179,6 +190,7 @@ type cachedRunResult struct {
 	Events         uint64
 	Health         []stats.GroupHealth
 	Faulted        int
+	Mobility       *MobilityResult
 }
 
 func flattenEdges(m map[multicast.Edge]uint64) []edgeCount {
@@ -217,6 +229,7 @@ func encodeRunResult(r *RunResult) ([]byte, error) {
 		Events:         r.Events,
 		Health:         r.Health,
 		Faulted:        r.Faulted,
+		Mobility:       r.Mobility,
 	})
 }
 
@@ -238,6 +251,7 @@ func decodeRunResult(data []byte) (*RunResult, error) {
 		Events:         c.Events,
 		Health:         c.Health,
 		Faulted:        c.Faulted,
+		Mobility:       c.Mobility,
 	}, nil
 }
 

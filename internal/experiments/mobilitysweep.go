@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"meshcast/internal/metric"
+	"meshcast/internal/mobility"
+	"meshcast/internal/multicast"
+)
+
+// MobilityCell is one (protocol, max speed) point of a mobility sweep,
+// averaged over the sweep's seeds. Speed 0 is the static control: the same
+// scenario with the mover disabled, so motion metrics are zero and PDR is
+// the reference the moving tiers degrade from.
+type MobilityCell struct {
+	Protocol string
+	SpeedMps float64
+	// PDR is the whole-run mean delivery ratio; PDRStderr its standard
+	// error over seeds.
+	PDR, PDRStderr float64
+	// MotionPDR is the delivery ratio for packets sent while radios move
+	// (send-weighted across groups and seeds; 0 for the static tier).
+	MotionPDR float64
+	// RepairMeanMS / RepairMaxMS summarize route-repair latency: the time
+	// from a link-break tick to the affected group's next delivery.
+	RepairMeanMS, RepairMaxMS float64
+	// Reconvergences is the mean count of delivery-silence episodes (>1 s)
+	// following breaks per run; ReconvMeanMS their mean span.
+	Reconvergences float64
+	ReconvMeanMS   float64
+	// BreaksPerSec is the mean link-break rate over the motion window.
+	BreaksPerSec float64
+}
+
+// MobilitySweep is a protocols × speeds mobility-robustness comparison.
+type MobilitySweep struct {
+	Protocols []string
+	Speeds    []float64
+	Seeds     []uint64
+	Model     string
+	Metric    metric.Kind
+	// SourcesPerGroup records the effective senders per group (≥2: the
+	// single-source regime makes the protocols identical).
+	SourcesPerGroup int
+	// Cells is protocol-major, speed-minor: Cells[p*len(Speeds)+s].
+	Cells []MobilityCell
+}
+
+// Cell returns the (protocol, speed) aggregate, or nil.
+func (s *MobilitySweep) Cell(proto string, speed float64) *MobilityCell {
+	for i := range s.Cells {
+		if s.Cells[i].Protocol == proto && s.Cells[i].SpeedMps == speed {
+			return &s.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunMobilitySweep sweeps every requested protocol over increasing maximum
+// node speeds (waypoint model, motion starting with traffic) and aggregates
+// the robustness axes: overall and in-motion PDR, route-repair latency,
+// reconvergence episodes, and link-break rate. Speed 0 runs without a mover
+// as the static control. The sweep forces the multi-source regime
+// (§4.3) when the caller leaves SourcesPerGroup at 1: with a single source
+// ODMRP's reply mesh is provably the exact tree MCST builds from that
+// source as core, so a single-source protocol comparison would produce
+// identical rows even under motion. The (protocol, speed, seed) matrix
+// executes through the job harness configured by o; aggregation folds
+// results in job order, so the sweep is deterministic for any worker count.
+func RunMobilitySweep(o Options, protocols []string, speeds []float64) (*MobilitySweep, error) {
+	if o.SourcesPerGroup < 2 {
+		o.SourcesPerGroup = 3
+	}
+	if len(protocols) == 0 {
+		protocols = multicast.Names()
+	}
+	resolved := make([]string, 0, len(protocols))
+	seen := make(map[string]bool, len(protocols))
+	for _, p := range protocols {
+		name, err := multicast.Resolve(p)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[name] {
+			seen[name] = true
+			resolved = append(resolved, name)
+		}
+	}
+	if len(speeds) == 0 {
+		speeds = []float64{0, 1, 5, 10, 20}
+	}
+	k := metric.SPP
+
+	var jobs []ScenarioJob
+	for _, proto := range resolved {
+		for _, speed := range speeds {
+			for _, seed := range o.Seeds {
+				cfg, err := o.scenarioFor(k, seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Protocol = proto
+				if proto != multicast.Default {
+					cfg.ODMRP = nil
+				}
+				if speed > 0 {
+					cfg.Mobility = &mobility.Config{
+						Model:       mobility.ModelWaypoint,
+						MaxSpeedMps: speed,
+						Start:       cfg.TrafficStart,
+					}
+				}
+				jobs = append(jobs, ScenarioJob{
+					Label:  fmt.Sprintf("%s %.0f m/s seed %d", proto, speed, seed),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	results, err := o.runScenarioJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	sweep := &MobilitySweep{
+		Protocols: resolved, Speeds: speeds, Seeds: o.Seeds,
+		Model: mobility.ModelWaypoint, Metric: k,
+		SourcesPerGroup: o.SourcesPerGroup,
+	}
+	idx := 0
+	for _, proto := range resolved {
+		for _, speed := range speeds {
+			var pdrs []float64
+			var sentMotion, deliveredMotion float64
+			var repairSum, repairN, reconvSum float64
+			var reconvN, breakRateSum, maxRepair float64
+			for _, seed := range o.Seeds {
+				r := results[idx]
+				idx++
+				if r.Err != nil {
+					return nil, fmt.Errorf("%s %.0f m/s seed %d: %w", proto, speed, seed, r.Err)
+				}
+				res := r.Value
+				pdrs = append(pdrs, res.Summary.PDR)
+				if res.Mobility == nil {
+					continue
+				}
+				breakRateSum += res.Mobility.BreakRatePerSec
+				for _, g := range res.Mobility.Groups {
+					sentMotion += float64(g.SentInMotion)
+					deliveredMotion += g.MotionPDR * float64(g.SentInMotion)
+					repairSum += g.MeanRepair.Seconds() * float64(g.Repairs)
+					repairN += float64(g.Repairs)
+					if ms := g.MaxRepair.Seconds(); ms > maxRepair {
+						maxRepair = ms
+					}
+					reconvSum += g.MeanReconvergence.Seconds() * float64(g.Reconvergences)
+					reconvN += float64(g.Reconvergences)
+				}
+			}
+			n := float64(len(o.Seeds))
+			mean, stderr := meanStderr(pdrs)
+			cell := MobilityCell{
+				Protocol:       proto,
+				SpeedMps:       speed,
+				PDR:            mean,
+				PDRStderr:      stderr,
+				RepairMaxMS:    1000 * maxRepair,
+				Reconvergences: reconvN / n,
+				BreaksPerSec:   breakRateSum / n,
+			}
+			if sentMotion > 0 {
+				cell.MotionPDR = deliveredMotion / sentMotion
+			}
+			if repairN > 0 {
+				cell.RepairMeanMS = 1000 * repairSum / repairN
+			}
+			if reconvN > 0 {
+				cell.ReconvMeanMS = 1000 * reconvSum / reconvN
+			}
+			sweep.Cells = append(sweep.Cells, cell)
+		}
+	}
+	return sweep, nil
+}

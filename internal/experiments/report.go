@@ -280,6 +280,44 @@ func (r *Report) ProtocolSection(cmp *ProtocolComparison) {
 	r.Section("Protocol comparison — ODMRP mesh vs MCST shared tree", b.String())
 }
 
+// MobilitySection renders a protocols × speeds mobility sweep: delivery
+// under increasing node speed, route-repair latency, and reconvergence.
+func (r *Report) MobilitySection(sweep *MobilitySweep) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| protocol | max speed (m/s) | PDR | ± stderr | motion PDR | repair mean (ms) | repair max (ms) | reconv/run | breaks/s |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|\n")
+	for _, proto := range sweep.Protocols {
+		for _, speed := range sweep.Speeds {
+			c := sweep.Cell(proto, speed)
+			if c == nil {
+				continue
+			}
+			motion, repairMean, repairMax := "—", "—", "—"
+			if speed > 0 {
+				motion = fmt.Sprintf("%.3f", c.MotionPDR)
+				repairMean = fmt.Sprintf("%.1f", c.RepairMeanMS)
+				repairMax = fmt.Sprintf("%.1f", c.RepairMaxMS)
+			}
+			fmt.Fprintf(&b, "| %s | %.0f | %.3f | %.3f | %s | %s | %s | %.1f | %.2f |\n",
+				proto, speed, c.PDR, c.PDRStderr, motion, repairMean, repairMax,
+				c.Reconvergences, c.BreaksPerSec)
+		}
+	}
+	fmt.Fprintf(&b, "\nModel: %s (motion starts with traffic; metric %s; %d sources per\n"+
+		"group — single-source ODMRP and MCST are provably identical, motion or\n"+
+		"not; speed 0 is the static control). Repair latency is break-tick to\n"+
+		"the group's next delivery; a reconvergence is a >1 s delivery silence\n"+
+		"following breaks — the span the forwarding structure needed to\n"+
+		"re-form. Both protocols rebuild soft state every query round, so\n"+
+		"sub-second repairs dominate and neither collapses even at vehicular\n"+
+		"speeds; per-round rebuilds also let them exploit the densification\n"+
+		"waypoint motion causes (random waypoints concentrate nodes toward the\n"+
+		"area centre, shortening links), which can lift PDR above the static\n"+
+		"control. The repair-max column is where speed shows its teeth.\n",
+		sweep.Model, strings.ToUpper(sweep.Metric.String()), sweep.SourcesPerGroup)
+	r.Section("Mobility — delivery under motion (speed sweep)", b.String())
+}
+
 // FadingSection renders the fading ablation.
 func (r *Report) FadingSection(ab *FadingAblation) {
 	var b strings.Builder

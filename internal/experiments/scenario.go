@@ -17,6 +17,7 @@ import (
 	"meshcast/internal/linkquality"
 	"meshcast/internal/mac"
 	"meshcast/internal/metric"
+	"meshcast/internal/mobility"
 	"meshcast/internal/multicast"
 	"meshcast/internal/node"
 	"meshcast/internal/odmrp"
@@ -93,6 +94,12 @@ type ScenarioConfig struct {
 	// only, so every metric evaluated on the same seed faces the same
 	// failures.
 	Faults *faults.Plan
+	// Mobility, when non-nil, moves radios during the run under the given
+	// mobility model (see internal/mobility). The motion is drawn from the
+	// scenario Seed only, so every metric and protocol evaluated on the same
+	// seed faces the same trajectories. An End of zero is resolved to the
+	// scenario Duration.
+	Mobility *mobility.Config
 	// Telemetry, when non-nil, instruments the run with this recorder:
 	// every layer's counters register in the recorder's registry, the
 	// sampler streams snapshots to series.jsonl on the recorder's interval,
@@ -179,6 +186,25 @@ type RunResult struct {
 	Health []stats.GroupHealth
 	// Faulted reports how many distinct outage episodes the run injected.
 	Faulted int
+	// Mobility holds motion-robustness metrics; nil unless the scenario
+	// moves radios.
+	Mobility *MobilityResult
+}
+
+// MobilityResult aggregates a mobile run's robustness measurements: the
+// per-group trackers plus the mover's own counters.
+type MobilityResult struct {
+	// Groups holds per-group motion PDR, repair latency, and reconvergence
+	// summaries, sorted by group ID.
+	Groups []stats.GroupMobility
+	// Moves counts applied position changes; LinkBreaks and LinkForms count
+	// link-range neighbor-graph edges lost and gained across mover ticks.
+	Moves, LinkBreaks, LinkForms uint64
+	// BreakRatePerSec is LinkBreaks over the motion-window span.
+	BreakRatePerSec float64
+	// Model and MaxSpeedMps echo the effective mobility configuration.
+	Model       string
+	MaxSpeedMps float64
 }
 
 // faultTarget couples a node's crash lifecycle with its application flows:
@@ -322,7 +348,8 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	collector := stats.NewCollector()
 	var delays stats.DelayTracker
 	var flows []*traffic.CBR
-	var health *stats.HealthTracker // set below iff faults are injected
+	var health *stats.HealthTracker   // set below iff faults are injected
+	var motion *stats.MobilityTracker // set below iff radios move
 	flowsByNode := make(map[int][]*traffic.CBR)
 
 	for _, spec := range cfg.Groups {
@@ -342,6 +369,9 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				if health != nil {
 					health.RecordDelivered(p.Group, engine.Now())
 				}
+				if motion != nil {
+					motion.RecordDelivered(p.Group, engine.Now())
+				}
 			})
 		}
 		nMembers := len(spec.Members)
@@ -353,14 +383,16 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				Jitter:       cfg.SendInterval / 10,
 				Start:        cfg.TrafficStart,
 			})
-			// Health accounts delivery opportunities: one per (packet,
-			// member), matching the collector's PDR denominator.
+			// Health and motion trackers account delivery opportunities: one
+			// per (packet, member), matching the collector's PDR denominator.
 			cbr.OnSend = func(at time.Duration) {
-				if health == nil {
-					return
-				}
 				for i := 0; i < nMembers; i++ {
-					health.RecordSent(spec.Group, at)
+					if health != nil {
+						health.RecordSent(spec.Group, at)
+					}
+					if motion != nil {
+						motion.RecordSent(spec.Group, at)
+					}
 				}
 			}
 			cbr.Start()
@@ -398,6 +430,35 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 				return float64(s.ActiveFaults(engine.Now()))
 			})
 		}
+	}
+
+	var mover *mobility.Mover
+	if cfg.Mobility != nil {
+		mcfg := *cfg.Mobility
+		if mcfg.End == 0 {
+			mcfg.End = cfg.Duration
+		}
+		radios := make([]*phy.Radio, len(nodes))
+		for i, n := range nodes {
+			radios[i] = n.Radio
+		}
+		// The mobility RNG is derived from the seed alone, like the fault
+		// RNG: trajectories are identical for every metric and protocol
+		// evaluated on the same seed — the comparison the speed sweep needs.
+		var merr error
+		mover, merr = mobility.NewMover(engine, medium, radios, cfg.Topology.Area, sim.NewRNG(cfg.Seed^0x6d6f62696c697479), mcfg)
+		if merr != nil {
+			return nil, fmt.Errorf("experiments: %w", merr)
+		}
+		motion = stats.NewMobilityTracker(stats.Window{Start: mcfg.Start, End: mcfg.End})
+		mover.OnLinkEvent = func(breaks, forms int, now time.Duration) {
+			motion.RecordBreaks(breaks, now)
+			motion.RecordForms(forms, now)
+		}
+		if reg != nil {
+			mover.Telem = mobility.NewTelemetry(reg)
+		}
+		mover.Start()
 	}
 
 	// Snapshot probe bytes when traffic starts so that the reported probing
@@ -454,6 +515,17 @@ func RunScenario(cfg ScenarioConfig) (*RunResult, error) {
 	if health != nil {
 		res.Health = health.Health()
 		res.Faulted = sched.DownCount()
+	}
+	if mover != nil {
+		res.Mobility = &MobilityResult{
+			Groups:          motion.Mobility(),
+			Moves:           mover.Moves,
+			LinkBreaks:      mover.Breaks,
+			LinkForms:       mover.Forms,
+			BreakRatePerSec: motion.BreakRatePerSec(),
+			Model:           mover.Config().Model,
+			MaxSpeedMps:     mover.Config().MaxSpeedMps,
+		}
 	}
 	if cfg.Telemetry != nil {
 		// Hash the config as the cache would see it without sinks attached,

@@ -8,6 +8,7 @@ import (
 
 	"meshcast/internal/geom"
 	"meshcast/internal/metric"
+	"meshcast/internal/mobility"
 	"meshcast/internal/multicast"
 	"meshcast/internal/packet"
 	"meshcast/internal/propagation"
@@ -34,6 +35,13 @@ type Spec struct {
 	PayloadBytes       int     `json:"payloadBytes,omitempty"`
 	SendIntervalMillis int     `json:"sendIntervalMillis,omitempty"`
 	ProbeRateFactor    float64 `json:"probeRateFactor,omitempty"`
+
+	// Mobility enables radio motion under the named model ("waypoint",
+	// "rpgm", "corridor") at up to MaxSpeedMps, starting with traffic.
+	// Requires a topology with a declared area (randomNodes; explicit node
+	// lists carry no bounds for the models to stay inside).
+	Mobility    string  `json:"mobility,omitempty"`
+	MaxSpeedMps float64 `json:"maxSpeedMps,omitempty"`
 
 	// Nodes places routers explicitly.
 	Nodes []NodeSpec `json:"nodes,omitempty"`
@@ -162,6 +170,13 @@ func (s Spec) Scenario() (ScenarioConfig, error) {
 		cfg.Fading = propagation.Composite{propagation.LogNormal{SigmaDB: sigma}, propagation.Rayleigh{}}
 	default:
 		return ScenarioConfig{}, fmt.Errorf("spec: unknown fading %q (want rayleigh, none or shadowed-rayleigh)", s.Fading)
+	}
+	if s.Mobility != "" {
+		cfg.Mobility = &mobility.Config{
+			Model:       s.Mobility,
+			MaxSpeedMps: s.MaxSpeedMps,
+			Start:       cfg.TrafficStart,
+		}
 	}
 	for _, g := range s.Groups {
 		if g.Group <= 0 || g.Group > 0xffff {

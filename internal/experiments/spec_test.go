@@ -89,6 +89,31 @@ func TestSpecScenarioRandomNodes(t *testing.T) {
 	}
 }
 
+func TestSpecScenarioMobility(t *testing.T) {
+	s := validSpec()
+	s.Nodes = nil
+	s.RandomNodes = &RandomNodesSpec{Count: 10, SideM: 500}
+	s.Mobility = "waypoint"
+	s.MaxSpeedMps = 10
+	cfg, err := s.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mobility == nil || cfg.Mobility.Model != "waypoint" || cfg.Mobility.MaxSpeedMps != 10 {
+		t.Fatalf("mobility config = %+v", cfg.Mobility)
+	}
+	if cfg.Mobility.Start != cfg.TrafficStart {
+		t.Fatalf("motion starts at %v, want traffic start %v", cfg.Mobility.Start, cfg.TrafficStart)
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mobility == nil || res.Mobility.Moves == 0 {
+		t.Fatal("spec-built mobility scenario did not move radios")
+	}
+}
+
 func TestSpecScenarioFadingNone(t *testing.T) {
 	s := validSpec()
 	s.Fading = "none"

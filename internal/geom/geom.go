@@ -50,6 +50,16 @@ func (r Rect) Contains(p Point) bool {
 	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
 }
 
+// Clamp returns p with each coordinate limited to r's extent — the nearest
+// point of r when p lies outside it. Mobility models use it to keep moving
+// nodes inside the declared deployment area.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
 // Center returns the midpoint of r.
 func (r Rect) Center() Point {
 	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}

@@ -9,14 +9,14 @@ import (
 
 // The static link cache.
 //
-// Mesh nodes are static (Radio.Pos never changes after AttachRadio), so the
-// per-(tx, rx) geometry — distance, mean received power under the path-loss
-// model, and propagation delay — is invariant for the whole run. The seed
+// Radio positions change only at discrete MoveRadio calls, so the per-(tx,
+// rx) geometry — distance, mean received power under the path-loss model,
+// and propagation delay — is invariant between moves. The seed
 // implementation recomputed all of it for every receiver of every frame,
 // which dominated the transmit fan-out on the paper's 50-node topologies.
 // Instead, the medium lazily precomputes one candidate-receiver list per
 // transmitter the first time that transmitter is heard, and reuses it for
-// every subsequent frame.
+// every subsequent frame until an attach or a move invalidates it.
 //
 // Determinism contract: the cached fan-out must draw from the medium's RNG
 // in exactly the order the uncached loop does, so that fixed-seed runs are
@@ -31,9 +31,10 @@ import (
 // as the uncached path.
 //
 // The cache is invalidated by SetLinkFunc (the skip set changes shape) and,
-// incrementally, by AttachRadio: only transmitters within the interference
-// radius of the new radio can gain it as a candidate, so only their lists
-// are discarded (see invalidateLinksAround in grid.go).
+// incrementally, by AttachRadio and MoveRadio: only transmitters within the
+// interference radius of the new radio (for a move: of either endpoint) can
+// see their candidate set change, so only their lists are discarded (see
+// invalidateLinksAround and invalidateLinksMoved in grid.go).
 
 // link is one precomputed (tx, rx) entry: the receiver, its mean (pre-fading)
 // received power — zero and unused when a LinkFunc is active — and the
@@ -92,6 +93,24 @@ func (m *Medium) buildLinksBrute(src *Radio) []link {
 
 // invalidateLinks discards every cached candidate list.
 func (m *Medium) invalidateLinks() { m.links = nil }
+
+// LinksConsistent reports whether src's cached candidate list (built on
+// demand) matches a brute-force recomputation entry for entry. It exists so
+// integration tests outside this package — the mobility subsystem moves
+// radios mid-run — can assert the incremental invalidation never leaves a
+// stale list behind.
+func (m *Medium) LinksConsistent(src *Radio) bool {
+	got, want := m.linksFrom(src), m.buildLinksBrute(src)
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // SetLinkCache enables or disables the static link cache (enabled by
 // default; setting the MESHCAST_NO_LINK_CACHE environment variable disables

@@ -25,13 +25,15 @@ import (
 // block around it, and buildLinks probes ~9 cells instead of N radios.
 //
 // Determinism contract addendum (see cache.go): the merged cell probe must
-// reproduce the brute-force scan bit for bit. The probe therefore sorts the
-// gathered radios by attach index before applying the *same* mean-power
-// filter, so the resulting list has the same members in the same attach
-// order — same RNG draw sequence per frame, byte-identical output. The
-// property test TestCellIndexMatchesBruteForce compares the two builders
-// link by link on random topologies; the golden scenario is additionally
-// pinned with the index on, off, and with the whole cache off.
+// reproduce the brute-force scan bit for bit. Per-cell member lists are kept
+// sorted by attach index (appends preserve it, moves reinsert in order), so
+// the 3×3 probe is a 9-way merge by attach index — no per-probe sort — and
+// the resulting list has the same members in the same attach order as the
+// brute scan before applying the *same* mean-power filter: same RNG draw
+// sequence per frame, byte-identical output. The property test
+// TestCellIndexMatchesBruteForce compares the two builders link by link on
+// random topologies; the golden scenario is additionally pinned with the
+// index on, off, and with the whole cache off.
 //
 // The index assumes mean received power is nonincreasing in distance beyond
 // the interference radius — true for Friis and two-ray, the models this
@@ -49,9 +51,9 @@ import (
 // anchored at the origin (negative coordinates are fine).
 type cellKey struct{ x, y int32 }
 
-// cellIndex is the spatial bucket structure. Radios are appended in attach
-// order and never removed (positions are fixed and radios only power down,
-// never detach).
+// cellIndex is the spatial bucket structure. Radios never detach, but
+// MoveRadio rebuckets them; within every cell the member list stays sorted
+// by attach index (buildLinksIndexed merges cells on that invariant).
 type cellIndex struct {
 	size  float64 // cell side in metres, ≥ the interference radius
 	cells map[cellKey][]*Radio
@@ -68,10 +70,37 @@ func (ci *cellIndex) keyFor(p geom.Point) cellKey {
 	}
 }
 
-// add buckets r into its cell. Within a cell, radios stay in attach order.
+// add buckets r into its cell. Radios are attached with increasing indexes,
+// so appending preserves the sorted-by-attach-index invariant.
 func (ci *cellIndex) add(r *Radio) {
 	k := ci.keyFor(r.Pos)
 	ci.cells[k] = append(ci.cells[k], r)
+}
+
+// move rebuckets r from the cell of its current position to the cell of
+// `to`, preserving attach-index order in both cells: removal shifts the old
+// cell down, insertion binary-searches the new cell for r's slot. Must be
+// called before r.Pos is updated (the old cell is derived from it).
+func (ci *cellIndex) move(r *Radio, to geom.Point) {
+	from, dst := ci.keyFor(r.Pos), ci.keyFor(to)
+	if from == dst {
+		return
+	}
+	cell := ci.cells[from]
+	i := sort.Search(len(cell), func(i int) bool { return cell[i].index >= r.index })
+	copy(cell[i:], cell[i+1:])
+	cell[len(cell)-1] = nil
+	if len(cell) == 1 {
+		delete(ci.cells, from) // keep the map from accumulating empty cells
+	} else {
+		ci.cells[from] = cell[:len(cell)-1]
+	}
+	nc := ci.cells[dst]
+	j := sort.Search(len(nc), func(i int) bool { return nc[i].index >= r.index })
+	nc = append(nc, nil)
+	copy(nc[j+1:], nc[j:])
+	nc[j] = r
+	ci.cells[dst] = nc
 }
 
 // neighborhood appends every radio in the 3×3 cell block around p to dst and
@@ -116,13 +145,44 @@ func interferenceRadius(pl propagation.PathLoss, txPowerW, floor float64) float6
 	return hi
 }
 
+// gather appends the 3×3 cell block around p to dst in attach-index order by
+// merging the per-cell lists (each already sorted by attach index — see
+// cellIndex). A 9-way merge costs O(9·k) comparisons for k candidates,
+// replacing the O(k log k) per-probe sort the first version of the index
+// paid on every invalidated transmitter.
+func (ci *cellIndex) gather(p geom.Point, dst []*Radio) []*Radio {
+	k := ci.keyFor(p)
+	var heads [9][]*Radio
+	n := 0
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if cell := ci.cells[cellKey{x: k.x + dx, y: k.y + dy}]; len(cell) > 0 {
+				heads[n] = cell
+				n++
+			}
+		}
+	}
+	for {
+		best := -1
+		for i := 0; i < n; i++ {
+			if len(heads[i]) > 0 && (best < 0 || heads[i][0].index < heads[best][0].index) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, heads[best][0])
+		heads[best] = heads[best][1:]
+	}
+}
+
 // buildLinksIndexed assembles src's candidate list from the 3×3 cell probe.
 // It must produce exactly buildLinksBrute's output (see the determinism
 // contract above); callers guarantee the physics models are active and the
 // index is enabled.
 func (m *Medium) buildLinksIndexed(src *Radio) []link {
-	cand := m.grid.neighborhood(src.Pos, m.scratch[:0])
-	sort.Slice(cand, func(i, j int) bool { return cand[i].index < cand[j].index })
+	cand := m.grid.gather(src.Pos, m.scratch[:0])
 	ls := make([]link, 0, len(cand))
 	for _, rx := range cand {
 		if rx == src {
@@ -159,6 +219,32 @@ func (m *Medium) invalidateLinksAround(r *Radio) {
 		if other != r {
 			m.links[other.index] = nil
 		}
+	}
+	m.scratch = near[:0]
+}
+
+// invalidateLinksMoved discards the candidate lists a completed move of r
+// (from old to r.Pos) can have changed: r's own list (every distance in it
+// shifted) and the lists of all transmitters in the 3×3 neighborhoods of
+// both endpoints — anyone outside both blocks was beyond the interference
+// radius of r before the move and still is, so their lists are untouched.
+// Falls back to full invalidation when the affected set cannot be bounded
+// (no index, index disabled, or a LinkFunc oracle: oracle lists contain
+// every radio but bake in distance-derived propagation delays, so membership
+// bounds don't help).
+func (m *Medium) invalidateLinksMoved(r *Radio, old geom.Point) {
+	if m.links == nil {
+		return
+	}
+	if m.grid == nil || m.gridOff || m.linkFunc != nil {
+		m.invalidateLinks()
+		return
+	}
+	m.links[r.index] = nil
+	near := m.grid.neighborhood(old, m.scratch[:0])
+	near = m.grid.neighborhood(r.Pos, near)
+	for _, other := range near {
+		m.links[other.index] = nil
 	}
 	m.scratch = near[:0]
 }

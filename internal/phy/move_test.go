@@ -1,0 +1,253 @@
+package phy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"meshcast/internal/geom"
+	"meshcast/internal/packet"
+	"meshcast/internal/propagation"
+	"meshcast/internal/sim"
+)
+
+// TestMoveRadioIncrementalMatchesFullInvalidation is the MoveRadio property
+// test: after every move, every transmitter's cached candidate list — built
+// lazily under incremental invalidation — must equal the brute-force rebuild
+// a full invalidation would produce, entry for entry.
+func TestMoveRadioIncrementalMatchesFullInvalidation(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 10; trial++ {
+		side := 600 + rng.Float64()*9000
+		n := 15 + rng.Intn(60)
+		engine := sim.NewEngine(uint64(trial))
+		medium := NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, DefaultParams())
+		for i := 0; i < n; i++ {
+			medium.AttachRadio(packet.NodeID(i), geom.Point{
+				X: rng.Float64()*side - side/2,
+				Y: rng.Float64() * side,
+			})
+		}
+		// Build every list so stale survivors would be caught.
+		for _, src := range medium.radios {
+			medium.linksFrom(src)
+		}
+		for move := 0; move < 30; move++ {
+			r := medium.radios[rng.Intn(n)]
+			medium.MoveRadio(r, geom.Point{
+				X: rng.Float64()*side - side/2,
+				Y: rng.Float64() * side,
+			})
+			for _, src := range medium.radios {
+				sameLinks(t, medium.linksFrom(src), medium.buildLinksBrute(src), "after move")
+			}
+		}
+	}
+}
+
+// TestMoveRadioLeavesFarListsWarm pins the incremental part: a move between
+// two spots far from an established transmitter must not discard that
+// transmitter's list, while lists around either endpoint are dropped.
+func TestMoveRadioLeavesFarListsWarm(t *testing.T) {
+	engine := sim.NewEngine(5)
+	medium := NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, DefaultParams())
+	cell := medium.grid.size
+	nearOld := medium.AttachRadio(0, geom.Point{X: 0})
+	nearNew := medium.AttachRadio(1, geom.Point{X: 6 * cell})
+	far := medium.AttachRadio(2, geom.Point{X: 12 * cell})
+	mover := medium.AttachRadio(3, geom.Point{X: 100})
+	for _, r := range medium.radios {
+		medium.linksFrom(r)
+	}
+	medium.MoveRadio(mover, geom.Point{X: 6*cell + 100})
+	if medium.links[nearOld.index] != nil {
+		t.Fatal("list near the old position survived the move")
+	}
+	if medium.links[nearNew.index] != nil {
+		t.Fatal("list near the new position survived the move")
+	}
+	if medium.links[mover.index] != nil {
+		t.Fatal("the moved radio's own list survived the move")
+	}
+	if medium.links[far.index] == nil {
+		t.Fatal("a list far from both endpoints was discarded (invalidation not incremental)")
+	}
+}
+
+// TestMoveRadioCellInvariants: after arbitrary moves every per-cell member
+// list must still be sorted by attach index (the merge in gather depends on
+// it) and hold each radio exactly once, in the cell of its current position.
+func TestMoveRadioCellInvariants(t *testing.T) {
+	rng := sim.NewRNG(42)
+	engine := sim.NewEngine(9)
+	medium := NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, DefaultParams())
+	for i := 0; i < 50; i++ {
+		medium.AttachRadio(packet.NodeID(i), geom.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000})
+	}
+	for move := 0; move < 400; move++ {
+		r := medium.radios[rng.Intn(50)]
+		medium.MoveRadio(r, geom.Point{X: rng.Float64()*8000 - 2000, Y: rng.Float64()*8000 - 2000})
+	}
+	seen := make(map[*Radio]cellKey)
+	for key, cell := range medium.grid.cells {
+		if len(cell) == 0 {
+			t.Fatalf("cell %v left empty but not deleted", key)
+		}
+		for i, r := range cell {
+			if i > 0 && cell[i-1].index >= r.index {
+				t.Fatalf("cell %v not sorted by attach index", key)
+			}
+			if prev, dup := seen[r]; dup {
+				t.Fatalf("radio %d bucketed in both %v and %v", r.ID, prev, key)
+			}
+			seen[r] = key
+			if got := medium.grid.keyFor(r.Pos); got != key {
+				t.Fatalf("radio %d at %v bucketed in %v, want %v", r.ID, r.Pos, key, got)
+			}
+		}
+	}
+	if len(seen) != len(medium.radios) {
+		t.Fatalf("%d radios bucketed, want %d", len(seen), len(medium.radios))
+	}
+}
+
+// TestMoveRadioDeliveryFollowsPosition is the end-to-end check: a receiver
+// that walks out of range stops hearing the transmitter, and hears it again
+// after walking back.
+func TestMoveRadioDeliveryFollowsPosition(t *testing.T) {
+	engine := sim.NewEngine(13)
+	medium := NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, DefaultParams())
+	tx := medium.AttachRadio(0, geom.Point{})
+	rx := medium.AttachRadio(1, geom.Point{X: 150})
+	delivered := 0
+	rx.ReceiveFrame = func(*packet.Frame) { delivered++ }
+	send := func() { engine.Schedule(0, func() { tx.Transmit(dataFrame(0, 64)) }); engine.RunAll() }
+	send()
+	if delivered != 1 {
+		t.Fatalf("in range: delivered = %d, want 1", delivered)
+	}
+	medium.MoveRadio(rx, geom.Point{X: 5000})
+	send()
+	if delivered != 1 {
+		t.Fatalf("out of range: delivered = %d, want still 1", delivered)
+	}
+	medium.MoveRadio(rx, geom.Point{X: 120})
+	send()
+	if delivered != 2 {
+		t.Fatalf("back in range: delivered = %d, want 2", delivered)
+	}
+}
+
+// TestMoveRadioStormByteIdentical replays a dense storm with deterministic
+// mid-run moves three ways — incremental invalidation, full invalidation
+// after every move, and the cache off entirely — and requires the same
+// delivery trace from all three.
+func TestMoveRadioStormByteIdentical(t *testing.T) {
+	run := func(mode string) string {
+		engine := sim.NewEngine(99)
+		medium := NewMedium(engine, propagation.NewTwoRay(), propagation.Rayleigh{}, DefaultParams())
+		if mode == "uncached" {
+			medium.SetLinkCache(false)
+		}
+		var radios []*Radio
+		var log strings.Builder
+		for i := 0; i < 12; i++ {
+			r := medium.AttachRadio(packet.NodeID(i), geom.Point{X: float64(i%4) * 700, Y: float64(i/4) * 700})
+			r.ReceiveFrame = func(f *packet.Frame) {
+				fmt.Fprintf(&log, "%d<-%d@%v\n", r.ID, f.Src, engine.Now())
+			}
+			radios = append(radios, r)
+		}
+		for i := 0; i < 300; i++ {
+			r := radios[i%len(radios)]
+			engine.At(time.Duration(i)*1100*time.Microsecond, func() { r.Transmit(dataFrame(r.ID, 256)) })
+			if i%7 == 0 {
+				// Deterministic walk: positions derived from the step index
+				// only, identical across all three modes.
+				m := radios[(i/7)%len(radios)]
+				pos := geom.Point{X: float64((i*37)%2800) - 400, Y: float64((i * 53) % 2800)}
+				engine.At(time.Duration(i)*1100*time.Microsecond+50*time.Microsecond, func() {
+					medium.MoveRadio(m, pos)
+					if mode == "full" {
+						medium.invalidateLinks()
+					}
+				})
+			}
+		}
+		engine.RunAll()
+		for _, r := range radios {
+			fmt.Fprintf(&log, "radio %d: %+v\n", r.ID, r.Stats)
+		}
+		fmt.Fprintf(&log, "events=%d now=%v\n", engine.Processed, engine.Now())
+		return log.String()
+	}
+	incremental := run("incremental")
+	if full := run("full"); incremental != full {
+		t.Fatalf("incremental and full invalidation diverged:\nincremental:\n%s\nfull:\n%s", incremental, full)
+	}
+	if uncached := run("uncached"); incremental != uncached {
+		t.Fatalf("incremental and uncached diverged:\nincremental:\n%s\nuncached:\n%s", incremental, uncached)
+	}
+	if !strings.Contains(incremental, "<-") {
+		t.Fatal("storm delivered nothing; the comparison is vacuous")
+	}
+}
+
+// TestMoveRadioUnderLinkFunc: with an oracle active the affected set cannot
+// be bounded, so a move must fall back to full invalidation (propagation
+// delays baked into the lists are distance-derived even under an oracle).
+func TestMoveRadioUnderLinkFunc(t *testing.T) {
+	engine := sim.NewEngine(21)
+	medium := NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, DefaultParams())
+	a := medium.AttachRadio(0, geom.Point{})
+	b := medium.AttachRadio(1, geom.Point{X: 100})
+	medium.SetLinkFunc(func(tx, rx packet.NodeID, _ time.Duration, _ *sim.RNG) float64 {
+		return medium.params.TxPowerW // everything decodes
+	})
+	medium.linksFrom(a)
+	medium.linksFrom(b)
+	medium.MoveRadio(b, geom.Point{X: 90000})
+	if medium.links != nil {
+		t.Fatal("move under a LinkFunc oracle must invalidate the whole cache")
+	}
+	ls := medium.linksFrom(a)
+	if len(ls) != 1 || ls[0].propDelay != propagation.Delay(a.Pos.Distance(b.Pos)) {
+		t.Fatal("rebuilt oracle list does not reflect the new distance")
+	}
+}
+
+// TestTransmitAllocs pins the allocation budget of the fan-out hot path:
+// zero allocations per transmit on the cached path (pooled arrivals, pooled
+// events), and at most one per receiver — the deliberately unpooled arrival —
+// on the uncached reference path.
+func TestTransmitAllocs(t *testing.T) {
+	build := func(cached bool) (*sim.Engine, *Radio, int) {
+		engine := sim.NewEngine(31)
+		medium := NewMedium(engine, propagation.NewTwoRay(), propagation.NoFading{}, DefaultParams())
+		medium.SetLinkCache(cached)
+		for i := 0; i < 6; i++ {
+			medium.AttachRadio(packet.NodeID(i), geom.Point{X: float64(i) * 120})
+		}
+		return engine, medium.radios[0], len(medium.radios)
+	}
+
+	engine, tx, _ := build(true)
+	frame := dataFrame(0, 256)
+	cached := testing.AllocsPerRun(50, func() {
+		tx.Transmit(frame)
+		engine.RunAll()
+	})
+	if cached != 0 {
+		t.Fatalf("cached fan-out allocates %.1f per transmit, want 0", cached)
+	}
+
+	engine, tx, n := build(false)
+	uncached := testing.AllocsPerRun(50, func() {
+		tx.Transmit(frame)
+		engine.RunAll()
+	})
+	if max := float64(n - 1); uncached > max {
+		t.Fatalf("uncached fan-out allocates %.1f per transmit, want <= %.0f (one unpooled arrival per receiver)", uncached, max)
+	}
+}

@@ -9,9 +9,10 @@
 // if a sufficiently strong overlapping arrival appears (no capture) or if the
 // receiver itself transmits (half duplex).
 //
-// Because node positions are static, the fan-out runs off a precomputed
-// per-transmitter link cache (distance, mean power, propagation delay — see
-// cache.go and docs/PERFORMANCE.md); the cached and uncached paths are
+// Node positions change only through Medium.MoveRadio (mobility models), so
+// the fan-out runs off a precomputed per-transmitter link cache (distance,
+// mean power, propagation delay — see cache.go and docs/PERFORMANCE.md) that
+// a move invalidates incrementally; the cached and uncached paths are
 // byte-identical by construction.
 package phy
 
@@ -184,8 +185,8 @@ func NewMedium(engine *sim.Engine, pathLoss propagation.PathLoss, fading propaga
 func (m *Medium) Params() Params { return m.params }
 
 // AttachRadio creates a radio for node id at position pos and registers it.
-// Positions are fixed for the radio's lifetime (mesh nodes are static); the
-// static link cache depends on it.
+// Positions change only through MoveRadio (never by writing Radio.Pos
+// directly); the link cache and cell index depend on it.
 func (m *Medium) AttachRadio(id packet.NodeID, pos geom.Point) *Radio {
 	r := &Radio{
 		ID:     id,
@@ -204,6 +205,32 @@ func (m *Medium) AttachRadio(id packet.NodeID, pos geom.Point) *Radio {
 // Radios returns the attached radios (shared slice; callers must not
 // modify).
 func (m *Medium) Radios() []*Radio { return m.radios }
+
+// MoveRadio relocates r to pos, rebucketing it in the spatial cell index and
+// invalidating exactly the candidate lists the move can change: r's own list
+// plus every transmitter in the 3×3 cell neighborhoods of both the old and
+// the new position (anyone farther away could not hear r before the move and
+// cannot after it). The incremental invalidation is byte-identical to
+// discarding the whole cache — the property test in grid_test.go pins it —
+// but leaves distant transmitters' lists warm, which is what keeps
+// city-scale runs fast while nodes move.
+//
+// A move affects future transmissions only: frames already in flight carry
+// the power and propagation delay computed when they were put on the air
+// (no Doppler, no mid-flight re-routing), matching how the uncached fan-out
+// behaves.
+func (m *Medium) MoveRadio(r *Radio, pos geom.Point) {
+	if r.Pos == pos {
+		return
+	}
+	old := r.Pos
+	if m.grid != nil {
+		m.grid.move(r, pos)
+	}
+	r.Pos = pos
+	m.Telem.RadioMoves.Inc()
+	m.invalidateLinksMoved(r, old)
+}
 
 // MeanPower returns the mean (pre-fading) received power at distance d.
 func (m *Medium) MeanPower(d float64) float64 {
@@ -273,8 +300,8 @@ func (m *Medium) transmit(src *Radio, frame *packet.Frame, airtime time.Duration
 			continue
 		}
 		a := m.newArrival(l.rx, frame, power)
-		m.engine.ScheduleArg(l.propDelay, beginArrivalThunk, a)
-		m.engine.ScheduleArg(l.propDelay+airtime, endArrivalThunk, a)
+		m.engine.ScheduleArgPooled(l.propDelay, beginArrivalThunk, a)
+		m.engine.ScheduleArgPooled(l.propDelay+airtime, endArrivalThunk, a)
 	}
 }
 
@@ -314,10 +341,13 @@ func (m *Medium) transmitUncached(src *Radio, frame *packet.Frame, airtime time.
 			continue
 		}
 		propDelay := propagation.Delay(src.Pos.Distance(rx.Pos))
-		rx := rx
+		// The arrival itself is deliberately not pooled here (see freeArrival),
+		// but the two events per receiver go through the engine's event pool —
+		// the same static thunks as the cached path, so event times and
+		// ordering are identical by construction.
 		a := &arrival{rx: rx, frame: frame, power: power}
-		m.engine.Schedule(propDelay, func() { rx.beginArrival(a) })
-		m.engine.Schedule(propDelay+airtime, func() { rx.endArrival(a) })
+		m.engine.ScheduleArgPooled(propDelay, beginArrivalThunk, a)
+		m.engine.ScheduleArgPooled(propDelay+airtime, endArrivalThunk, a)
 	}
 }
 
@@ -348,7 +378,9 @@ type RadioStats struct {
 type Radio struct {
 	// ID is the owning node.
 	ID packet.NodeID
-	// Pos is the radio's fixed position (mesh nodes are static).
+	// Pos is the radio's current position. Read-only for callers: moves must
+	// go through Medium.MoveRadio so the cell index and link cache track the
+	// change.
 	Pos geom.Point
 
 	// ReceiveFrame is invoked for every successfully decoded frame. Set by
@@ -433,7 +465,7 @@ func (r *Radio) Transmit(f *packet.Frame) time.Duration {
 	// Re-derive carrier sense when this frame leaves the air; with an
 	// earlier overlapping transmission still out, CarrierBusy stays true
 	// (txUntil covers it) and the notification is a no-op.
-	r.medium.engine.ScheduleArg(airtime, txEndThunk, r)
+	r.medium.engine.ScheduleArgPooled(airtime, txEndThunk, r)
 	r.notifyBusy(true)
 	return airtime
 }

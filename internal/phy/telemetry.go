@@ -22,6 +22,8 @@ type Telemetry struct {
 	// regardless of power state (those count as BelowThreshold when the
 	// radio is up).
 	RadioDownDrops *telemetry.Counter
+	// RadioMoves counts MoveRadio calls (mobility models driving positions).
+	RadioMoves *telemetry.Counter
 }
 
 // NewTelemetry returns PHY instruments registered under the "phy." prefix.
@@ -35,5 +37,6 @@ func NewTelemetry(reg *telemetry.Registry) Telemetry {
 		BelowThreshold:  reg.Counter("phy.below_threshold"),
 		HalfDuplexLoss:  reg.Counter("phy.half_duplex_loss"),
 		RadioDownDrops:  reg.Counter("phy.radio_down_drops"),
+		RadioMoves:      reg.Counter("phy.radio_moves"),
 	}
 }

@@ -27,6 +27,10 @@ type Event struct {
 	engine  *Engine
 	index   int // heap index; -1 once popped or canceled
 	stopped bool
+	// pooled marks events created by ScheduleArgPooled: the engine owns the
+	// Event and recycles it after the callback returns. Pooled events are
+	// never handed to callers, so they can never be Stopped.
+	pooled bool
 }
 
 // call invokes the event's callback in whichever form it was scheduled.
@@ -98,6 +102,10 @@ type Engine struct {
 	queue  eventQueue
 	halted bool
 	rng    *RNG
+	// free recycles fired ScheduleArgPooled events. The pool only holds as
+	// many events as were ever simultaneously pending, so steady-state
+	// scheduling through ScheduleArgPooled allocates nothing.
+	free []*Event
 
 	// Processed counts events executed so far; useful for progress reporting
 	// and performance benchmarks.
@@ -155,6 +163,38 @@ func (e *Engine) ScheduleArg(d time.Duration, fn func(any), arg any) *Event {
 	return ev
 }
 
+// ScheduleArgPooled is ScheduleArg for fire-and-forget events: the engine
+// keeps ownership of the Event and recycles it after the callback returns,
+// so steady-state scheduling through this form allocates nothing. Because
+// the Event is reused, it is not returned — an event that must be cancelable
+// (Stop) has to go through Schedule/ScheduleArg instead, where the caller
+// holds the only reference. The PHY fan-out schedules its begin/end arrival
+// and transmit-end events through this form.
+func (e *Engine) ScheduleArgPooled(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: e.now + d, seq: e.seq, argFn: fn, arg: arg, engine: e, pooled: true}
+	} else {
+		ev = &Event{at: e.now + d, seq: e.seq, argFn: fn, arg: arg, engine: e, pooled: true}
+	}
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// recycle returns a fired pooled event to the free list. Called by the run
+// loops after the callback returns; by then nothing references the event
+// (pooled events are never handed out), so it is safe to reuse.
+func (e *Engine) recycle(ev *Event) {
+	ev.arg, ev.argFn = nil, nil
+	e.free = append(e.free, ev)
+}
+
 // Run executes events until the queue empties or the clock passes until.
 // It returns the virtual time at which it stopped. The clock only advances
 // to until when the loop drained: after a Halt it stays at the last executed
@@ -170,6 +210,9 @@ func (e *Engine) Run(until time.Duration) time.Duration {
 		e.now = next.at
 		e.Processed++
 		next.call()
+		if next.pooled {
+			e.recycle(next)
+		}
 	}
 	if !e.halted && e.now < until {
 		e.now = until
@@ -185,6 +228,9 @@ func (e *Engine) RunAll() time.Duration {
 		e.now = next.at
 		e.Processed++
 		next.call()
+		if next.pooled {
+			e.recycle(next)
+		}
 	}
 	return e.now
 }

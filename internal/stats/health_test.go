@@ -99,6 +99,59 @@ func TestHealthGroupsAreIndependent(t *testing.T) {
 	}
 }
 
+// TestHealthOverlappingOutages: two faults whose windows overlap arrive as
+// two onsets but ONE merged window (faults.Scheduler merges them). Each
+// onset gets its own repair latency, PDR bucketing sees one window, and the
+// delivery gap they cause is charged to availability exactly once.
+func TestHealthOverlappingOutages(t *testing.T) {
+	onsets := []time.Duration{sec(10), sec(11)}
+	h := NewHealthTracker(onsets, []Window{{Start: sec(10), End: sec(20)}})
+
+	h.RecordDelivered(1, sec(5))
+	h.RecordSent(1, sec(12)) // inside the merged window: bucketed once
+	h.RecordDelivered(1, sec(15))
+
+	g := h.Health()[0]
+	if len(g.RepairLatencies) != 2 {
+		t.Fatalf("repairs = %v, want one per onset", g.RepairLatencies)
+	}
+	if g.RepairLatencies[0] != sec(5) || g.RepairLatencies[1] != sec(4) {
+		t.Fatalf("repairs = %v, want [5s 4s]", g.RepairLatencies)
+	}
+	if g.SentInWindows != 1 || g.SentOutside != 0 {
+		t.Fatalf("send buckets = %d/%d, want 1/0", g.SentInWindows, g.SentOutside)
+	}
+	// Span 5..15s; a single 10s gap exceeds the threshold by 9s. Two
+	// overlapping outages must not charge it twice: 1 - 9/10 = 0.1.
+	if want := 0.1; g.Availability < want-1e-9 || g.Availability > want+1e-9 {
+		t.Fatalf("availability = %v, want %v (gap double-counted?)", g.Availability, want)
+	}
+}
+
+// TestHealthBackToBackOutageWindows: outages that touch without overlapping
+// stay separate windows; a send in each window buckets as in-window, and the
+// repair of the second outage is measured from its own onset.
+func TestHealthBackToBackOutageWindows(t *testing.T) {
+	onsets := []time.Duration{sec(10), sec(12)}
+	h := NewHealthTracker(onsets, []Window{
+		{Start: sec(10), End: sec(12)},
+		{Start: sec(12), End: sec(14)},
+	})
+	h.RecordDelivered(1, sec(9))
+	h.RecordSent(1, sec(11))
+	h.RecordSent(1, sec(13))
+	h.RecordSent(1, sec(15))
+	h.RecordDelivered(1, sec(13.5))
+
+	g := h.Health()[0]
+	if g.SentInWindows != 2 || g.SentOutside != 1 {
+		t.Fatalf("send buckets = %d/%d, want 2/1", g.SentInWindows, g.SentOutside)
+	}
+	if len(g.RepairLatencies) != 2 || g.RepairLatencies[0] != sec(3.5) || g.RepairLatencies[1] != sec(1.5) {
+		t.Fatalf("repairs = %v, want [3.5s 1.5s]", g.RepairLatencies)
+	}
+}
+
 func TestHealthNoFaultsNoRepairs(t *testing.T) {
 	h := NewHealthTracker(nil, nil)
 	h.RecordSent(1, sec(1))

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"meshcast/internal/packet"
+)
+
+// MobilityTracker measures delivery robustness while radios move: per-group
+// PDR inside the motion window vs the static phases, route-repair latency
+// after link breaks (time from a break tick to the group's next delivery),
+// and tree-reconvergence time (for delivery-silence episodes that follow
+// breaks, the time from the first unanswered break to the delivery that ends
+// the silence — the span the forwarding structure needed to re-form).
+//
+// Availability is deliberately NOT computed here: HealthTracker owns the
+// availability metric, and a run with both faults and mobility active must
+// not count the same delivery gap twice (see the no-double-count test in
+// health_test.go). The two trackers share the send/delivery feed and split
+// the robustness axes: faults → availability and outage PDR; mobility →
+// break-driven repair and reconvergence and motion PDR.
+//
+// Like HealthTracker, accounting is per group, and calls must be in
+// nondecreasing time order per group.
+type MobilityTracker struct {
+	// GapThreshold is the delivery silence after a break that counts as a
+	// reconvergence episode rather than ordinary inter-packet spacing.
+	// Default 1s, matching HealthTracker.
+	GapThreshold time.Duration
+
+	motion Window
+	groups map[packet.GroupID]*groupMotion
+
+	// LinkBreaks / LinkForms accumulate the mover's neighbor-graph diff;
+	// Moves counts applied position changes. Fed by Record* below.
+	LinkBreaks, LinkForms, Moves uint64
+}
+
+type groupMotion struct {
+	sentIn, sentOut           uint64 // sends inside / outside the motion window
+	deliveredIn, deliveredOut uint64
+
+	lastDelivery time.Duration
+	anyDelivery  bool
+
+	// pendingBreaks are break ticks not yet answered by a delivery; the next
+	// delivery closes them all (repair latency = delivery − break time). At
+	// most one pending entry is added per tick: a tick that breaks ten links
+	// is one repair episode, not ten.
+	pendingBreaks []time.Duration
+	repairs       []time.Duration
+	reconv        []time.Duration
+}
+
+// NewMobilityTracker builds a tracker for a motion window (the [Start, End)
+// span during which the mover changes positions).
+func NewMobilityTracker(motion Window) *MobilityTracker {
+	return &MobilityTracker{
+		GapThreshold: time.Second,
+		motion:       motion,
+		groups:       make(map[packet.GroupID]*groupMotion),
+	}
+}
+
+func (m *MobilityTracker) group(g packet.GroupID) *groupMotion {
+	gm, ok := m.groups[g]
+	if !ok {
+		gm = &groupMotion{}
+		m.groups[g] = gm
+	}
+	return gm
+}
+
+// RecordBreaks notes that n link-range edges broke at time now (one mover
+// tick). Every known group gains at most one pending repair onset for the
+// tick; groups first seen later are unaffected by earlier breaks.
+func (m *MobilityTracker) RecordBreaks(n int, now time.Duration) {
+	if n <= 0 {
+		return
+	}
+	m.LinkBreaks += uint64(n)
+	for _, gm := range m.groups {
+		if k := len(gm.pendingBreaks); k == 0 || gm.pendingBreaks[k-1] < now {
+			gm.pendingBreaks = append(gm.pendingBreaks, now)
+		}
+	}
+}
+
+// RecordForms notes n new link-range edges at time now.
+func (m *MobilityTracker) RecordForms(n int, now time.Duration) {
+	if n > 0 {
+		m.LinkForms += uint64(n)
+	}
+}
+
+// RecordSent notes one multicast data send to group at time now.
+func (m *MobilityTracker) RecordSent(group packet.GroupID, now time.Duration) {
+	gm := m.group(group)
+	if m.motion.Contains(now) {
+		gm.sentIn++
+	} else {
+		gm.sentOut++
+	}
+}
+
+// RecordDelivered notes that some member of group received a data packet at
+// time now, closing any pending break onsets (the routes repaired) and —
+// when the delivery ends a silence longer than GapThreshold that followed a
+// break — recording a reconvergence episode.
+func (m *MobilityTracker) RecordDelivered(group packet.GroupID, now time.Duration) {
+	gm := m.group(group)
+	if m.motion.Contains(now) {
+		gm.deliveredIn++
+	} else {
+		gm.deliveredOut++
+	}
+	if len(gm.pendingBreaks) > 0 {
+		if gm.anyDelivery && now-gm.lastDelivery > m.GapThreshold {
+			if span := now - gm.pendingBreaks[0]; span > 0 {
+				gm.reconv = append(gm.reconv, span)
+			}
+		}
+		for _, brk := range gm.pendingBreaks {
+			if now >= brk {
+				gm.repairs = append(gm.repairs, now-brk)
+			}
+		}
+		gm.pendingBreaks = gm.pendingBreaks[:0]
+	}
+	gm.anyDelivery = true
+	gm.lastDelivery = now
+}
+
+// GroupMobility is one group's motion-robustness summary.
+type GroupMobility struct {
+	Group packet.GroupID
+	// MotionPDR / StaticPDR are delivery ratios for packets sent inside and
+	// outside the motion window.
+	MotionPDR, StaticPDR float64
+	// SentInMotion / SentStatic are the corresponding denominators.
+	SentInMotion, SentStatic uint64
+	// Repairs counts break ticks answered by a later delivery; MeanRepair
+	// and MaxRepair summarize the latencies (0 when none).
+	Repairs               int
+	MeanRepair, MaxRepair time.Duration
+	// Reconvergences counts delivery-silence episodes (> GapThreshold) that
+	// followed link breaks; MeanReconvergence and MaxReconvergence measure
+	// first-break-to-recovery spans.
+	Reconvergences                      int
+	MeanReconvergence, MaxReconvergence time.Duration
+}
+
+// Mobility returns per-group summaries sorted by group ID.
+func (m *MobilityTracker) Mobility() []GroupMobility {
+	ids := make([]packet.GroupID, 0, len(m.groups))
+	for g := range m.groups {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	out := make([]GroupMobility, 0, len(ids))
+	for _, g := range ids {
+		gm := m.groups[g]
+		r := GroupMobility{
+			Group:        g,
+			SentInMotion: gm.sentIn,
+			SentStatic:   gm.sentOut,
+		}
+		if gm.sentIn > 0 {
+			r.MotionPDR = float64(gm.deliveredIn) / float64(gm.sentIn)
+		}
+		if gm.sentOut > 0 {
+			r.StaticPDR = float64(gm.deliveredOut) / float64(gm.sentOut)
+		}
+		if n := len(gm.repairs); n > 0 {
+			r.Repairs = n
+			var sum time.Duration
+			for _, d := range gm.repairs {
+				sum += d
+				if d > r.MaxRepair {
+					r.MaxRepair = d
+				}
+			}
+			r.MeanRepair = sum / time.Duration(n)
+		}
+		if n := len(gm.reconv); n > 0 {
+			r.Reconvergences = n
+			var sum time.Duration
+			for _, d := range gm.reconv {
+				sum += d
+				if d > r.MaxReconvergence {
+					r.MaxReconvergence = d
+				}
+			}
+			r.MeanReconvergence = sum / time.Duration(n)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// BreakRatePerSec returns link breaks per second of motion window (0 when
+// the window is empty).
+func (m *MobilityTracker) BreakRatePerSec() float64 {
+	span := (m.motion.End - m.motion.Start).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(m.LinkBreaks) / span
+}
+
+// String renders one group's mobility line, fixed-format for deterministic
+// scenario output.
+func (g GroupMobility) String() string {
+	return fmt.Sprintf(
+		"group %v: motion PDR %.3f, static PDR %.3f, repairs %d (mean %.3fs, max %.3fs), reconvergences %d (mean %.3fs)",
+		g.Group, g.MotionPDR, g.StaticPDR, g.Repairs,
+		g.MeanRepair.Seconds(), g.MaxRepair.Seconds(),
+		g.Reconvergences, g.MeanReconvergence.Seconds())
+}
